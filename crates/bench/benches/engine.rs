@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the architectural cycle model: cost of one
+//! engine evaluation per feature level (the Fig. 11(a) substrate) and per
+//! tile count (the Fig. 5(d)/12(a) substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hima::prelude::*;
+
+fn bench_feature_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step_report");
+    for level in FeatureLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level.label()), &level, |b, &l| {
+            let engine = Engine::new(EngineConfig::at_level(l, 16));
+            b.iter(|| black_box(&engine).step_report())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_build_and_step");
+    for nt in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("hima_dnc", nt), &nt, |b, &n| {
+            b.iter(|| Engine::new(EngineConfig::hima_dnc(black_box(n))).step_cycles())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_models");
+    group.bench_function("power_calibration", |b| b.iter(PowerModel::calibrated));
+    let model = PowerModel::calibrated();
+    let cfg = EngineConfig::hima_dncd(16);
+    group.bench_function("power_estimate", |b| b.iter(|| model.estimate(black_box(&cfg))));
+    group.bench_function("area_estimate", |b| b.iter(|| AreaModel::estimate(black_box(&cfg))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_levels, bench_tile_counts, bench_cost_models);
+criterion_main!(benches);

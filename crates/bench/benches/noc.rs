@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the NoC simulator: routing-table construction
+//! and pattern simulation across topologies (the Fig. 5 substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hima::prelude::*;
+
+fn bench_pattern_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_pattern");
+    for topo in Topology::ALL {
+        let sim = NocSim::new(TopologyGraph::build(topo, 16));
+        group.bench_with_input(
+            BenchmarkId::new("transpose_16pt", topo.label()),
+            &sim,
+            |b, s| b.iter(|| s.run_pattern(black_box(TrafficPattern::Transpose), 16)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("all_to_all_16pt", topo.label()),
+            &sim,
+            |b, s| b.iter(|| s.run_pattern(black_box(TrafficPattern::AllToAll), 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_build");
+    for pts in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("hima_sim", pts), &pts, |b, &n| {
+            b.iter(|| NocSim::new(TopologyGraph::build(Topology::Hima, black_box(n))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_sim, bench_table_build);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks for the hardware sorter models (the Fig. 7
+//! subsystem): functional throughput of each sorter implementation plus
+//! the modeled cycle counts as reported metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hima::prelude::*;
+
+fn usage_vector(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 193 + 71) % n.max(1)) as f32 / n as f32).collect()
+}
+
+fn bench_sorters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("usage_sort");
+    for n in [256usize, 1024, 4096] {
+        let usage = usage_vector(n);
+        group.bench_with_input(BenchmarkId::new("centralized_merge", n), &usage, |b, u| {
+            b.iter(|| CentralizedMergeSorter.argsort(black_box(u)))
+        });
+        group.bench_with_input(BenchmarkId::new("two_stage_nt4", n), &usage, |b, u| {
+            let s = TwoStageSorter::new(4, n);
+            b.iter(|| s.argsort(black_box(u)))
+        });
+        group.bench_with_input(BenchmarkId::new("two_stage_nt16", n), &usage, |b, u| {
+            let s = TwoStageSorter::new(16, n);
+            b.iter(|| s.argsort(black_box(u)))
+        });
+        group.bench_with_input(BenchmarkId::new("mdsa", n), &usage, |b, u| {
+            let s = MdsaSorter::for_len(n);
+            b.iter(|| s.argsort(black_box(u)))
+        });
+    }
+    group.finish();
+
+    // Report the modeled hardware cycle counts (the quantities Fig. 7 is
+    // about) so `cargo bench` output carries them.
+    println!("\nmodeled hardware latencies (cycles):");
+    for n in [256usize, 1024, 4096] {
+        println!(
+            "  N={n:>5}: centralized {:>7}  two-stage(4) {:>5}  two-stage(16) {:>5}",
+            CentralizedMergeSorter.latency_cycles(n),
+            TwoStageSorter::new(4, n).latency_cycles(n),
+            TwoStageSorter::new(16, n).latency_cycles(n),
+        );
+    }
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitonic_network");
+    for width in [16usize, 64, 256] {
+        let input: Vec<(f32, usize)> =
+            (0..width).map(|i| (((i * 37) % width) as f32, i)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &input, |b, inp| {
+            let net = hima::sort::BitonicNetwork::new(width);
+            b.iter(|| net.sort_pairs(black_box(inp)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorters, bench_bitonic);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! `hima-cli` — one entry point for every experiment in the reproduction.
+//!
+//! ```console
+//! $ hima-cli list
+//! $ hima-cli run fig7
+//! $ hima-cli run all
+//! $ hima-cli engine --tiles 32 --level dncd
+//! $ hima-cli babi path/to/qa1_train.txt
+//! ```
+
+use hima::prelude::*;
+use std::process::{exit, Command};
+
+const EXPERIMENTS: [(&str, &str, &str); 11] = [
+    ("table1", "table1_kernels", "Table 1: DNC kernel analysis"),
+    ("fig4", "fig4_runtime_breakdown", "Fig. 4: CPU/GPU runtime breakdown"),
+    ("fig5", "fig5_noc_scalability", "Fig. 5(d): NoC speedup scalability"),
+    ("fig6", "fig6_partition_traffic", "Fig. 6: partition traffic sweeps"),
+    ("fig7", "fig7_sort_latency", "Fig. 7: two-stage usage sort"),
+    ("fig10", "fig10_dncd_accuracy", "Fig. 10: DNC-D accuracy vs DNC"),
+    ("fig11", "fig11_feature_sweep", "Fig. 11: speed/area/power of the prototypes"),
+    ("fig12a", "fig12_scalability", "Fig. 12(a): area/power scalability"),
+    ("fig12b", "fig12_comparison", "Fig. 12(b-d): cross-design comparison"),
+    ("modes", "ablation_noc_modes", "Ablation: NoC mode x traffic pattern"),
+    ("approx", "ablation_approximations", "Ablation: skimming / PLA softmax / Q16.16"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => run(args.get(1).map(String::as_str)),
+        Some("engine") => engine(&args[1..]),
+        Some("babi") => babi(args.get(1).map(String::as_str)),
+        _ => {
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("hima-cli — HiMA (MICRO '21) reproduction driver\n");
+    eprintln!("USAGE:");
+    eprintln!("  hima-cli list                      list experiments");
+    eprintln!("  hima-cli run <id|all>              run experiment binaries");
+    eprintln!("  hima-cli engine [--tiles N] [--level L]   query the cycle/area/power models");
+    eprintln!("                  levels: baseline|sort|noc|submat|dncd|approx");
+    eprintln!("  hima-cli babi <file>               parse a bAbI-format file and report stats");
+}
+
+fn list() {
+    println!("{:<8} {:<26} {}", "id", "binary", "description");
+    for (id, bin, desc) in EXPERIMENTS {
+        println!("{id:<8} {bin:<26} {desc}");
+    }
+}
+
+fn run(which: Option<&str>) {
+    let Some(which) = which else {
+        eprintln!("missing experiment id (try `hima-cli list`)");
+        exit(2);
+    };
+    let selected: Vec<&(&str, &str, &str)> = if which == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        EXPERIMENTS.iter().filter(|(id, _, _)| *id == which).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment {which:?} (try `hima-cli list`)");
+        exit(2);
+    }
+    for (_, bin, desc) in selected {
+        println!("\n########## {desc} ##########");
+        let status = Command::new(std::env::current_exe().expect("own path"))
+            .status_via_cargo(bin);
+        if !status {
+            eprintln!("failed to run {bin}");
+            exit(1);
+        }
+    }
+}
+
+trait RunVia {
+    fn status_via_cargo(&mut self, bin: &str) -> bool;
+}
+
+impl RunVia for Command {
+    /// Experiment binaries live next to this one in target/; fall back to
+    /// cargo when invoked from the workspace.
+    fn status_via_cargo(&mut self, bin: &str) -> bool {
+        let own = std::env::current_exe().ok();
+        let sibling = own.and_then(|p| p.parent().map(|d| d.join(bin)));
+        if let Some(path) = sibling.filter(|p| p.exists()) {
+            return Command::new(path).status().map(|s| s.success()).unwrap_or(false);
+        }
+        Command::new("cargo")
+            .args(["run", "--release", "-p", "hima-bench", "--bin", bin])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false)
+    }
+}
+
+fn engine(args: &[String]) {
+    let mut tiles = 16usize;
+    let mut level = "submat".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiles" => {
+                tiles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bail("--tiles needs a positive integer"))
+            }
+            "--level" => level = it.next().cloned().unwrap_or_else(|| bail("--level needs a value")),
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let level = match level.as_str() {
+        "baseline" => FeatureLevel::Baseline,
+        "sort" => FeatureLevel::TwoStageSort,
+        "noc" => FeatureLevel::HimaNoc,
+        "submat" => FeatureLevel::Submatrix,
+        "dncd" => FeatureLevel::DncD,
+        "approx" => FeatureLevel::DncDApprox,
+        other => bail(&format!("unknown level {other:?}")),
+    };
+    let cfg = EngineConfig::at_level(level, tiles);
+    let e = Engine::new(cfg);
+    let area = AreaModel::estimate(&cfg);
+    let power = PowerModel::calibrated().estimate(&cfg);
+    println!("configuration: {} at N_t = {tiles}", level.label());
+    println!("  cycles/step : {}", e.step_cycles());
+    println!("  time/step   : {:.3} us @ {} MHz", e.step_us(), (cfg.clock_ghz * 1000.0) as u64);
+    println!("  area        : {:.2} mm2 (PT {:.2}, CT {:.2})", area.total_mm2(), area.pt_mm2, area.ct_mm2);
+    println!("  power       : {:.2} W", power.total_w());
+    println!("  energy/step : {:.3} uJ", power.energy_per_step_uj());
+}
+
+fn babi(path: Option<&str>) {
+    let Some(path) = path else {
+        bail::<()>("babi needs a file path");
+        return;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => bail(&format!("cannot read {path}: {e}")),
+    };
+    let stories = match hima::tasks::parse_stories(&text) {
+        Ok(s) => s,
+        Err(e) => bail(&format!("parse error: {e}")),
+    };
+    let vocab = hima::tasks::Vocabulary::build(&stories);
+    let questions: usize = stories.iter().map(|s| s.question_count()).sum();
+    println!("{path}: {} stories, {questions} questions, vocabulary {}", stories.len(), vocab.len());
+    if let Some(story) = stories.first() {
+        let enc = hima::tasks::encode_story(story, &vocab);
+        println!(
+            "first story encodes to a {}-step episode of width {} with {} queries",
+            enc.episode.len(),
+            enc.episode.width(),
+            enc.episode.query_steps.len()
+        );
+    }
+}
+
+fn bail<T>(msg: &str) -> T {
+    eprintln!("error: {msg}");
+    exit(2)
+}

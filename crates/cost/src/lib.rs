@@ -1,0 +1,25 @@
+//! Area, power and energy models for the HiMA prototypes.
+//!
+//! The paper synthesizes RTL at 500 MHz in 40 nm CMOS and measures power
+//! with Ansys PowerArtist. Neither tool exists here, so this crate provides
+//! the standard architectural substitute:
+//!
+//! * [`area`] — a component-level area model (SRAM banks with
+//!   fixed-periphery + per-KB terms, M-M engine, routers, sorters, CT
+//!   logic) whose constants are calibrated once against the paper's
+//!   Fig. 11(e) table and then *predict* the other configurations,
+//! * [`power`] — an activity-based energy model (`pJ` per MAC, SRAM word,
+//!   flit-hop, sort op, SFU op) calibrated once against the HiMA-DNC
+//!   module-power breakdown of Fig. 11(f); every other configuration's
+//!   power is predicted from the engine's activity counters and step time.
+//!
+//! Because the paper's own comparisons are ratios between configurations
+//! of the same RTL, a calibrated activity model preserves exactly the
+//! quantities the evaluation reports (power reductions, area savings,
+//! efficiency ratios).
+
+pub mod area;
+pub mod power;
+
+pub use area::{AreaModel, AreaReport};
+pub use power::{EnergyCoefficients, PowerModel, PowerReport};

@@ -1,0 +1,142 @@
+//! Content-based addressing — the CW/CR kernels of Fig. 2.
+//!
+//! `C(M, k, β)[i] = softmax_i(β · cos(M[i,·], k))`: memory rows and the key
+//! are L2-normalized, their inner products scaled by the strength `β`, and a
+//! softmax turns the similarities into a weighting over slots. The softmax
+//! can optionally run through the PLA+LUT hardware approximation (§5.2).
+
+use hima_tensor::softmax::{softmax, PlaSoftmax};
+use hima_tensor::vector::{dot, norm};
+use hima_tensor::Matrix;
+
+/// Guard added to norms so zero rows/keys produce zero similarity instead of
+/// NaN (same role as the ε in Graves et al.'s cosine distance).
+pub const NORM_EPSILON: f32 = 1e-6;
+
+/// Content weighting `C(M, k, β)` over the rows of `memory`.
+///
+/// `approx` selects the exact or PLA+LUT softmax.
+///
+/// # Panics
+///
+/// Panics if `key.len() != memory.cols()`.
+///
+/// # Example
+///
+/// ```
+/// use hima_tensor::Matrix;
+/// use hima_dnc::content::content_weighting;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 0.0][..], &[0.0, 1.0][..]]);
+/// let w = content_weighting(&m, &[1.0, 0.0], 10.0, None);
+/// assert!(w[0] > 0.99, "strong beta concentrates on the matching row");
+/// ```
+pub fn content_weighting(
+    memory: &Matrix,
+    key: &[f32],
+    beta: f32,
+    approx: Option<&PlaSoftmax>,
+) -> Vec<f32> {
+    let sims = similarities(memory, key);
+    let scaled: Vec<f32> = sims.iter().map(|s| s * beta).collect();
+    match approx {
+        Some(p) => p.softmax(&scaled),
+        None => softmax(&scaled),
+    }
+}
+
+/// Cosine similarities between each memory row and `key` (the normalize +
+/// similarity steps, before the softmax).
+///
+/// # Panics
+///
+/// Panics if `key.len() != memory.cols()`.
+pub fn similarities(memory: &Matrix, key: &[f32]) -> Vec<f32> {
+    assert_eq!(key.len(), memory.cols(), "key width must match memory word size");
+    let key_norm = norm(key);
+    (0..memory.rows())
+        .map(|i| {
+            let row = memory.row(i);
+            dot(row, key) / (norm(row) * key_norm + NORM_EPSILON)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_rows() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0][..],
+            &[0.0, 1.0, 0.0][..],
+            &[0.0, 0.0, 1.0][..],
+        ])
+    }
+
+    #[test]
+    fn matching_row_wins() {
+        let w = content_weighting(&unit_rows(), &[0.0, 1.0, 0.0], 20.0, None);
+        assert!(w[1] > 0.99);
+        assert!(w[0] < 0.01 && w[2] < 0.01);
+    }
+
+    #[test]
+    fn weighting_is_distribution() {
+        let m = Matrix::from_fn(8, 4, |i, j| ((i * 3 + j) as f32 * 0.7).sin());
+        let w = content_weighting(&m, &[0.3, -0.2, 0.8, 0.1], 2.0, None);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn beta_one_is_diffuse_beta_large_is_sharp() {
+        let m = unit_rows();
+        let diffuse = content_weighting(&m, &[1.0, 0.2, 0.1], 1.0, None);
+        let sharp = content_weighting(&m, &[1.0, 0.2, 0.1], 50.0, None);
+        assert!(sharp[0] > diffuse[0]);
+    }
+
+    #[test]
+    fn zero_key_gives_uniform_weighting() {
+        let w = content_weighting(&unit_rows(), &[0.0, 0.0, 0.0], 5.0, None);
+        for &x in &w {
+            assert!((x - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_memory_row_is_not_nan() {
+        let m = Matrix::from_rows(&[&[0.0, 0.0][..], &[1.0, 0.0][..]]);
+        let w = content_weighting(&m, &[1.0, 0.0], 3.0, None);
+        assert!(w.iter().all(|x| x.is_finite()));
+        assert!(w[1] > w[0]);
+    }
+
+    #[test]
+    fn approx_softmax_close_to_exact() {
+        let m = Matrix::from_fn(16, 8, |i, j| ((i * 5 + j * 3) as f32 * 0.31).cos());
+        let key: Vec<f32> = (0..8).map(|j| (j as f32 * 0.5).sin()).collect();
+        let exact = content_weighting(&m, &key, 3.0, None);
+        let pla = PlaSoftmax::default();
+        let approx = content_weighting(&m, &key, 3.0, Some(&pla));
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn similarities_bounded_by_one() {
+        let m = Matrix::from_fn(6, 5, |i, j| ((i + j) as f32).sin());
+        let key: Vec<f32> = (0..5).map(|j| (j as f32).cos()).collect();
+        for s in similarities(&m, &key) {
+            assert!(s.abs() <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key width must match")]
+    fn rejects_mismatched_key() {
+        similarities(&unit_rows(), &[1.0]);
+    }
+}

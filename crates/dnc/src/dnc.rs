@@ -1,0 +1,296 @@
+//! The complete DNC: LSTM controller + memory unit + output projection.
+//!
+//! One [`Dnc::step`] performs: controller inference on the input
+//! concatenated with the previous read vectors, interface-vector projection
+//! and parsing, one memory-unit soft write + soft read, and the output
+//! projection over `[h_t ; v_r]`.
+
+use crate::interface::InterfaceVector;
+use crate::lstm::Lstm;
+use crate::memory::{MemoryConfig, MemoryUnit, ReadResult};
+use crate::profile::{KernelId, KernelProfile};
+use crate::DncParams;
+use hima_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a scaled-uniform projection matrix; shared with the distributed
+/// model so `DncD` with one shard is weight-identical to `Dnc`.
+pub(crate) fn projection(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = 1.0 / (cols as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+}
+
+/// Seed offsets so each weight block draws an independent stream.
+pub(crate) const SEED_LSTM: u64 = 0x11;
+pub(crate) const SEED_INTERFACE: u64 = 0x22;
+pub(crate) const SEED_OUTPUT: u64 = 0x33;
+
+/// A complete Differentiable Neural Computer.
+///
+/// # Example
+///
+/// ```
+/// use hima_dnc::{Dnc, DncParams};
+///
+/// let mut dnc = Dnc::new(DncParams::new(16, 4, 1).with_io(3, 3), 7);
+/// let y1 = dnc.step(&[1.0, 0.0, 0.0]);
+/// let y2 = dnc.step(&[0.0, 1.0, 0.0]);
+/// assert_eq!(y1.len(), 3);
+/// assert_ne!(y1, y2, "memory state makes steps differ");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dnc {
+    params: DncParams,
+    controller: Lstm,
+    interface_proj: Matrix,
+    output_proj: Matrix,
+    memory: MemoryUnit,
+    last_read: Vec<f32>,
+    last_hidden: Vec<f32>,
+    profile: KernelProfile,
+}
+
+impl Dnc {
+    /// Creates a DNC with procedurally initialized weights and an exact
+    /// (centralized-sorter, exact-softmax) memory unit.
+    pub fn new(params: DncParams, seed: u64) -> Self {
+        let mem_cfg = MemoryConfig::new(params.memory_size, params.word_size, params.read_heads);
+        Self::with_memory_config(params, mem_cfg, seed)
+    }
+
+    /// Creates a DNC with a custom memory-unit configuration (sorter model,
+    /// skimming, softmax approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_cfg` geometry disagrees with `params`.
+    pub fn with_memory_config(params: DncParams, mem_cfg: MemoryConfig, seed: u64) -> Self {
+        assert_eq!(mem_cfg.memory_size, params.memory_size, "memory geometry mismatch");
+        assert_eq!(mem_cfg.word_size, params.word_size, "word size mismatch");
+        assert_eq!(mem_cfg.read_heads, params.read_heads, "read head mismatch");
+
+        let read_width = params.read_heads * params.word_size;
+        let controller = Lstm::new(params.input_size + read_width, params.hidden_size, seed ^ SEED_LSTM);
+        // The interface vector projects from [h_t ; x_t]: the input skip
+        // connection keeps write/read keys directly conditioned on the
+        // current token (Graves et al.'s controller emits the interface
+        // from all layer outputs, input included).
+        let interface_proj = projection(
+            params.interface_size(),
+            params.hidden_size + params.input_size,
+            seed ^ SEED_INTERFACE,
+        );
+        let output_proj =
+            projection(params.output_size, params.hidden_size + read_width, seed ^ SEED_OUTPUT);
+        Self {
+            params,
+            controller,
+            interface_proj,
+            output_proj,
+            memory: MemoryUnit::new(mem_cfg),
+            last_read: vec![0.0; read_width],
+            last_hidden: vec![0.0; params.hidden_size],
+            profile: KernelProfile::new(),
+        }
+    }
+
+    /// The model hyper-parameters.
+    pub fn params(&self) -> &DncParams {
+        &self.params
+    }
+
+    /// The memory unit (for state inspection).
+    pub fn memory(&self) -> &MemoryUnit {
+        &self.memory
+    }
+
+    /// The read vectors fed to the controller at the next step.
+    pub fn last_read(&self) -> &[f32] {
+        &self.last_read
+    }
+
+    /// The feature vector `[h_t ; v_r]` the output projection consumes —
+    /// also the features a trained readout regresses on.
+    pub fn last_features(&self) -> Vec<f32> {
+        let mut f = Vec::with_capacity(self.last_hidden.len() + self.last_read.len());
+        f.extend_from_slice(&self.last_hidden);
+        f.extend_from_slice(&self.last_read);
+        f
+    }
+
+    /// Merged kernel profile (controller + memory unit).
+    pub fn profile(&self) -> KernelProfile {
+        let mut p = self.profile.clone();
+        p.merge(self.memory.profile());
+        p
+    }
+
+    /// Clears all profiling counters.
+    pub fn reset_profile(&mut self) {
+        self.profile.reset();
+        self.memory.reset_profile();
+    }
+
+    /// Resets memory and recurrent state (weights unchanged).
+    pub fn reset(&mut self) {
+        self.controller.reset();
+        self.memory.reset();
+        self.last_read = vec![0.0; self.params.read_heads * self.params.word_size];
+        self.last_hidden = vec![0.0; self.params.hidden_size];
+    }
+
+    /// Runs one time step and returns the output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != params.input_size`.
+    pub fn step(&mut self, input: &[f32]) -> Vec<f32> {
+        let (_, y) = self.step_detailed(input);
+        y
+    }
+
+    /// Runs one time step, returning the memory read result and the output.
+    pub fn step_detailed(&mut self, input: &[f32]) -> (ReadResult, Vec<f32>) {
+        assert_eq!(input.len(), self.params.input_size, "input width mismatch");
+
+        // Controller on [x_t ; v_r^{t-1}].
+        let mut ctrl_in = Vec::with_capacity(input.len() + self.last_read.len());
+        ctrl_in.extend_from_slice(input);
+        ctrl_in.extend_from_slice(&self.last_read);
+        let controller = &mut self.controller;
+        let hidden = self.profile.time(KernelId::Lstm, || controller.step(&ctrl_in));
+
+        // Interface projection + parse (input skip connection).
+        let mut iface_in = Vec::with_capacity(hidden.len() + input.len());
+        iface_in.extend_from_slice(&hidden);
+        iface_in.extend_from_slice(input);
+        let raw_iface = self.interface_proj.matvec(&iface_in);
+        let iv = InterfaceVector::parse(&raw_iface, self.params.word_size, self.params.read_heads);
+
+        // Memory unit step.
+        let read = self.memory.step(&iv);
+        self.last_read = read.flattened();
+
+        // Output projection over [h ; v_r].
+        let mut out_in = Vec::with_capacity(hidden.len() + self.last_read.len());
+        out_in.extend_from_slice(&hidden);
+        out_in.extend_from_slice(&self.last_read);
+        let y = self.output_proj.matvec(&out_in);
+        self.last_hidden = hidden;
+
+        (read, y)
+    }
+
+    /// Runs a whole input sequence, returning one output per step.
+    pub fn run_sequence(&mut self, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        inputs.iter().map(|x| self.step(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::SkimRate;
+    use crate::memory::SorterKind;
+
+    fn params() -> DncParams {
+        DncParams::new(16, 4, 2).with_hidden(24).with_io(5, 6)
+    }
+
+    #[test]
+    fn output_width_matches_params() {
+        let mut dnc = Dnc::new(params(), 3);
+        assert_eq!(dnc.step(&[0.1; 5]).len(), 6);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = Dnc::new(params(), 11);
+        let mut b = Dnc::new(params(), 11);
+        for t in 0..5 {
+            let x: Vec<f32> = (0..5).map(|i| ((t * 5 + i) as f32 * 0.3).sin()).collect();
+            assert_eq!(a.step(&x), b.step(&x), "t={t}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let mut a = Dnc::new(params(), 1);
+        let mut b = Dnc::new(params(), 2);
+        assert_ne!(a.step(&[0.5; 5]), b.step(&[0.5; 5]));
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut dnc = Dnc::new(params(), 5);
+        let first = dnc.step(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        for _ in 0..10 {
+            dnc.step(&[0.3; 5]);
+        }
+        dnc.reset();
+        let again = dnc.step(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn memory_state_influences_outputs() {
+        let mut dnc = Dnc::new(params(), 9);
+        let y1 = dnc.step(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let y2 = dnc.step(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_ne!(y1, y2, "same input must give different output once state evolves");
+    }
+
+    #[test]
+    fn invariants_hold_through_a_long_run() {
+        let mut dnc = Dnc::new(params(), 13);
+        for t in 0..60 {
+            let x: Vec<f32> = (0..5).map(|i| ((t * 3 + i * 7) as f32 * 0.11).cos()).collect();
+            dnc.step(&x);
+            assert!(dnc.memory().check_invariants(1e-3), "t={t}");
+        }
+    }
+
+    #[test]
+    fn profile_includes_controller_and_memory() {
+        let mut dnc = Dnc::new(params(), 4);
+        dnc.step(&[0.2; 5]);
+        let p = dnc.profile();
+        assert_eq!(p.calls(KernelId::Lstm), 1);
+        assert!(p.calls(KernelId::MemoryRead) > 0);
+    }
+
+    #[test]
+    fn run_sequence_matches_stepping() {
+        let inputs: Vec<Vec<f32>> = (0..6).map(|t| vec![t as f32 * 0.1; 5]).collect();
+        let mut a = Dnc::new(params(), 21);
+        let seq = a.run_sequence(&inputs);
+        let mut b = Dnc::new(params(), 21);
+        for (x, want) in inputs.iter().zip(&seq) {
+            assert_eq!(&b.step(x), want);
+        }
+    }
+
+    #[test]
+    fn hardware_features_are_close_to_exact() {
+        let exact_params = params();
+        let mut exact = Dnc::new(exact_params, 17);
+        let cfg = MemoryConfig::new(16, 4, 2)
+            .with_sorter(SorterKind::TwoStage { tiles: 4 })
+            .with_skim(SkimRate::new(0.2))
+            .with_approx_softmax(true);
+        let mut hw = Dnc::with_memory_config(exact_params, cfg, 17);
+        let mut max_err = 0.0f32;
+        for t in 0..20 {
+            let x: Vec<f32> = (0..5).map(|i| ((t * 7 + i) as f32 * 0.23).sin()).collect();
+            let ye = exact.step(&x);
+            let yh = hw.step(&x);
+            for (a, b) in ye.iter().zip(&yh) {
+                max_err = max_err.max((a - b).abs());
+            }
+        }
+        assert!(max_err < 0.5, "hardware approximations diverged: {max_err}");
+        assert!(max_err > 0.0, "approximations should not be bit-identical");
+    }
+}

@@ -1,0 +1,181 @@
+//! The DNC interface vector: layout, activations and parsing.
+//!
+//! The controller emits a raw vector `ξ_t` of width `W·R + 3W + 5R + 3`
+//! which the memory unit splits into keys, strengths, gates and read modes,
+//! applying the constraining activations from Graves et al. 2016:
+//! `oneplus` for strengths, `sigmoid` for gates and the erase vector, and a
+//! per-head `softmax` for the three read modes (backward, content, forward).
+
+use hima_tensor::activation::{oneplus, sigmoid};
+use hima_tensor::softmax::softmax;
+use serde::{Deserialize, Serialize};
+
+/// Parsed, activation-constrained interface vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterfaceVector {
+    /// Read keys `k_r^i ∈ R^W`, one per head.
+    pub read_keys: Vec<Vec<f32>>,
+    /// Read strengths `β_r^i ≥ 1`.
+    pub read_strengths: Vec<f32>,
+    /// Write key `k_w ∈ R^W`.
+    pub write_key: Vec<f32>,
+    /// Write strength `β_w ≥ 1`.
+    pub write_strength: f32,
+    /// Erase vector `e ∈ [0,1]^W`.
+    pub erase: Vec<f32>,
+    /// Write vector `v ∈ R^W`.
+    pub write: Vec<f32>,
+    /// Free gates `g_f^i ∈ [0,1]`, one per head.
+    pub free_gates: Vec<f32>,
+    /// Allocation gate `g_a ∈ [0,1]`.
+    pub allocation_gate: f32,
+    /// Write gate `g_w ∈ [0,1]`.
+    pub write_gate: f32,
+    /// Read modes `π^i ∈ Δ³` (backward, content, forward), one per head.
+    pub read_modes: Vec<[f32; 3]>,
+}
+
+impl InterfaceVector {
+    /// Parses a raw controller emission into a constrained interface
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != W·R + 3W + 5R + 3`.
+    pub fn parse(raw: &[f32], word_size: usize, read_heads: usize) -> Self {
+        let (w, r) = (word_size, read_heads);
+        let expected = w * r + 3 * w + 5 * r + 3;
+        assert_eq!(
+            raw.len(),
+            expected,
+            "interface vector of {} does not match layout W={w}, R={r} (expect {expected})",
+            raw.len()
+        );
+
+        let mut pos = 0;
+        let mut take = |n: usize| {
+            let s = &raw[pos..pos + n];
+            pos += n;
+            s
+        };
+
+        let read_keys: Vec<Vec<f32>> = (0..r).map(|_| take(w).to_vec()).collect();
+        let read_strengths: Vec<f32> = take(r).iter().map(|&x| oneplus(x)).collect();
+        let write_key = take(w).to_vec();
+        let write_strength = oneplus(take(1)[0]);
+        let erase: Vec<f32> = take(w).iter().map(|&x| sigmoid(x)).collect();
+        let write = take(w).to_vec();
+        let free_gates: Vec<f32> = take(r).iter().map(|&x| sigmoid(x)).collect();
+        let allocation_gate = sigmoid(take(1)[0]);
+        let write_gate = sigmoid(take(1)[0]);
+        let read_modes: Vec<[f32; 3]> = (0..r)
+            .map(|_| {
+                let m = softmax(take(3));
+                [m[0], m[1], m[2]]
+            })
+            .collect();
+        debug_assert_eq!(pos, expected);
+
+        Self {
+            read_keys,
+            read_strengths,
+            write_key,
+            write_strength,
+            erase,
+            write,
+            free_gates,
+            allocation_gate,
+            write_gate,
+            read_modes,
+        }
+    }
+
+    /// Number of read heads this interface drives.
+    pub fn read_heads(&self) -> usize {
+        self.read_keys.len()
+    }
+
+    /// Word width `W`.
+    pub fn word_size(&self) -> usize {
+        self.write_key.len()
+    }
+
+    /// Checks every constrained field is inside its admissible set
+    /// (strengths ≥ 1, gates in `[0,1]`, read modes on the simplex).
+    pub fn is_well_formed(&self) -> bool {
+        let gates_ok = self
+            .free_gates
+            .iter()
+            .chain([&self.allocation_gate, &self.write_gate])
+            .all(|&g| (0.0..=1.0).contains(&g));
+        let strengths_ok =
+            self.read_strengths.iter().chain([&self.write_strength]).all(|&b| b >= 1.0);
+        let erase_ok = self.erase.iter().all(|&e| (0.0..=1.0).contains(&e));
+        let modes_ok = self.read_modes.iter().all(|m| {
+            m.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x))
+                && (m.iter().sum::<f32>() - 1.0).abs() < 1e-4
+        });
+        gates_ok && strengths_ok && erase_ok && modes_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_for(w: usize, r: usize, fill: f32) -> Vec<f32> {
+        vec![fill; w * r + 3 * w + 5 * r + 3]
+    }
+
+    #[test]
+    fn parses_layout_and_constraints() {
+        let (w, r) = (8, 2);
+        let raw: Vec<f32> = (0..(w * r + 3 * w + 5 * r + 3)).map(|i| (i as f32 * 0.13).sin()).collect();
+        let iv = InterfaceVector::parse(&raw, w, r);
+        assert_eq!(iv.read_heads(), r);
+        assert_eq!(iv.word_size(), w);
+        assert_eq!(iv.read_keys.len(), r);
+        assert_eq!(iv.read_keys[0].len(), w);
+        assert_eq!(iv.erase.len(), w);
+        assert_eq!(iv.write.len(), w);
+        assert!(iv.is_well_formed());
+    }
+
+    #[test]
+    fn keys_pass_through_unactivated() {
+        let (w, r) = (4, 1);
+        let mut raw = raw_for(w, r, 0.0);
+        raw[0] = 2.5; // first element of first read key
+        raw[w * r + r] = -3.5; // first element of the write key
+        let iv = InterfaceVector::parse(&raw, w, r);
+        assert_eq!(iv.read_keys[0][0], 2.5);
+        assert_eq!(iv.write_key[0], -3.5);
+    }
+
+    #[test]
+    fn zero_raw_gives_neutral_activations() {
+        let iv = InterfaceVector::parse(&raw_for(4, 2, 0.0), 4, 2);
+        // oneplus(0) = 1 + ln 2, sigmoid(0) = 0.5, softmax(0,0,0) = 1/3.
+        assert!((iv.write_strength - (1.0 + 2f32.ln())).abs() < 1e-6);
+        assert!((iv.allocation_gate - 0.5).abs() < 1e-6);
+        for m in &iv.read_modes {
+            for &x in m {
+                assert!((x - 1.0 / 3.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_raw_stays_well_formed() {
+        let iv = InterfaceVector::parse(&raw_for(6, 3, 100.0), 6, 3);
+        assert!(iv.is_well_formed());
+        let iv = InterfaceVector::parse(&raw_for(6, 3, -100.0), 6, 3);
+        assert!(iv.is_well_formed());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match layout")]
+    fn rejects_wrong_width() {
+        InterfaceVector::parse(&[0.0; 10], 8, 2);
+    }
+}

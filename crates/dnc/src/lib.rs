@@ -1,0 +1,171 @@
+//! Functional Differentiable Neural Computer (DNC) model, plus the
+//! distributed **DNC-D** variant introduced by the HiMA paper (§5.1).
+//!
+//! The DNC (Graves et al., *Nature* 2016) couples an LSTM controller to an
+//! external memory matrix `M ∈ R^{N×W}` accessed through *soft* read and
+//! write heads. HiMA's contribution is a hardware engine for the memory
+//! unit; this crate is the bit-exact functional model the engine is verified
+//! against, organized kernel-by-kernel exactly as the paper's dataflow
+//! (Fig. 2):
+//!
+//! * content-based addressing ([`content`]) — normalize + similarity,
+//! * history-based write weighting ([`usage`], [`allocation`]) — retention,
+//!   usage update, usage sort, allocation,
+//! * history-based read weighting ([`linkage`]) — temporal linkage matrix,
+//!   precedence, forward/backward,
+//! * the memory unit gluing them together ([`memory`]),
+//! * the LSTM controller and interface vector ([`lstm`], [`interface`]),
+//! * the complete model ([`dnc`]) and the distributed variant
+//!   ([`distributed`]),
+//! * per-kernel instrumentation ([`profile`]) used to regenerate the
+//!   paper's runtime-breakdown figures.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_dnc::{Dnc, DncParams};
+//!
+//! let params = DncParams::new(32, 8, 2).with_io(4, 4);
+//! let mut dnc = Dnc::new(params, 42);
+//! let y = dnc.step(&[0.5, -0.5, 1.0, 0.0]);
+//! assert_eq!(y.len(), 4);
+//! ```
+
+pub mod allocation;
+pub mod content;
+pub mod dnc;
+pub mod distributed;
+pub mod interface;
+pub mod linkage;
+pub mod lstm;
+pub mod memory;
+pub mod profile;
+pub mod quantized;
+pub mod usage;
+
+pub use crate::dnc::Dnc;
+pub use distributed::{DncD, ReadMerge};
+pub use interface::InterfaceVector;
+pub use memory::{MemoryConfig, MemoryUnit};
+pub use profile::{KernelCategory, KernelId, KernelProfile};
+pub use quantized::{DatapathStudy, QuantizedMemoryUnit};
+
+use serde::{Deserialize, Serialize};
+
+/// Model hyper-parameters shared by [`Dnc`] and [`DncD`].
+///
+/// The paper's reference configuration for the bAbI experiments is
+/// `N × W = 1024 × 64` with `R` read heads and a 1-layer LSTM of width 256;
+/// [`DncParams::paper_babi`] constructs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DncParams {
+    /// External memory rows `N` (number of memory slots).
+    pub memory_size: usize,
+    /// Word width `W` (columns of `M`).
+    pub word_size: usize,
+    /// Number of parallel read heads `R`.
+    pub read_heads: usize,
+    /// LSTM controller hidden width.
+    pub hidden_size: usize,
+    /// Model input width.
+    pub input_size: usize,
+    /// Model output width.
+    pub output_size: usize,
+}
+
+impl DncParams {
+    /// Creates parameters with the given memory geometry and read heads,
+    /// with a default 64-wide controller and 8-wide input/output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(memory_size: usize, word_size: usize, read_heads: usize) -> Self {
+        let p = Self {
+            memory_size,
+            word_size,
+            read_heads,
+            hidden_size: 64,
+            input_size: 8,
+            output_size: 8,
+        };
+        p.validate();
+        p
+    }
+
+    /// Overrides the controller hidden width.
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        self.hidden_size = hidden;
+        self.validate();
+        self
+    }
+
+    /// Overrides input/output widths.
+    pub fn with_io(mut self, input: usize, output: usize) -> Self {
+        self.input_size = input;
+        self.output_size = output;
+        self.validate();
+        self
+    }
+
+    /// The paper's bAbI configuration: `1024 × 64` memory, 4 read heads,
+    /// 256-wide 1-layer LSTM.
+    pub fn paper_babi() -> Self {
+        Self::new(1024, 64, 4).with_hidden(256).with_io(64, 64)
+    }
+
+    /// Width of the interface vector `v^i`:
+    /// `W·R + 3W + 5R + 3` (read keys, write key, erase, write vector,
+    /// strengths, gates, read modes).
+    pub fn interface_size(&self) -> usize {
+        let (w, r) = (self.word_size, self.read_heads);
+        w * r + 3 * w + 5 * r + 3
+    }
+
+    fn validate(&self) {
+        assert!(self.memory_size > 0, "memory_size must be positive");
+        assert!(self.word_size > 0, "word_size must be positive");
+        assert!(self.read_heads > 0, "read_heads must be positive");
+        assert!(self.hidden_size > 0, "hidden_size must be positive");
+        assert!(self.input_size > 0, "input_size must be positive");
+        assert!(self.output_size > 0, "output_size must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_size_formula() {
+        // W(R+3) + 5R + 3: for W=64, R=4 -> 64*7 + 20 + 3 = 471.
+        let p = DncParams::new(1024, 64, 4);
+        assert_eq!(p.interface_size(), 471);
+        // Graves et al. use the same layout; cross-check a second shape.
+        let p = DncParams::new(16, 8, 1);
+        assert_eq!(p.interface_size(), 8 * 1 + 3 * 8 + 5 * 1 + 3);
+    }
+
+    #[test]
+    fn paper_babi_configuration() {
+        let p = DncParams::paper_babi();
+        assert_eq!(p.memory_size, 1024);
+        assert_eq!(p.word_size, 64);
+        assert_eq!(p.read_heads, 4);
+        assert_eq!(p.hidden_size, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory_size must be positive")]
+    fn rejects_zero_memory() {
+        DncParams::new(0, 8, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = DncParams::new(8, 4, 2).with_hidden(32).with_io(5, 6);
+        assert_eq!(p.hidden_size, 32);
+        assert_eq!(p.input_size, 5);
+        assert_eq!(p.output_size, 6);
+    }
+}

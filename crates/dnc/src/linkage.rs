@@ -1,0 +1,301 @@
+//! Temporal linkage — the HR kernels of Fig. 2 (linkage, precedence,
+//! forward/backward).
+//!
+//! The linkage matrix `L ∈ [0,1]^{N×N}` tracks the order in which slots were
+//! written: `L[i,j]` is the degree to which slot `i` was written right after
+//! slot `j`. Updates follow Graves et al. 2016:
+//!
+//! ```text
+//! L[i,j] ← (1 − w_w[i] − w_w[j]) · L[i,j] + w_w[i] · p[j]   (i ≠ j)
+//! L[i,i] = 0
+//! p ← (1 − Σ_i w_w[i]) · p + w_w
+//! ```
+//!
+//! Forward/backward read weightings are `f^r = L w_r` and `b^r = Lᵀ w_r`.
+//! Invariants: zero diagonal and every row/column sum ≤ 1.
+
+use hima_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Temporal linkage state: the `N × N` linkage matrix and the precedence
+/// vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalLinkage {
+    linkage: Matrix,
+    precedence: Vec<f32>,
+}
+
+impl TemporalLinkage {
+    /// Fresh linkage state for `n` memory slots (all zeros).
+    pub fn new(n: usize) -> Self {
+        Self { linkage: Matrix::zeros(n, n), precedence: vec![0.0; n] }
+    }
+
+    /// Number of memory slots tracked.
+    pub fn len(&self) -> usize {
+        self.precedence.len()
+    }
+
+    /// Whether this tracks zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.precedence.is_empty()
+    }
+
+    /// The linkage matrix `L`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.linkage
+    }
+
+    /// The precedence vector `p`.
+    pub fn precedence(&self) -> &[f32] {
+        &self.precedence
+    }
+
+    /// Applies one write weighting: updates `L` from the *previous*
+    /// precedence, then updates `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_weighting.len() != len()`.
+    pub fn update(&mut self, write_weighting: &[f32]) {
+        self.update_linkage(write_weighting);
+        self.update_precedence(write_weighting);
+    }
+
+    /// Updates only the linkage matrix from the *previous* precedence (the
+    /// HR.(1) kernel). Call [`TemporalLinkage::update_precedence`]
+    /// afterwards to complete the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_weighting.len() != len()`.
+    pub fn update_linkage(&mut self, write_weighting: &[f32]) {
+        let n = self.len();
+        assert_eq!(write_weighting.len(), n, "write weighting length mismatch");
+
+        for i in 0..n {
+            let wi = write_weighting[i];
+            let row = self.linkage.row_mut(i);
+            for (j, l) in row.iter_mut().enumerate() {
+                if i == j {
+                    *l = 0.0;
+                } else {
+                    *l = (1.0 - wi - write_weighting[j]) * *l + wi * self.precedence[j];
+                }
+            }
+        }
+    }
+
+    /// Updates only the precedence vector (the HR.(2) kernel). Must run
+    /// after [`TemporalLinkage::update_linkage`] within a time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_weighting.len() != len()`.
+    pub fn update_precedence(&mut self, write_weighting: &[f32]) {
+        assert_eq!(write_weighting.len(), self.len(), "write weighting length mismatch");
+        let write_sum: f32 = write_weighting.iter().sum();
+        for (p, &w) in self.precedence.iter_mut().zip(write_weighting) {
+            *p = (1.0 - write_sum) * *p + w;
+        }
+    }
+
+    /// Forward weighting `f = L · w_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_weighting.len() != len()`.
+    pub fn forward(&self, read_weighting: &[f32]) -> Vec<f32> {
+        self.linkage.matvec(read_weighting)
+    }
+
+    /// Backward weighting `b = Lᵀ · w_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_weighting.len() != len()`.
+    pub fn backward(&self, read_weighting: &[f32]) -> Vec<f32> {
+        self.linkage.matvec_t(read_weighting)
+    }
+
+    /// Applies `f` to every linkage entry and precedence element in place
+    /// (used to inject datapath quantization between time steps).
+    pub fn map_state(&mut self, mut f: impl FnMut(f32) -> f32) {
+        self.linkage.map_inplace(&mut f);
+        for p in &mut self.precedence {
+            *p = f(*p);
+        }
+    }
+
+    /// Checks the structural invariants: zero diagonal, entries in `[0,1]`,
+    /// row and column sums ≤ `1 + tol`.
+    pub fn check_invariants(&self, tol: f32) -> bool {
+        let n = self.len();
+        for i in 0..n {
+            if self.linkage[(i, i)] != 0.0 {
+                return false;
+            }
+        }
+        let in_range = self
+            .linkage
+            .as_slice()
+            .iter()
+            .all(|&x| x >= -tol && x <= 1.0 + tol);
+        if !in_range {
+            return false;
+        }
+        for i in 0..n {
+            let row_sum: f32 = self.linkage.row(i).iter().sum();
+            if row_sum > 1.0 + tol {
+                return false;
+            }
+        }
+        for j in 0..n {
+            let col_sum: f32 = (0..n).map(|i| self.linkage[(i, j)]).sum();
+            if col_sum > 1.0 + tol {
+                return false;
+            }
+        }
+        self.precedence.iter().all(|&p| p >= -tol && p <= 1.0 + tol)
+    }
+}
+
+/// Merges backward/content/forward weightings through a head's read modes —
+/// the RM kernel: `w_r = π_1 b + π_2 c + π_3 f`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn merge_read_weighting(
+    backward: &[f32],
+    content: &[f32],
+    forward: &[f32],
+    modes: [f32; 3],
+) -> Vec<f32> {
+    assert_eq!(backward.len(), content.len(), "weighting length mismatch");
+    assert_eq!(backward.len(), forward.len(), "weighting length mismatch");
+    backward
+        .iter()
+        .zip(content)
+        .zip(forward)
+        .map(|((&b, &c), &f)| modes[0] * b + modes[1] * c + modes[2] * f)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hard (one-hot) write at `slot`.
+    fn one_hot(n: usize, slot: usize) -> Vec<f32> {
+        let mut w = vec![0.0; n];
+        w[slot] = 1.0;
+        w
+    }
+
+    #[test]
+    fn fresh_state_is_zero() {
+        let l = TemporalLinkage::new(4);
+        assert_eq!(l.matrix().sum(), 0.0);
+        assert_eq!(l.precedence(), &[0.0; 4]);
+        assert!(l.check_invariants(1e-6));
+    }
+
+    #[test]
+    fn sequential_hard_writes_chain_linkage() {
+        let mut l = TemporalLinkage::new(4);
+        l.update(&one_hot(4, 0));
+        l.update(&one_hot(4, 1));
+        l.update(&one_hot(4, 2));
+        // Slot 1 was written right after slot 0; slot 2 right after 1.
+        assert!((l.matrix()[(1, 0)] - 1.0).abs() < 1e-6);
+        assert!((l.matrix()[(2, 1)] - 1.0).abs() < 1e-6);
+        assert_eq!(l.matrix()[(0, 1)], 0.0);
+        assert!(l.check_invariants(1e-6));
+    }
+
+    #[test]
+    fn forward_follows_write_order() {
+        let mut l = TemporalLinkage::new(4);
+        for slot in [0, 1, 2] {
+            l.update(&one_hot(4, slot));
+        }
+        // Reading slot 0, the forward weighting points at slot 1.
+        let f = l.forward(&one_hot(4, 0));
+        assert!((f[1] - 1.0).abs() < 1e-6);
+        // And backward from slot 1 points back to slot 0.
+        let b = l.backward(&one_hot(4, 1));
+        assert!((b[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precedence_tracks_last_write() {
+        let mut l = TemporalLinkage::new(3);
+        l.update(&one_hot(3, 2));
+        assert!((l.precedence()[2] - 1.0).abs() < 1e-6);
+        l.update(&one_hot(3, 0));
+        assert!((l.precedence()[0] - 1.0).abs() < 1e-6);
+        assert!(l.precedence()[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn soft_writes_preserve_invariants() {
+        let mut l = TemporalLinkage::new(8);
+        let weights: Vec<Vec<f32>> = (0..20)
+            .map(|t| {
+                let mut w: Vec<f32> = (0..8).map(|i| (((t * 13 + i * 7) % 11) as f32) / 30.0).collect();
+                let s: f32 = w.iter().sum();
+                if s > 1.0 {
+                    for x in &mut w {
+                        *x /= s;
+                    }
+                }
+                w
+            })
+            .collect();
+        for w in &weights {
+            l.update(w);
+            assert!(l.check_invariants(1e-4), "invariants violated after update");
+        }
+    }
+
+    #[test]
+    fn diagonal_always_zero() {
+        let mut l = TemporalLinkage::new(5);
+        for t in 0..10 {
+            let w: Vec<f32> = (0..5).map(|i| if (t + i) % 3 == 0 { 0.3 } else { 0.0 }).collect();
+            l.update(&w);
+        }
+        for i in 0..5 {
+            assert_eq!(l.matrix()[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn no_write_is_identity_on_linkage() {
+        let mut l = TemporalLinkage::new(3);
+        l.update(&one_hot(3, 0));
+        l.update(&one_hot(3, 1));
+        let before = l.matrix().clone();
+        l.update(&[0.0, 0.0, 0.0]);
+        assert_eq!(l.matrix(), &before);
+    }
+
+    #[test]
+    fn read_merge_modes() {
+        let b = [1.0, 0.0];
+        let c = [0.0, 1.0];
+        let f = [0.5, 0.5];
+        assert_eq!(merge_read_weighting(&b, &c, &f, [1.0, 0.0, 0.0]), vec![1.0, 0.0]);
+        assert_eq!(merge_read_weighting(&b, &c, &f, [0.0, 1.0, 0.0]), vec![0.0, 1.0]);
+        assert_eq!(merge_read_weighting(&b, &c, &f, [0.0, 0.0, 1.0]), vec![0.5, 0.5]);
+        let blended = merge_read_weighting(&b, &c, &f, [0.25, 0.25, 0.5]);
+        assert_eq!(blended, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write weighting length mismatch")]
+    fn update_validates_length() {
+        TemporalLinkage::new(3).update(&[0.1, 0.2]);
+    }
+}

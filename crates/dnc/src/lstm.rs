@@ -1,0 +1,188 @@
+//! Single-layer LSTM controller.
+//!
+//! The DNC controller consumes the external input concatenated with the
+//! previous step's read vectors and produces the hidden state from which
+//! both the interface vector and the output are projected. Weights are
+//! procedurally initialized (scaled uniform) from a seed; the reproduction
+//! does not train the controller — see DESIGN.md for why relative
+//! DNC-vs-DNC-D accuracy does not require trained weights.
+
+use hima_tensor::activation::{sigmoid, tanh};
+use hima_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// LSTM cell state carried across time steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmState {
+    /// Hidden state `h_t`.
+    pub hidden: Vec<f32>,
+    /// Cell state `c_t`.
+    pub cell: Vec<f32>,
+}
+
+impl LstmState {
+    /// Zero state of width `hidden`.
+    pub fn zeros(hidden: usize) -> Self {
+        Self { hidden: vec![0.0; hidden], cell: vec![0.0; hidden] }
+    }
+}
+
+/// A single-layer LSTM with input width `input` and hidden width `hidden`.
+///
+/// # Example
+///
+/// ```
+/// use hima_dnc::lstm::Lstm;
+///
+/// let mut lstm = Lstm::new(4, 8, 7);
+/// let h = lstm.step(&[0.1, 0.2, 0.3, 0.4]);
+/// assert_eq!(h.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    /// Gate weights: rows = 4*hidden (i, f, g, o), cols = input + hidden.
+    weights: Matrix,
+    bias: Vec<f32>,
+    state: LstmState,
+}
+
+impl Lstm {
+    /// Creates an LSTM with procedurally initialized weights.
+    ///
+    /// Initialization is scaled-uniform in `±1/√(input+hidden)` with the
+    /// forget-gate bias set to +1 (the standard trick that keeps memory
+    /// cells alive early on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == 0` or `hidden == 0`.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        assert!(input > 0 && hidden > 0, "LSTM dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cols = input + hidden;
+        let scale = 1.0 / (cols as f32).sqrt();
+        let weights = Matrix::from_fn(4 * hidden, cols, |_, _| rng.gen_range(-scale..scale));
+        let mut bias = vec![0.0; 4 * hidden];
+        for b in bias.iter_mut().take(2 * hidden).skip(hidden) {
+            *b = 1.0; // forget gate bias
+        }
+        Self { input_size: input, hidden_size: hidden, weights, bias, state: LstmState::zeros(hidden) }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Current state (hidden + cell).
+    pub fn state(&self) -> &LstmState {
+        &self.state
+    }
+
+    /// Resets the recurrent state to zeros.
+    pub fn reset(&mut self) {
+        self.state = LstmState::zeros(self.hidden_size);
+    }
+
+    /// Runs one time step, returning the new hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_size`.
+    pub fn step(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_size, "LSTM input width mismatch");
+        let h = self.hidden_size;
+        let mut x = Vec::with_capacity(self.input_size + h);
+        x.extend_from_slice(input);
+        x.extend_from_slice(&self.state.hidden);
+
+        let pre = self.weights.matvec(&x);
+        let mut new_c = vec![0.0; h];
+        let mut new_h = vec![0.0; h];
+        for j in 0..h {
+            let i_g = sigmoid(pre[j] + self.bias[j]);
+            let f_g = sigmoid(pre[h + j] + self.bias[h + j]);
+            let g = tanh(pre[2 * h + j] + self.bias[2 * h + j]);
+            let o_g = sigmoid(pre[3 * h + j] + self.bias[3 * h + j]);
+            new_c[j] = f_g * self.state.cell[j] + i_g * g;
+            new_h[j] = o_g * tanh(new_c[j]);
+        }
+        self.state = LstmState { hidden: new_h.clone(), cell: new_c };
+        new_h
+    }
+
+    /// Approximate multiply-accumulate count of one step (used by runtime
+    /// models): `4·H·(I+H)`.
+    pub fn macs_per_step(&self) -> u64 {
+        4 * self.hidden_size as u64 * (self.input_size + self.hidden_size) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_width_is_hidden_size() {
+        let mut l = Lstm::new(3, 5, 1);
+        assert_eq!(l.step(&[1.0, 0.0, -1.0]).len(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Lstm::new(4, 6, 9);
+        let mut b = Lstm::new(4, 6, 9);
+        let x = [0.1, -0.2, 0.3, 0.4];
+        assert_eq!(a.step(&x), b.step(&x));
+        assert_eq!(a.step(&x), b.step(&x), "state evolution must match too");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Lstm::new(4, 6, 1);
+        let mut b = Lstm::new(4, 6, 2);
+        let x = [0.5; 4];
+        assert_ne!(a.step(&x), b.step(&x));
+    }
+
+    #[test]
+    fn state_evolves_and_reset_restores() {
+        let mut l = Lstm::new(2, 4, 3);
+        let first = l.step(&[1.0, 1.0]);
+        let second = l.step(&[1.0, 1.0]);
+        assert_ne!(first, second, "recurrence must make steps differ");
+        l.reset();
+        let again = l.step(&[1.0, 1.0]);
+        assert_eq!(first, again, "reset must restore the initial state");
+    }
+
+    #[test]
+    fn hidden_stays_bounded() {
+        let mut l = Lstm::new(2, 8, 5);
+        for t in 0..100 {
+            let h = l.step(&[(t as f32 * 0.37).sin(), 1.0]);
+            assert!(h.iter().all(|x| x.abs() <= 1.0), "tanh-bounded output");
+        }
+    }
+
+    #[test]
+    fn macs_formula() {
+        let l = Lstm::new(10, 20, 0);
+        assert_eq!(l.macs_per_step(), 4 * 20 * 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_input_width() {
+        Lstm::new(3, 4, 0).step(&[1.0]);
+    }
+}

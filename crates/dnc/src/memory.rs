@@ -1,0 +1,532 @@
+//! The DNC memory unit: the complete soft-write / soft-read dataflow of
+//! Fig. 2, with per-kernel instrumentation.
+//!
+//! One [`MemoryUnit::step`] consumes an [`InterfaceVector`] and runs, in
+//! order: content write weighting → retention → usage (+ sort) → allocation
+//! → write merge → memory write → linkage + precedence → forward/backward →
+//! content read weighting → read merge → memory read. Every stage is timed
+//! into a [`KernelProfile`] so runtime-breakdown figures can be regenerated.
+
+use crate::allocation::{merge_write_weighting, SkimRate};
+use crate::content::content_weighting;
+use crate::interface::InterfaceVector;
+use crate::linkage::{merge_read_weighting, TemporalLinkage};
+use crate::profile::{KernelId, KernelProfile};
+use crate::usage::{retention, update_usage};
+use hima_sort::{CentralizedMergeSorter, SortEngine, TwoStageSorter};
+use hima_tensor::softmax::PlaSoftmax;
+use hima_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which usage sorter the memory unit models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SorterKind {
+    /// Centralized merge sort (Farm-style baseline).
+    Centralized,
+    /// HiMA's local-global two-stage sort over `N_t` tiles.
+    TwoStage {
+        /// Number of processing tiles.
+        tiles: usize,
+    },
+}
+
+/// Memory-unit configuration: geometry plus the approximation features of
+/// §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Memory slots `N`.
+    pub memory_size: usize,
+    /// Word width `W`.
+    pub word_size: usize,
+    /// Read heads `R`.
+    pub read_heads: usize,
+    /// Usage sorter model.
+    pub sorter: SorterKind,
+    /// Usage skimming rate `K`.
+    pub skim: SkimRate,
+    /// Whether to use the PLA+LUT softmax approximation.
+    pub approx_softmax: bool,
+}
+
+impl MemoryConfig {
+    /// Exact DNC memory unit with a centralized sorter.
+    pub fn new(memory_size: usize, word_size: usize, read_heads: usize) -> Self {
+        Self {
+            memory_size,
+            word_size,
+            read_heads,
+            sorter: SorterKind::Centralized,
+            skim: SkimRate::NONE,
+            approx_softmax: false,
+        }
+    }
+
+    /// Selects the usage sorter.
+    pub fn with_sorter(mut self, sorter: SorterKind) -> Self {
+        self.sorter = sorter;
+        self
+    }
+
+    /// Enables usage skimming at rate `k`.
+    pub fn with_skim(mut self, k: SkimRate) -> Self {
+        self.skim = k;
+        self
+    }
+
+    /// Enables the PLA+LUT softmax.
+    pub fn with_approx_softmax(mut self, on: bool) -> Self {
+        self.approx_softmax = on;
+        self
+    }
+}
+
+/// Read outputs of one memory-unit step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadResult {
+    /// One read vector per head (`R × W`).
+    pub read_vectors: Vec<Vec<f32>>,
+}
+
+impl ReadResult {
+    /// Flattens the per-head read vectors into one `R·W` vector, the layout
+    /// the controller consumes.
+    pub fn flattened(&self) -> Vec<f32> {
+        self.read_vectors.iter().flatten().copied().collect()
+    }
+}
+
+/// Concrete usage-sorter dispatcher (keeps [`MemoryUnit`] `Clone`/`Debug`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum UsageSorter {
+    Centralized(CentralizedMergeSorter),
+    TwoStage(TwoStageSorter),
+}
+
+impl UsageSorter {
+    fn as_engine(&self) -> &dyn SortEngine {
+        match self {
+            UsageSorter::Centralized(s) => s,
+            UsageSorter::TwoStage(s) => s,
+        }
+    }
+}
+
+/// The DNC external memory plus all state memories (usage, precedence,
+/// linkage, read/write weightings).
+#[derive(Debug, Clone)]
+pub struct MemoryUnit {
+    config: MemoryConfig,
+    memory: Matrix,
+    usage: Vec<f32>,
+    linkage: TemporalLinkage,
+    write_weighting: Vec<f32>,
+    read_weightings: Vec<Vec<f32>>,
+    sorter: UsageSorter,
+    pla: PlaSoftmax,
+    profile: KernelProfile,
+}
+
+impl MemoryUnit {
+    /// Creates a zero-initialized memory unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is zero or the two-stage sorter has
+    /// zero tiles.
+    pub fn new(config: MemoryConfig) -> Self {
+        assert!(config.memory_size > 0, "memory_size must be positive");
+        assert!(config.word_size > 0, "word_size must be positive");
+        assert!(config.read_heads > 0, "read_heads must be positive");
+        let sorter = match config.sorter {
+            SorterKind::Centralized => UsageSorter::Centralized(CentralizedMergeSorter),
+            SorterKind::TwoStage { tiles } => {
+                UsageSorter::TwoStage(TwoStageSorter::new(tiles, config.memory_size))
+            }
+        };
+        Self {
+            config,
+            memory: Matrix::zeros(config.memory_size, config.word_size),
+            usage: vec![0.0; config.memory_size],
+            linkage: TemporalLinkage::new(config.memory_size),
+            write_weighting: vec![0.0; config.memory_size],
+            read_weightings: vec![vec![0.0; config.memory_size]; config.read_heads],
+            sorter,
+            pla: PlaSoftmax::default(),
+            profile: KernelProfile::new(),
+        }
+    }
+
+    /// The configuration this unit was built with.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// The external memory matrix `M`.
+    pub fn memory(&self) -> &Matrix {
+        &self.memory
+    }
+
+    /// Current usage vector.
+    pub fn usage(&self) -> &[f32] {
+        &self.usage
+    }
+
+    /// Current linkage state.
+    pub fn linkage(&self) -> &TemporalLinkage {
+        &self.linkage
+    }
+
+    /// Last write weighting.
+    pub fn write_weighting(&self) -> &[f32] {
+        &self.write_weighting
+    }
+
+    /// Last read weightings (one per head).
+    pub fn read_weightings(&self) -> &[Vec<f32>] {
+        &self.read_weightings
+    }
+
+    /// Accumulated kernel profile.
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// Clears the kernel profile.
+    pub fn reset_profile(&mut self) {
+        self.profile.reset();
+    }
+
+    /// Applies `f` to every stored state value — external memory, usage,
+    /// linkage, precedence and the carried read/write weightings — in
+    /// place. Used by the quantized datapath model to round state to the
+    /// hardware number format between time steps.
+    pub fn map_state(&mut self, mut f: impl FnMut(f32) -> f32) {
+        self.memory.map_inplace(&mut f);
+        for u in &mut self.usage {
+            *u = f(*u);
+        }
+        self.linkage.map_state(&mut f);
+        for w in &mut self.write_weighting {
+            *w = f(*w);
+        }
+        for head in &mut self.read_weightings {
+            for w in head {
+                *w = f(*w);
+            }
+        }
+    }
+
+    /// Resets all memory and state (weights/config unchanged).
+    pub fn reset(&mut self) {
+        self.memory = Matrix::zeros(self.config.memory_size, self.config.word_size);
+        self.usage = vec![0.0; self.config.memory_size];
+        self.linkage = TemporalLinkage::new(self.config.memory_size);
+        self.write_weighting = vec![0.0; self.config.memory_size];
+        self.read_weightings =
+            vec![vec![0.0; self.config.memory_size]; self.config.read_heads];
+    }
+
+    /// Runs one full soft-write + soft-read step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface vector's geometry disagrees with the
+    /// configuration.
+    pub fn step(&mut self, iv: &InterfaceVector) -> ReadResult {
+        assert_eq!(iv.word_size(), self.config.word_size, "interface word size mismatch");
+        assert_eq!(iv.read_heads(), self.config.read_heads, "interface read heads mismatch");
+
+        // --- Soft write -------------------------------------------------
+        // CW.(1)+(2): content-based write weighting.
+        let pla_on = self.config.approx_softmax;
+        let (content_w, memory, pla) = (&iv.write_key, &self.memory, &self.pla);
+        let content_write = self.profile.time(KernelId::Similarity, || {
+            content_weighting(memory, content_w, iv.write_strength, if pla_on { Some(pla) } else { None })
+        });
+
+        // HW.(1): retention.
+        let (free_gates, read_ws) = (&iv.free_gates, &self.read_weightings);
+        let psi = self.profile.time(KernelId::Retention, || retention(free_gates, read_ws));
+
+        // HW.(2): usage update.
+        let (usage, write_w) = (&self.usage, &self.write_weighting);
+        let new_usage = self.profile.time(KernelId::Usage, || update_usage(usage, write_w, &psi));
+        self.usage = new_usage;
+
+        // HW.(2b): usage sort (free-list construction).
+        let (usage, sorter) = (&self.usage, self.sorter.as_engine());
+        let free_list = self.profile.time(KernelId::UsageSort, || sorter.argsort(usage));
+
+        // HW.(3): allocation from the sorted free list.
+        let (usage, skim) = (&self.usage, self.config.skim);
+        let w_a = self.profile.time(KernelId::Allocation, || {
+            crate::allocation::allocation_from_free_list(usage, &free_list, skim)
+        });
+
+        // WM: write weight merge.
+        let w_w = self.profile.time(KernelId::WriteMerge, || {
+            merge_write_weighting(&w_a, &content_write, iv.write_gate, iv.allocation_gate)
+        });
+
+        // MW: memory write  M ← M ∘ (E − w_w eᵀ) + w_w vᵀ.
+        {
+            let memory = &mut self.memory;
+            let (erase, write) = (&iv.erase, &iv.write);
+            self.profile.time(KernelId::MemoryWrite, || {
+                for i in 0..memory.rows() {
+                    let w = w_w[i];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let row = memory.row_mut(i);
+                    for ((m, &e), &v) in row.iter_mut().zip(erase).zip(write) {
+                        *m = *m * (1.0 - w * e) + w * v;
+                    }
+                }
+            });
+        }
+
+        // HR.(1): linkage (uses the previous precedence).
+        {
+            let linkage = &mut self.linkage;
+            self.profile.time(KernelId::Linkage, || linkage.update_linkage(&w_w));
+        }
+        // HR.(2): precedence.
+        {
+            let linkage = &mut self.linkage;
+            self.profile.time(KernelId::Precedence, || linkage.update_precedence(&w_w));
+        }
+        self.write_weighting = w_w;
+
+        // --- Soft read ---------------------------------------------------
+        let mut read_vectors = Vec::with_capacity(self.config.read_heads);
+        let mut new_read_weightings = Vec::with_capacity(self.config.read_heads);
+        for head in 0..self.config.read_heads {
+            // HR.(3): forward/backward through the linkage.
+            let (linkage, prev_w) = (&self.linkage, &self.read_weightings[head]);
+            let (f, b) = self.profile.time(KernelId::ForwardBackward, || {
+                (linkage.forward(prev_w), linkage.backward(prev_w))
+            });
+
+            // CR.(1)+(2): content-based read weighting.
+            let (memory, key, beta, pla) =
+                (&self.memory, &iv.read_keys[head], iv.read_strengths[head], &self.pla);
+            let c = self.profile.time(KernelId::Normalize, || {
+                content_weighting(memory, key, beta, if pla_on { Some(pla) } else { None })
+            });
+
+            // RM: read weight merge.
+            let modes = iv.read_modes[head];
+            let w_r = self
+                .profile
+                .time(KernelId::ReadMerge, || merge_read_weighting(&b, &c, &f, modes));
+
+            // MR: memory read  v_r = Mᵀ w_r.
+            let memory = &self.memory;
+            let v_r = self.profile.time(KernelId::MemoryRead, || memory.matvec_t(&w_r));
+
+            new_read_weightings.push(w_r);
+            read_vectors.push(v_r);
+        }
+        self.read_weightings = new_read_weightings;
+
+        ReadResult { read_vectors }
+    }
+
+    /// Checks all state invariants: usage in `[0,1]`, weightings
+    /// sub-normalized, linkage invariants.
+    pub fn check_invariants(&self, tol: f32) -> bool {
+        let usage_ok = self.usage.iter().all(|&u| u >= -tol && u <= 1.0 + tol);
+        let ww_ok = hima_tensor::vector::is_weighting(&self.write_weighting, tol);
+        let wr_ok = self
+            .read_weightings
+            .iter()
+            .all(|w| hima_tensor::vector::is_weighting(w, tol));
+        usage_ok && ww_ok && wr_ok && self.linkage.check_invariants(tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::KernelCategory;
+
+    fn iface(w: usize, r: usize, f: impl Fn(usize) -> f32) -> InterfaceVector {
+        let len = w * r + 3 * w + 5 * r + 3;
+        let raw: Vec<f32> = (0..len).map(f).collect();
+        InterfaceVector::parse(&raw, w, r)
+    }
+
+    fn unit(n: usize, w: usize, r: usize) -> MemoryUnit {
+        MemoryUnit::new(MemoryConfig::new(n, w, r))
+    }
+
+    #[test]
+    fn step_produces_read_vectors() {
+        let mut mu = unit(16, 4, 2);
+        let iv = iface(4, 2, |i| (i as f32 * 0.31).sin());
+        let out = mu.step(&iv);
+        assert_eq!(out.read_vectors.len(), 2);
+        assert_eq!(out.read_vectors[0].len(), 4);
+        assert_eq!(out.flattened().len(), 8);
+    }
+
+    #[test]
+    fn invariants_hold_over_many_steps() {
+        let mut mu = unit(12, 4, 2);
+        for t in 0..50 {
+            let iv = iface(4, 2, |i| ((t * 31 + i * 17) as f32 * 0.13).sin());
+            mu.step(&iv);
+            assert!(mu.check_invariants(1e-3), "invariants failed at t={t}");
+        }
+    }
+
+    /// Interface-vector offsets for `W = 4`, `R = 1`: read key [0,4), read
+    /// strength [4,5), write key [5,9), write strength [9,10), erase
+    /// [10,14), write vec [14,18), free gate [18,19), alloc gate [19,20),
+    /// write gate [20,21), read modes [21,24).
+    fn write_iface(key: &[f32; 4]) -> InterfaceVector {
+        let mut raw = vec![0.0f32; 24];
+        raw[5..9].copy_from_slice(key); // write key
+        raw[9] = 30.0; // very strong write strength
+        raw[14..18].copy_from_slice(key); // write the key itself as content
+        raw[19] = 10.0; // allocation gate ~ 1: write to free slot
+        raw[20] = 10.0; // write gate ~ 1
+        InterfaceVector::parse(&raw, 4, 1)
+    }
+
+    fn read_iface(key: &[f32; 4]) -> InterfaceVector {
+        let mut raw = vec![0.0f32; 24];
+        raw[0..4].copy_from_slice(key); // read key
+        raw[4] = 30.0; // very strong read strength
+        raw[20] = -10.0; // write gate ~ 0: pure read
+        raw[21] = -10.0; // mode: backward off
+        raw[22] = 10.0; // mode: content on
+        raw[23] = -10.0; // mode: forward off
+        InterfaceVector::parse(&raw, 4, 1)
+    }
+
+    #[test]
+    fn write_then_read_recovers_content() {
+        // Write two orthogonal items, then content-read each back. (A
+        // single-item test would be degenerate: the tiny `1 − g_a` leak
+        // writes leave every row parallel to the key, and cosine similarity
+        // is scale-invariant, so all slots would tie.)
+        let key_a = [3.0, -2.0, 1.0, 0.5];
+        let key_b = [-0.5, 1.0, 2.0, 3.0]; // orthogonal to key_a
+        let mut mu = unit(8, 4, 1);
+        mu.step(&write_iface(&key_a));
+        mu.step(&write_iface(&key_b));
+
+        let out_a = mu.step(&read_iface(&key_a));
+        for (got, want) in out_a.read_vectors[0].iter().zip(&key_a) {
+            assert!((got - want).abs() < 0.2, "read A {:?} vs {key_a:?}", out_a.read_vectors[0]);
+        }
+        let out_b = mu.step(&read_iface(&key_b));
+        for (got, want) in out_b.read_vectors[0].iter().zip(&key_b) {
+            assert!((got - want).abs() < 0.2, "read B {:?} vs {key_b:?}", out_b.read_vectors[0]);
+        }
+    }
+
+    #[test]
+    fn temporal_read_follows_write_order() {
+        // Write A then B; content-read A, then a forward-mode read should
+        // retrieve B (the slot written right after A's slot).
+        let key_a = [3.0, -2.0, 1.0, 0.5];
+        let key_b = [-0.5, 1.0, 2.0, 3.0];
+        let mut mu = unit(8, 4, 1);
+        mu.step(&write_iface(&key_a));
+        mu.step(&write_iface(&key_b));
+        mu.step(&read_iface(&key_a));
+
+        // Forward read: modes = (backward, content, forward) -> forward.
+        let mut raw = vec![0.0f32; 24];
+        raw[20] = -10.0;
+        raw[21] = -10.0;
+        raw[22] = -10.0;
+        raw[23] = 10.0; // forward mode
+        let out = mu.step(&InterfaceVector::parse(&raw, 4, 1));
+        for (got, want) in out.read_vectors[0].iter().zip(&key_b) {
+            assert!((got - want).abs() < 0.25, "forward read {:?} vs {key_b:?}", out.read_vectors[0]);
+        }
+    }
+
+    #[test]
+    fn profile_covers_all_memory_categories() {
+        let mut mu = unit(16, 4, 2);
+        let iv = iface(4, 2, |i| (i as f32 * 0.7).cos());
+        mu.step(&iv);
+        let p = mu.profile();
+        assert!(p.calls(KernelId::Similarity) > 0);
+        assert!(p.calls(KernelId::Allocation) > 0);
+        assert!(p.calls(KernelId::Linkage) > 0);
+        assert!(p.calls(KernelId::MemoryRead) > 0);
+        for cat in [
+            KernelCategory::ContentWeighting,
+            KernelCategory::HistoryWriteWeighting,
+            KernelCategory::HistoryReadWeighting,
+            KernelCategory::MemoryAccess,
+        ] {
+            assert!(p.category_nanos(cat) > 0, "{cat:?} missing from profile");
+        }
+    }
+
+    #[test]
+    fn two_stage_sorter_gives_same_results_as_centralized() {
+        let mk = |sorter| {
+            let mut mu = MemoryUnit::new(MemoryConfig::new(16, 4, 1).with_sorter(sorter));
+            let mut outs = Vec::new();
+            for t in 0..10 {
+                let iv = iface(4, 1, |i| ((t * 7 + i * 3) as f32 * 0.29).sin());
+                outs.push(mu.step(&iv).flattened());
+            }
+            outs
+        };
+        let a = mk(SorterKind::Centralized);
+        let b = mk(SorterKind::TwoStage { tiles: 4 });
+        for (x, y) in a.iter().zip(&b) {
+            hima_tensor::assert_close(x, y, 1e-5);
+        }
+    }
+
+    #[test]
+    fn skimming_changes_results_only_slightly() {
+        let run = |skim| {
+            let mut mu = MemoryUnit::new(MemoryConfig::new(32, 4, 1).with_skim(skim));
+            let mut last = Vec::new();
+            for t in 0..20 {
+                let iv = iface(4, 1, |i| ((t * 11 + i * 5) as f32 * 0.17).sin());
+                last = mu.step(&iv).flattened();
+            }
+            last
+        };
+        let exact = run(SkimRate::NONE);
+        let skimmed = run(SkimRate::new(0.2));
+        let err: f32 = exact
+            .iter()
+            .zip(&skimmed)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / exact.len() as f32;
+        assert!(err < 0.3, "20% skim should only mildly perturb reads, err={err}");
+    }
+
+    #[test]
+    fn reset_restores_blank_state() {
+        let mut mu = unit(8, 4, 1);
+        let iv = iface(4, 1, |i| i as f32 * 0.2);
+        mu.step(&iv);
+        assert!(mu.memory().max_abs() > 0.0);
+        mu.reset();
+        assert_eq!(mu.memory().max_abs(), 0.0);
+        assert!(mu.usage().iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "interface word size mismatch")]
+    fn rejects_mismatched_interface() {
+        let mut mu = unit(8, 4, 1);
+        let iv = iface(6, 1, |_| 0.0);
+        mu.step(&iv);
+    }
+}

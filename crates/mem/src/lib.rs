@@ -1,0 +1,40 @@
+//! Memory partition strategies and inter-tile traffic models (paper §4.2).
+//!
+//! DNC state lives in several memories of very different shapes — the
+//! `N × W` external memory, the `N × N` linkage matrix, and length-`N`
+//! state vectors — and how each is split across `N_t` processing tiles
+//! determines the NoC traffic of every kernel. The paper generalizes
+//! row-/column-wise splits to a *submatrix-wise* partition of
+//! `N_t^h × N_t^w` blocks and derives closed-form inter-tile transfer
+//! counts:
+//!
+//! * Eq. (1) — content-based weighting (normalize + similarity),
+//! * Eq. (2) — memory read (transpose + matrix-vector multiply),
+//! * Eq. (3) — forward/backward through the linkage matrix.
+//!
+//! [`traffic`] implements the formulas plus first-principles message
+//! enumerations that validate them; [`optimizer`] finds the argmin
+//! partition (row-wise for the external memory, an interior optimum such as
+//! `4 × 4` at `N_t = 16` for the linkage memory); [`layout`] computes
+//! per-tile memory footprints, reproducing the paper's 16.4 KB external /
+//! 262 KB linkage figures.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_mem::{optimizer, Partition};
+//!
+//! // N_t = 16, N x W = 1024 x 64 (the paper's configuration).
+//! let ext = optimizer::best_external_partition(1024, 64, 16);
+//! assert_eq!(ext, Partition::new(16, 1)); // row-wise
+//! let link = optimizer::best_linkage_partition(16);
+//! assert_eq!(link, Partition::new(4, 4)); // interior optimum
+//! ```
+
+pub mod layout;
+pub mod optimizer;
+pub mod partition;
+pub mod traffic;
+
+pub use layout::TileMemoryMap;
+pub use partition::Partition;

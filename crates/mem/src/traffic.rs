@@ -1,0 +1,291 @@
+//! Closed-form inter-tile traffic models — Eqs. (1), (2) and (3) of the
+//! paper — plus first-principles message enumerations that validate them.
+//!
+//! "Transfers" counts inter-tile messages the way the paper does in
+//! Fig. 6: partial sums, broadcast copies and matrix-element blocks each
+//! count per hop-independent transfer (the NoC crate turns transfers into
+//! cycles).
+
+use crate::partition::Partition;
+
+/// Eq. (1): inter-tile transfers for content-based weighting under
+/// partition `p` of the `n`-row external memory:
+/// `2N(N_t^w − 1) + 2(N_t^h − 1)`.
+///
+/// Row normalization needs `2N(N_t^w − 1)` transfers (per-row partial norms
+/// collected and redistributed along block rows), and the
+/// similarity/softmax needs `2(N_t^h − 1)` (per-block-row dot-product
+/// psums to a reduction point and softmax results back).
+pub fn content_weighting_transfers(n: usize, p: Partition) -> u64 {
+    2 * n as u64 * (p.cols() as u64 - 1) + 2 * (p.rows() as u64 - 1)
+}
+
+/// Eq. (2): inter-tile transfers for the memory-read kernel (matrix
+/// transpose + matrix-vector multiply) on the `n × w` external memory:
+/// `N_t^w (N_t^w − 1) N / N_t + W (N_t^h − 1)`.
+///
+/// The first term moves matrix-element blocks between the tiles of a block
+/// row; the second accumulates the `W`-element partial read vectors down
+/// the block columns.
+pub fn memory_read_transfers(n: usize, w: usize, p: Partition) -> u64 {
+    let nt = p.tiles() as u64;
+    let cw = p.cols() as u64;
+    let rh = p.rows() as u64;
+    cw * (cw - 1) * (n as u64) / nt + (w as u64) * (rh - 1)
+}
+
+/// Eq. (3): normalized inter-tile transfers for the forward-backward kernel
+/// on the `N × N` linkage memory:
+/// `N_t^h(N_t^h−1)/N_t + N_t^w` (forward) `+ N_t^w(N_t^w−1)/N_t + N_t^h`
+/// (backward).
+///
+/// Forward multiplies by `L`, backward by `Lᵀ`, so the two terms are
+/// mirror images and the total is symmetric in `(N_t^h, N_t^w)` — which is
+/// why the optimum is the square-ish interior partition rather than either
+/// extreme.
+pub fn forward_backward_transfers(p: Partition) -> f64 {
+    let nt = p.tiles() as f64;
+    let h = p.rows() as f64;
+    let w = p.cols() as f64;
+    (h * (h - 1.0) / nt + w) + (w * (w - 1.0) / nt + h)
+}
+
+/// An inter-tile transfer: `(from_tile, to_tile)`.
+pub type Transfer = (usize, usize);
+
+/// First-principles enumeration of the content-weighting messages:
+/// walks the distributed normalize + similarity algorithm and emits every
+/// inter-tile transfer. Validates [`content_weighting_transfers`].
+pub fn enumerate_content_weighting(n: usize, p: Partition) -> Vec<Transfer> {
+    let mut out = Vec::new();
+    // Normalization: each memory row spans the N_t^w tiles of its block
+    // row. Partial square-sums flow to the leftmost tile of the block row,
+    // and the resulting norm flows back — 2(N_t^w − 1) transfers per row.
+    for i in 0..n {
+        let bi = block_row_of(i, n, p);
+        let owner = bi * p.cols();
+        for bj in 1..p.cols() {
+            let tile = bi * p.cols() + bj;
+            out.push((tile, owner));
+            out.push((owner, tile));
+        }
+    }
+    // Similarity: each block row produces one dot-product psum per tile
+    // column; the block rows' psums reduce to the CT-side tile (tile 0) for
+    // the global softmax and the result is redistributed — 2(N_t^h − 1)
+    // transfers. (Within a block row the psums ride along with the
+    // normalization return path, matching the paper's count.)
+    for bi in 1..p.rows() {
+        let tile = bi * p.cols();
+        out.push((tile, 0));
+        out.push((0, tile));
+    }
+    out
+}
+
+/// First-principles enumeration of memory-read messages for the row-wise
+/// partition (the case with an exact derivation): each tile computes a
+/// partial `W`-vector and the psums accumulate down the tile chain,
+/// `W(N_t − 1)` transfers. Validates [`memory_read_transfers`] at the
+/// row-wise extreme.
+///
+/// # Panics
+///
+/// Panics if `p` is not row-wise (interior partitions are covered by the
+/// closed form; see [`memory_read_messages`] for a formula-faithful message
+/// placement).
+pub fn enumerate_memory_read_row_wise(w: usize, p: Partition) -> Vec<Transfer> {
+    assert!(p.is_row_wise(), "exact enumeration only exists for the row-wise split");
+    let mut out = Vec::new();
+    for t in 1..p.tiles() {
+        for _ in 0..w {
+            out.push((t - 1, t));
+        }
+    }
+    out
+}
+
+/// Formula-faithful message placement for the memory-read kernel under any
+/// partition: distributes exactly [`memory_read_transfers`] transfers over
+/// the tile pairs the kernel uses — element-block exchanges between the
+/// tiles of each block row, and psum chains down each block column. Used by
+/// the engine to put Eq. (2)'s traffic onto the NoC.
+pub fn memory_read_messages(n: usize, w: usize, p: Partition) -> Vec<Transfer> {
+    let mut out = Vec::new();
+    let cols = p.cols();
+    let rows = p.rows();
+
+    // Element term: N_t^w (N_t^w − 1) N / N_t transfers spread uniformly
+    // over the ordered within-block-row pairs.
+    let elem_total = (cols * (cols - 1) * n / p.tiles()) as u64;
+    let pairs: Vec<Transfer> = (0..rows)
+        .flat_map(|bi| {
+            (0..cols).flat_map(move |bj| {
+                (0..cols)
+                    .filter(move |&o| o != bj)
+                    .map(move |o| (bi * cols + bj, bi * cols + o))
+            })
+        })
+        .collect();
+    if !pairs.is_empty() {
+        let per_pair = elem_total / pairs.len() as u64;
+        let remainder = (elem_total % pairs.len() as u64) as usize;
+        for (k, &pair) in pairs.iter().enumerate() {
+            let count = per_pair + u64::from(k < remainder);
+            for _ in 0..count {
+                out.push(pair);
+            }
+        }
+    }
+
+    // Psum term: W (N_t^h − 1) transfers along block-column chains, spread
+    // over the N_t^w columns.
+    let psum_total = (w * (rows - 1)) as u64;
+    let links: Vec<Transfer> = (1..rows)
+        .flat_map(|bi| (0..cols).map(move |bj| ((bi - 1) * cols + bj, bi * cols + bj)))
+        .collect();
+    if !links.is_empty() {
+        let per_link = psum_total / links.len() as u64;
+        let remainder = (psum_total % links.len() as u64) as usize;
+        for (k, &link) in links.iter().enumerate() {
+            let count = per_link + u64::from(k < remainder);
+            for _ in 0..count {
+                out.push(link);
+            }
+        }
+    }
+    out
+}
+
+fn block_row_of(i: usize, n: usize, p: Partition) -> usize {
+    let block_h = n.div_ceil(p.rows());
+    (i / block_h).min(p.rows() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_row_wise_has_no_normalization_traffic() {
+        // Fig. 6(a): row-wise -> normalize local, similarity 2(N_t - 1).
+        let p = Partition::row_wise(4);
+        assert_eq!(content_weighting_transfers(1024, p), 2 * 3);
+    }
+
+    #[test]
+    fn eq1_col_wise_pays_per_row() {
+        // Fig. 6(a): column-wise -> 2N(N_t − 1) for normalization.
+        let p = Partition::col_wise(4);
+        assert_eq!(content_weighting_transfers(1024, p), 2 * 1024 * 3);
+    }
+
+    #[test]
+    fn eq1_minimized_by_row_wise() {
+        for nt in [4usize, 16, 64] {
+            let best = Partition::factorizations(nt)
+                .into_iter()
+                .min_by_key(|&p| content_weighting_transfers(1024, p))
+                .unwrap();
+            assert!(best.is_row_wise(), "N_t={nt}: best was {best}");
+        }
+    }
+
+    #[test]
+    fn eq2_paper_values_at_nt16() {
+        // N x W = 1024 x 64, N_t = 16.
+        let row = memory_read_transfers(1024, 64, Partition::row_wise(16));
+        assert_eq!(row, 64 * 15); // psums only
+        let col = memory_read_transfers(1024, 64, Partition::col_wise(16));
+        assert_eq!(col, 16 * 15 * 64); // matrix elements only
+        assert!(row < col);
+    }
+
+    #[test]
+    fn eq2_quadratic_blowup_at_high_cols() {
+        // "N_t^w should generally be kept low."
+        let low = memory_read_transfers(1024, 64, Partition::new(8, 2));
+        let high = memory_read_transfers(1024, 64, Partition::new(2, 8));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn eq3_optimum_is_4x4_at_nt16() {
+        // Paper: "for N_t = 16, the optimal submatrix partition for the
+        // linkage memory is 4 × 4".
+        let best = Partition::factorizations(16)
+            .into_iter()
+            .min_by(|a, b| {
+                forward_backward_transfers(*a).total_cmp(&forward_backward_transfers(*b))
+            })
+            .unwrap();
+        assert_eq!(best, Partition::new(4, 4));
+    }
+
+    #[test]
+    fn eq3_extremes_are_suboptimal() {
+        // "Both the low-end and the high-end of N_t^w are suboptimal."
+        let row = forward_backward_transfers(Partition::row_wise(16));
+        let mid = forward_backward_transfers(Partition::new(4, 4));
+        let col = forward_backward_transfers(Partition::col_wise(16));
+        assert!(mid < row);
+        assert!(mid < col);
+        assert!((row - col).abs() < 1e-9, "Eq. 3 is symmetric");
+    }
+
+    #[test]
+    fn eq3_symmetric_in_h_and_w() {
+        for (h, w) in [(2usize, 8usize), (8, 2), (4, 4), (1, 16), (16, 1)] {
+            let a = forward_backward_transfers(Partition::new(h, w));
+            let b = forward_backward_transfers(Partition::new(w, h));
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_eq1_for_all_partitions() {
+        for nt in [4usize, 8, 16] {
+            for p in Partition::factorizations(nt) {
+                let count = enumerate_content_weighting(64, p).len() as u64;
+                assert_eq!(
+                    count,
+                    content_weighting_transfers(64, p),
+                    "partition {p}, N_t={nt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_eq2_row_wise() {
+        let p = Partition::row_wise(8);
+        let count = enumerate_memory_read_row_wise(64, p).len() as u64;
+        assert_eq!(count, memory_read_transfers(1024, 64, p));
+    }
+
+    #[test]
+    fn message_placement_matches_eq2_everywhere() {
+        for nt in [4usize, 16] {
+            for p in Partition::factorizations(nt) {
+                let msgs = memory_read_messages(1024, 64, p);
+                assert_eq!(
+                    msgs.len() as u64,
+                    memory_read_transfers(1024, 64, p),
+                    "partition {p}"
+                );
+                for (src, dst) in msgs {
+                    assert!(src < nt && dst < nt && src != dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_transfers_use_valid_tiles() {
+        let p = Partition::new(4, 4);
+        for (src, dst) in enumerate_content_weighting(64, p) {
+            assert!(src < 16 && dst < 16);
+            assert_ne!(src, dst, "self transfers are not inter-tile traffic");
+        }
+    }
+}

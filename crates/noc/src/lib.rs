@@ -1,0 +1,40 @@
+//! Network-on-chip simulator for the HiMA reproduction.
+//!
+//! The paper's first contribution is a *multi-mode NoC* (§4.1): a mesh
+//! augmented with diagonal links whose routers can be reconfigured at run
+//! time into four modes matched to DNC traffic patterns — star (CT
+//! broadcast/collect, sorting), ring (accumulations), diagonal (matrix
+//! transpose) and full (matrix-vector multiply, outer products). This crate
+//! provides:
+//!
+//! * [`topology`] — graph builders for the five evaluated topologies:
+//!   H-tree (MANNA), binary tree with sibling links (MAERI), mesh, star and
+//!   the HiMA mesh+diagonal fabric,
+//! * [`routing`] — BFS next-hop tables, per-mode edge masks,
+//! * [`sim`] — a deterministic contention model that serializes messages
+//!   over shared links and reports per-pattern completion cycles,
+//! * [`traffic`] — generators for the DNC primitive patterns (broadcast,
+//!   collect, ring accumulation, transpose, all-to-all).
+//!
+//! # Example
+//!
+//! ```
+//! use hima_noc::topology::{Topology, TopologyGraph};
+//!
+//! let hima = TopologyGraph::build(Topology::Hima, 16);
+//! let htree = TopologyGraph::build(Topology::HTree, 16);
+//! // Fig. 5: the 5x5 HiMA fabric halves the worst-case hop count.
+//! assert!(hima.worst_case_hops() <= htree.worst_case_hops() / 2);
+//! ```
+
+pub mod cycle_sim;
+pub mod routing;
+pub mod sim;
+pub mod topology;
+pub mod traffic;
+
+pub use cycle_sim::{CycleAccurateSim, CycleSimReport};
+pub use routing::{Mode, RoutingTable};
+pub use sim::{NocSim, SimReport};
+pub use topology::{NodeId, Topology, TopologyGraph};
+pub use traffic::{Message, TrafficPattern};

@@ -1,0 +1,102 @@
+//! Hardware sorting models for the HiMA usage-sort primitive.
+//!
+//! The DNC allocation weighting needs the usage vector sorted every time
+//! step; the paper (§4.3) identifies this as a bottleneck primitive and
+//! builds a *local-global two-stage sort*:
+//!
+//! 1. each processing tile (PT) sorts its local usage slice with a 2-D
+//!    multidimensional sorting algorithm ([`MdsaSorter`]) built around a
+//!    P-input dual-mode pipelined bitonic sorter ([`Dpbs`]),
+//! 2. the controller tile (CT) merges the `N_t` sorted runs with an
+//!    `N_t`-input parallel merge sorter ([`ParallelMergeSorter`]).
+//!
+//! Every sorter here provides both a **functional** implementation (the
+//! actual permutation, needed by the DNC model) and a **cycle model** (the
+//! latency formulas from the paper, needed by the architectural simulator).
+//! The baseline it replaces is a centralized merge sort
+//! ([`CentralizedMergeSorter`]) at `N log₂ N` cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_sort::{CentralizedMergeSorter, SortEngine, TwoStageSorter};
+//!
+//! let usage: Vec<f32> = (0..1024).map(|i| ((i * 37) % 1024) as f32 / 1024.0).collect();
+//! let two_stage = TwoStageSorter::new(4, 1024);
+//! let baseline = CentralizedMergeSorter;
+//!
+//! let sorted = two_stage.argsort(&usage);
+//! assert!(usage[sorted[0]] <= usage[sorted[1]]);
+//! // Paper §4.3: 389 cycles vs N log N = 10240.
+//! assert_eq!(two_stage.latency_cycles(1024), 389);
+//! assert_eq!(baseline.latency_cycles(1024), 10240);
+//! ```
+
+pub mod bitonic;
+pub mod dpbs;
+pub mod mdsa;
+pub mod merge;
+pub mod pms;
+pub mod two_stage;
+
+pub use bitonic::BitonicNetwork;
+pub use dpbs::Dpbs;
+pub use mdsa::MdsaSorter;
+pub use merge::CentralizedMergeSorter;
+pub use pms::ParallelMergeSorter;
+pub use two_stage::TwoStageSorter;
+
+/// A keyed element flowing through the hardware sorters: the sort key plus
+/// the element's original position (the DNC needs the permutation, not just
+/// the sorted values).
+pub type Keyed = (f32, usize);
+
+/// Common interface of all hardware sorter models.
+///
+/// Implementations sort ascending by key with ties broken by original index,
+/// so results are deterministic permutations.
+pub trait SortEngine {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Sorts `(key, index)` pairs ascending.
+    fn sort_pairs(&self, input: &[Keyed]) -> Vec<Keyed>;
+
+    /// Modeled latency in cycles for sorting `n` elements.
+    fn latency_cycles(&self, n: usize) -> u64;
+
+    /// Convenience: returns the permutation that sorts `keys` ascending.
+    fn argsort(&self, keys: &[f32]) -> Vec<usize> {
+        let pairs: Vec<Keyed> = keys.iter().copied().zip(0..).collect();
+        self.sort_pairs(&pairs).into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+/// Total-order comparison for keyed pairs (ascending key, then index).
+pub(crate) fn keyed_cmp(a: &Keyed, b: &Keyed) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+/// Checks that `pairs` is sorted ascending under [`keyed_cmp`].
+pub fn is_sorted(pairs: &[Keyed]) -> bool {
+    pairs.windows(2).all(|w| keyed_cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_detects_order() {
+        assert!(is_sorted(&[(0.0, 0), (0.0, 1), (1.0, 0)]));
+        assert!(!is_sorted(&[(1.0, 0), (0.0, 1)]));
+        assert!(!is_sorted(&[(0.0, 1), (0.0, 0)]), "index ties must be ascending");
+    }
+
+    #[test]
+    fn argsort_default_impl_matches_sort_pairs() {
+        let keys = [0.5f32, 0.1, 0.9, 0.1];
+        let s = CentralizedMergeSorter;
+        assert_eq!(s.argsort(&keys), vec![1, 3, 0, 2]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Episodic QA sequences: token streams with designated query steps.
+
+use serde::{Deserialize, Serialize};
+
+/// One episodic sequence: a stream of token vectors with query positions.
+///
+/// Facts are presented as one-hot-ish token vectors; at query steps the
+/// input carries a query marker plus a key, and the model's output is read
+/// out. All vectors share the episode's `width`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Input vector per time step.
+    pub inputs: Vec<Vec<f32>>,
+    /// Indices of the steps whose outputs are evaluated.
+    pub query_steps: Vec<usize>,
+}
+
+impl Episode {
+    /// Creates an episode, validating shape consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are ragged, empty, or a query index is out of
+    /// range.
+    pub fn new(inputs: Vec<Vec<f32>>, query_steps: Vec<usize>) -> Self {
+        assert!(!inputs.is_empty(), "episode needs at least one step");
+        let width = inputs[0].len();
+        assert!(inputs.iter().all(|v| v.len() == width), "ragged episode inputs");
+        for &q in &query_steps {
+            assert!(q < inputs.len(), "query step {q} beyond episode length {}", inputs.len());
+        }
+        Self { inputs, query_steps }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the episode has zero steps (never true for validated
+    /// episodes).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input width (token vector size).
+    pub fn width(&self) -> usize {
+        self.inputs[0].len()
+    }
+}
+
+/// A batch of episodes from one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeBatch {
+    /// Task identifier (1-20).
+    pub task_id: usize,
+    /// The episodes.
+    pub episodes: Vec<Episode>,
+}
+
+impl EpisodeBatch {
+    /// Total query steps across the batch.
+    pub fn total_queries(&self) -> usize {
+        self.episodes.iter().map(|e| e.query_steps.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_shape_checks() {
+        let e = Episode::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![1]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.width(), 2);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged episode inputs")]
+    fn rejects_ragged() {
+        Episode::new(vec![vec![1.0], vec![1.0, 2.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond episode length")]
+    fn rejects_bad_query() {
+        Episode::new(vec![vec![1.0]], vec![3]);
+    }
+
+    #[test]
+    fn batch_counts_queries() {
+        let e1 = Episode::new(vec![vec![0.0]; 4], vec![2, 3]);
+        let e2 = Episode::new(vec![vec![0.0]; 2], vec![1]);
+        let b = EpisodeBatch { task_id: 1, episodes: vec![e1, e2] };
+        assert_eq!(b.total_queries(), 3);
+    }
+}

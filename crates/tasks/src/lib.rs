@@ -1,0 +1,28 @@
+//! Synthetic bAbI-style task suite and the DNC-vs-DNC-D accuracy harness.
+//!
+//! The paper evaluates DNC-D's accuracy degradation on the 20 bAbI QA
+//! tasks (Fig. 10). The dataset and the authors' trained weights are not
+//! available, so this crate substitutes a *synthetic episodic suite*: 20
+//! parameterized QA-style tasks ([`tasks::TASKS`]) whose episodes exercise
+//! the same memory-access patterns (store facts, recall by key, chain
+//! supporting facts, count, order, path-find). DESIGN.md documents why the
+//! substitution preserves the measured quantity: Fig. 10 reports the error
+//! of DNC-D *relative to DNC* with shared weights and inputs, which is a
+//! property of the distributed approximation, not of the trained weights.
+//!
+//! [`eval`] runs both models on the same episodes and reports the relative
+//! error (fraction of query steps where DNC-D's output diverges from
+//! DNC's), after fitting the DNC-D read-merge weights `α` on a calibration
+//! split — the inference-time analogue of the paper's trainable merge.
+
+pub mod babi_format;
+pub mod episode;
+pub mod eval;
+pub mod tasks;
+pub mod train;
+
+pub use babi_format::{encode_story, parse_stories, EncodedStory, Story, Vocabulary};
+pub use episode::{Episode, EpisodeBatch};
+pub use eval::{relative_error, EvalConfig, TaskError};
+pub use tasks::{TaskSpec, TASKS};
+pub use train::{trained_accuracy, TaskAccuracy, TrainedReadout};

@@ -1,0 +1,222 @@
+//! The 20 synthetic QA-style tasks standing in for the bAbI suite.
+//!
+//! Each task is a parameterized episode generator over a shared token
+//! encoding: a token vector of width `vocab + 2` holds a one-hot token, a
+//! *store* flag and a *query* flag. The tasks differ in how many facts an
+//! episode stores, how far queries reach back, and how queries relate to
+//! the stored facts — spanning the memory-access patterns the bAbI tasks
+//! exercise (single/multiple supporting facts, relations, counting,
+//! ordering, path-finding, deduction...).
+
+use crate::episode::{Episode, EpisodeBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Vocabulary size of the token encoding.
+pub const VOCAB: usize = 12;
+/// Token width: one-hot vocab + store flag + query flag.
+pub const TOKEN_WIDTH: usize = VOCAB + 2;
+
+/// How a task's queries relate to its stored facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryStyle {
+    /// Recall the value paired with a key (content lookup).
+    Recall,
+    /// Recall the fact stored right after the probed one (temporal order).
+    Successor,
+    /// Recall the fact stored right before the probed one.
+    Predecessor,
+    /// Answer depends on several stored facts (chained supporting facts).
+    Chained,
+}
+
+/// One synthetic task's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task identifier (1-20, mirroring bAbI numbering).
+    pub id: usize,
+    /// Descriptive name (bAbI-style).
+    pub name: &'static str,
+    /// Facts stored per episode.
+    pub facts: usize,
+    /// Queries per episode.
+    pub queries: usize,
+    /// Distractor (no-op) tokens interleaved between facts.
+    pub distractors: usize,
+    /// Query style.
+    pub style: QueryStyle,
+}
+
+/// The 20-task suite (names mirror bAbI's task list).
+pub const TASKS: [TaskSpec; 20] = [
+    TaskSpec { id: 1, name: "single-supporting-fact", facts: 4, queries: 2, distractors: 2, style: QueryStyle::Recall },
+    TaskSpec { id: 2, name: "two-supporting-facts", facts: 6, queries: 2, distractors: 2, style: QueryStyle::Chained },
+    TaskSpec { id: 3, name: "three-supporting-facts", facts: 8, queries: 2, distractors: 3, style: QueryStyle::Chained },
+    TaskSpec { id: 4, name: "two-arg-relations", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Recall },
+    TaskSpec { id: 5, name: "three-arg-relations", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Recall },
+    TaskSpec { id: 6, name: "yes-no-questions", facts: 5, queries: 3, distractors: 2, style: QueryStyle::Recall },
+    TaskSpec { id: 7, name: "counting", facts: 7, queries: 2, distractors: 0, style: QueryStyle::Chained },
+    TaskSpec { id: 8, name: "lists-sets", facts: 7, queries: 2, distractors: 1, style: QueryStyle::Chained },
+    TaskSpec { id: 9, name: "simple-negation", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall },
+    TaskSpec { id: 10, name: "indefinite-knowledge", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall },
+    TaskSpec { id: 11, name: "basic-coreference", facts: 5, queries: 2, distractors: 1, style: QueryStyle::Successor },
+    TaskSpec { id: 12, name: "conjunction", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Recall },
+    TaskSpec { id: 13, name: "compound-coreference", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Successor },
+    TaskSpec { id: 14, name: "time-reasoning", facts: 6, queries: 2, distractors: 2, style: QueryStyle::Predecessor },
+    TaskSpec { id: 15, name: "basic-deduction", facts: 5, queries: 2, distractors: 1, style: QueryStyle::Chained },
+    TaskSpec { id: 16, name: "basic-induction", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Chained },
+    TaskSpec { id: 17, name: "positional-reasoning", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Successor },
+    TaskSpec { id: 18, name: "size-reasoning", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Predecessor },
+    TaskSpec { id: 19, name: "path-finding", facts: 8, queries: 2, distractors: 0, style: QueryStyle::Chained },
+    TaskSpec { id: 20, name: "agents-motivations", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall },
+];
+
+impl TaskSpec {
+    /// Looks a task up by its 1-based id.
+    pub fn by_id(id: usize) -> Option<&'static TaskSpec> {
+        TASKS.iter().find(|t| t.id == id)
+    }
+
+    /// Episode length: store steps + distractors + query steps.
+    pub fn episode_len(&self) -> usize {
+        self.facts + self.distractors + self.queries
+    }
+
+    /// Generates a batch of `count` episodes from a seed.
+    pub fn generate(&self, count: usize, seed: u64) -> EpisodeBatch {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.id as u64) << 32);
+        let episodes = (0..count).map(|_| self.generate_episode(&mut rng)).collect();
+        EpisodeBatch { task_id: self.id, episodes }
+    }
+
+    fn generate_episode(&self, rng: &mut StdRng) -> Episode {
+        let mut inputs = Vec::with_capacity(self.episode_len());
+        let mut fact_tokens = Vec::with_capacity(self.facts);
+
+        // Store phase: facts with store flag, interleaved distractors.
+        let mut distractors_left = self.distractors;
+        for f in 0..self.facts {
+            let token = rng.gen_range(0..VOCAB);
+            fact_tokens.push(token);
+            inputs.push(encode(token, true, false));
+            if distractors_left > 0 && f % 2 == 1 {
+                inputs.push(encode(rng.gen_range(0..VOCAB), false, false));
+                distractors_left -= 1;
+            }
+        }
+        for _ in 0..distractors_left {
+            inputs.push(encode(rng.gen_range(0..VOCAB), false, false));
+        }
+
+        // Query phase: probe keys chosen per the task's style.
+        let mut query_steps = Vec::with_capacity(self.queries);
+        for q in 0..self.queries {
+            let probe = match self.style {
+                QueryStyle::Recall => fact_tokens[rng.gen_range(0..fact_tokens.len())],
+                QueryStyle::Successor => {
+                    fact_tokens[rng.gen_range(0..fact_tokens.len().saturating_sub(1).max(1))]
+                }
+                QueryStyle::Predecessor => {
+                    fact_tokens[rng.gen_range(1..fact_tokens.len()).max(1) % fact_tokens.len()]
+                }
+                QueryStyle::Chained => fact_tokens[q % fact_tokens.len()],
+            };
+            query_steps.push(inputs.len());
+            inputs.push(encode(probe, false, true));
+        }
+
+        Episode::new(inputs, query_steps)
+    }
+}
+
+/// Encodes a token with its store/query flags into a `TOKEN_WIDTH` vector.
+pub fn encode(token: usize, store: bool, query: bool) -> Vec<f32> {
+    assert!(token < VOCAB, "token {token} outside vocabulary");
+    let mut v = vec![0.0; TOKEN_WIDTH];
+    v[token] = 1.0;
+    v[VOCAB] = if store { 1.0 } else { 0.0 };
+    v[VOCAB + 1] = if query { 1.0 } else { 0.0 };
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_20_unique_tasks() {
+        assert_eq!(TASKS.len(), 20);
+        let mut ids: Vec<usize> = TASKS.iter().map(|t| t.id).collect();
+        ids.dedup();
+        assert_eq!(ids, (1..=20).collect::<Vec<_>>());
+        let names: std::collections::BTreeSet<_> = TASKS.iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), 20, "task names must be unique");
+    }
+
+    #[test]
+    fn by_id_lookup() {
+        assert_eq!(TaskSpec::by_id(19).unwrap().name, "path-finding");
+        assert!(TaskSpec::by_id(0).is_none());
+        assert!(TaskSpec::by_id(21).is_none());
+    }
+
+    #[test]
+    fn episodes_have_declared_shape() {
+        for task in &TASKS {
+            let batch = task.generate(3, 7);
+            assert_eq!(batch.episodes.len(), 3);
+            for e in &batch.episodes {
+                assert_eq!(e.len(), task.episode_len(), "task {}", task.id);
+                assert_eq!(e.width(), TOKEN_WIDTH);
+                assert_eq!(e.query_steps.len(), task.queries);
+                // Queries come after all stores.
+                for &q in &e.query_steps {
+                    assert!(q >= task.facts, "task {}: query at {q}", task.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t = &TASKS[0];
+        assert_eq!(t.generate(2, 5), t.generate(2, 5));
+        assert_ne!(t.generate(2, 5), t.generate(2, 6));
+    }
+
+    #[test]
+    fn different_tasks_generate_different_episodes() {
+        let a = TASKS[0].generate(1, 9);
+        let b = TASKS[1].generate(1, 9);
+        assert_ne!(a.episodes[0], b.episodes[0]);
+    }
+
+    #[test]
+    fn encode_sets_flags() {
+        let v = encode(3, true, false);
+        assert_eq!(v[3], 1.0);
+        assert_eq!(v[VOCAB], 1.0);
+        assert_eq!(v[VOCAB + 1], 0.0);
+        let q = encode(0, false, true);
+        assert_eq!(q[VOCAB + 1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn encode_rejects_bad_token() {
+        encode(VOCAB, false, false);
+    }
+
+    #[test]
+    fn query_steps_point_at_query_flags() {
+        for task in &TASKS {
+            let batch = task.generate(2, 13);
+            for e in &batch.episodes {
+                for &q in &e.query_steps {
+                    assert_eq!(e.inputs[q][VOCAB + 1], 1.0, "task {}", task.id);
+                }
+            }
+        }
+    }
+}

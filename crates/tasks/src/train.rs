@@ -1,0 +1,318 @@
+//! Trained readout: reservoir-style ridge regression on the DNC features.
+//!
+//! Training a full DNC end-to-end needs BPTT through every memory
+//! operation — out of scope for a hardware reproduction (and unnecessary:
+//! see DESIGN.md). What *can* be trained cheaply and principally is the
+//! output readout: treat the DNC (controller + memory) as a fixed
+//! recurrent reservoir and fit a linear map from its feature vector
+//! `[h_t ; v_r]` to one-hot answer targets by ridge regression, exactly as
+//! in echo-state networks. The readout sees the *read vectors* only — see
+//! [`FeatureModel`] for why — yielding absolute retrieval accuracy for
+//! both DNC and DNC-D: if DNC-D's sharded memory retrieves worse content,
+//! its trained readout answers fewer queries correctly.
+
+use crate::episode::Episode;
+use crate::tasks::{TaskSpec, TASKS, VOCAB};
+use hima_dnc::{Dnc, DncD, DncParams};
+use hima_tensor::linalg::ridge_regression;
+use hima_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A linear readout `y = W f` trained by ridge regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedReadout {
+    weights: Matrix,
+}
+
+impl TrainedReadout {
+    /// Fits the readout on `(feature, one-hot target)` rows.
+    ///
+    /// Falls back to a zero readout if the (regularized) normal equations
+    /// are singular — only possible with `lambda <= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` and `targets` disagree on row count or either
+    /// is empty.
+    pub fn fit(features: &Matrix, targets: &Matrix, lambda: f32) -> Self {
+        let weights = ridge_regression(features, targets, lambda)
+            .unwrap_or_else(|| Matrix::zeros(targets.cols(), features.cols()));
+        Self { weights }
+    }
+
+    /// The fitted weights (`classes × feature_dim`).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Predicted class scores for one feature vector.
+    pub fn predict(&self, features: &[f32]) -> Vec<f32> {
+        self.weights.matvec(features)
+    }
+
+    /// Predicted class (argmax of the scores).
+    pub fn predict_class(&self, features: &[f32]) -> usize {
+        let scores = self.predict(features);
+        let mut best = 0;
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// A model that can provide query-step features — implemented by both DNC
+/// variants so the trainer is generic over them.
+///
+/// The features are the **read vectors only** (not the controller hidden
+/// state): at a query step the controller trivially echoes the probed
+/// token, so a readout over `[h ; v_r]` would answer without touching the
+/// memory and mask the retrieval-quality difference between DNC and DNC-D.
+/// Restricting the readout to `v_r` makes the trained accuracy measure
+/// exactly what the memory returned.
+pub trait FeatureModel {
+    /// Resets recurrent and memory state.
+    fn reset_state(&mut self);
+    /// Steps on one input and returns the memory-read feature vector.
+    fn step_features(&mut self, input: &[f32]) -> Vec<f32>;
+}
+
+impl FeatureModel for Dnc {
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+    fn step_features(&mut self, input: &[f32]) -> Vec<f32> {
+        self.step(input);
+        self.last_read().to_vec()
+    }
+}
+
+impl FeatureModel for DncD {
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+    fn step_features(&mut self, input: &[f32]) -> Vec<f32> {
+        self.step(input);
+        self.last_read().to_vec()
+    }
+}
+
+/// Collects `(features, one-hot targets)` at the query steps of episodes
+/// whose answers are the probed fact tokens. In the synthetic suite the
+/// expected answer at a query step is the token one-hot in the query input
+/// itself (a recognition target: did the memory retrieve the probed key?).
+pub fn collect_query_samples<M: FeatureModel>(
+    model: &mut M,
+    episodes: &[Episode],
+) -> (Matrix, Matrix) {
+    let mut feats: Vec<Vec<f32>> = Vec::new();
+    let mut targets: Vec<Vec<f32>> = Vec::new();
+    for ep in episodes {
+        model.reset_state();
+        for (t, x) in ep.inputs.iter().enumerate() {
+            let f = model.step_features(x);
+            if ep.query_steps.contains(&t) {
+                let mut y = vec![0.0f32; VOCAB];
+                let token = x
+                    .iter()
+                    .take(VOCAB)
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                y[token] = 1.0;
+                feats.push(f);
+                targets.push(y);
+            }
+        }
+    }
+    assert!(!feats.is_empty(), "episodes contained no query steps");
+    (
+        Matrix::from_rows(&feats),
+        Matrix::from_rows(&targets),
+    )
+}
+
+/// Accuracy of a trained readout on held-out episodes.
+pub fn readout_accuracy<M: FeatureModel>(
+    model: &mut M,
+    readout: &TrainedReadout,
+    episodes: &[Episode],
+) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for ep in episodes {
+        model.reset_state();
+        for (t, x) in ep.inputs.iter().enumerate() {
+            let f = model.step_features(x);
+            if ep.query_steps.contains(&t) {
+                total += 1;
+                let token = x
+                    .iter()
+                    .take(VOCAB)
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                if readout.predict_class(&f) == token {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Per-task trained accuracy of DNC vs DNC-D.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskAccuracy {
+    /// Task id (1-20).
+    pub task_id: usize,
+    /// Task name.
+    pub name: &'static str,
+    /// Centralized DNC accuracy in `[0,1]`.
+    pub dnc: f64,
+    /// DNC-D accuracy in `[0,1]`.
+    pub dncd: f64,
+}
+
+/// Trains per-task readouts for DNC and DNC-D (shared weights, `tiles`
+/// shards) and evaluates both on held-out episodes.
+pub fn trained_accuracy(
+    params: DncParams,
+    tiles: usize,
+    seed: u64,
+    train_episodes: usize,
+    eval_episodes: usize,
+    lambda: f32,
+) -> Vec<TaskAccuracy> {
+    TASKS
+        .iter()
+        .map(|task| trained_task_accuracy(task, params, tiles, seed, train_episodes, eval_episodes, lambda))
+        .collect()
+}
+
+fn trained_task_accuracy(
+    task: &TaskSpec,
+    params: DncParams,
+    tiles: usize,
+    seed: u64,
+    train_episodes: usize,
+    eval_episodes: usize,
+    lambda: f32,
+) -> TaskAccuracy {
+    let train = task.generate(train_episodes, seed ^ 0x7EA1).episodes;
+    let eval = task.generate(eval_episodes, seed ^ 0x0E7A).episodes;
+
+    let mut dnc = Dnc::new(params, seed);
+    let (xf, yf) = collect_query_samples(&mut dnc, &train);
+    let dnc_readout = TrainedReadout::fit(&xf, &yf, lambda);
+    let dnc_acc = readout_accuracy(&mut dnc, &dnc_readout, &eval);
+
+    let mut dncd = DncD::new(params, tiles, seed);
+    let (xd, yd) = collect_query_samples(&mut dncd, &train);
+    let dncd_readout = TrainedReadout::fit(&xd, &yd, lambda);
+    let dncd_acc = readout_accuracy(&mut dncd, &dncd_readout, &eval);
+
+    TaskAccuracy { task_id: task.id, name: task.name, dnc: dnc_acc, dncd: dncd_acc }
+}
+
+/// Mean accuracies `(dnc, dncd)` across tasks.
+pub fn mean_accuracy(rows: &[TaskAccuracy]) -> (f64, f64) {
+    if rows.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = rows.len() as f64;
+    (
+        rows.iter().map(|r| r.dnc).sum::<f64>() / n,
+        rows.iter().map(|r| r.dncd).sum::<f64>() / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::TOKEN_WIDTH;
+
+    fn params() -> DncParams {
+        DncParams::new(64, 16, 2).with_hidden(32).with_io(TOKEN_WIDTH, TOKEN_WIDTH)
+    }
+
+    #[test]
+    fn readout_fits_and_predicts() {
+        // Learn the identity on a toy feature set.
+        let x = Matrix::from_fn(30, 4, |i, j| if i % 4 == j { 1.0 } else { 0.0 });
+        let y = x.clone();
+        let r = TrainedReadout::fit(&x, &y, 1e-4);
+        for c in 0..4 {
+            let mut f = vec![0.0; 4];
+            f[c] = 1.0;
+            assert_eq!(r.predict_class(&f), c);
+        }
+    }
+
+    #[test]
+    fn collect_samples_shapes() {
+        let task = &TASKS[0];
+        let episodes = task.generate(3, 5).episodes;
+        let mut dnc = Dnc::new(params(), 9);
+        let (x, y) = collect_query_samples(&mut dnc, &episodes);
+        assert_eq!(x.rows(), 3 * task.queries);
+        assert_eq!(y.rows(), x.rows());
+        assert_eq!(y.cols(), VOCAB);
+        assert_eq!(x.cols(), 2 * 16, "read-vector features only");
+    }
+
+    #[test]
+    fn trained_readout_beats_chance_on_recall() {
+        // Task 1 (single supporting fact, recall style): a trained readout
+        // over the reservoir features must beat the 1/12 chance rate.
+        let task = &TASKS[0];
+        let train = task.generate(30, 11).episodes;
+        let eval = task.generate(10, 12).episodes;
+        let mut dnc = Dnc::new(params(), 21);
+        let (x, y) = collect_query_samples(&mut dnc, &train);
+        let readout = TrainedReadout::fit(&x, &y, 1e-2);
+        let acc = readout_accuracy(&mut dnc, &readout, &eval);
+        assert!(acc > 2.0 / VOCAB as f64, "accuracy {acc:.3} vs chance {:.3}", 1.0 / VOCAB as f64);
+    }
+
+    #[test]
+    fn trained_accuracy_exceeds_chance_for_both_models() {
+        // With untrained (reservoir) keys, retrieval accuracy is weak and
+        // the DNC-vs-DNC-D ordering is seed noise, so this pins only the
+        // sanity properties: full task coverage, valid probabilities, and
+        // both models extracting at least chance-level signal from their
+        // read vectors. The Fig. 10 ordering claim is carried by the
+        // relative-divergence metric in `eval` (which compares the two
+        // models on identical inputs rather than separately trained
+        // readouts).
+        let rows = trained_accuracy(params(), 8, 31, 12, 6, 1e-2);
+        assert_eq!(rows.len(), 20);
+        let (dnc, dncd) = mean_accuracy(&rows);
+        let chance = 1.0 / VOCAB as f64;
+        assert!(dnc >= chance * 0.8, "DNC below chance: {dnc:.3}");
+        assert!(dncd >= chance * 0.8, "DNC-D below chance: {dncd:.3}");
+        assert!(dnc <= 1.0 && dncd <= 1.0);
+    }
+
+    #[test]
+    fn accuracies_are_probabilities() {
+        let rows = trained_accuracy(params(), 4, 3, 6, 3, 1e-2);
+        for r in rows {
+            assert!((0.0..=1.0).contains(&r.dnc), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.dncd), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn mean_accuracy_empty_is_zero() {
+        assert_eq!(mean_accuracy(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Q-format signed fixed-point arithmetic modeling HiMA's 32-bit datapath.
+//!
+//! The paper's prototypes use a 32-bit precision "for a fair comparison with
+//! state-of-the-art MANN accelerators". [`Fixed`] is a Q16.16 two's-complement
+//! value (16 integer bits, 16 fractional bits) with saturating arithmetic —
+//! the usual hardware behaviour for an accelerator datapath. It is used by
+//! the quantization-error experiments and by tests that check the functional
+//! model is robust to datapath rounding.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Number of fractional bits in the Q16.16 format.
+pub const FRAC_BITS: u32 = 16;
+const ONE_RAW: i64 = 1 << FRAC_BITS;
+
+/// A signed Q16.16 fixed-point number with saturating arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use hima_tensor::Fixed;
+///
+/// let a = Fixed::from_f32(1.5);
+/// let b = Fixed::from_f32(2.0);
+/// assert_eq!((a * b).to_f32(), 3.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Fixed(i32);
+
+impl Fixed {
+    /// The value 0.
+    pub const ZERO: Fixed = Fixed(0);
+    /// The value 1.
+    pub const ONE: Fixed = Fixed(ONE_RAW as i32);
+    /// Largest representable value (≈ 32768).
+    pub const MAX: Fixed = Fixed(i32::MAX);
+    /// Smallest representable value (≈ −32768).
+    pub const MIN: Fixed = Fixed(i32::MIN);
+
+    /// Converts from `f32`, saturating at the representable range.
+    pub fn from_f32(x: f32) -> Self {
+        let scaled = (x as f64 * ONE_RAW as f64).round();
+        if scaled >= i32::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Self::MIN
+        } else {
+            Fixed(scaled as i32)
+        }
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / ONE_RAW as f32
+    }
+
+    /// Builds from a raw Q16.16 bit pattern.
+    pub fn from_raw(raw: i32) -> Self {
+        Fixed(raw)
+    }
+
+    /// The raw Q16.16 bit pattern.
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Quantization step of the format (`2^-16`).
+    pub fn resolution() -> f32 {
+        1.0 / ONE_RAW as f32
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication with round-to-nearest on the dropped bits.
+    pub fn saturating_mul(self, rhs: Fixed) -> Fixed {
+        let wide = self.0 as i64 * rhs.0 as i64;
+        // Round-to-nearest: add half an LSB before the shift.
+        let rounded = (wide + (1 << (FRAC_BITS - 1))) >> FRAC_BITS;
+        Fixed(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Saturating division.
+    ///
+    /// Division by zero saturates to `MAX`/`MIN` following the sign of the
+    /// dividend (and `MAX` for `0/0`), mirroring a hardware divider's
+    /// overflow flag rather than panicking mid-simulation.
+    pub fn saturating_div(self, rhs: Fixed) -> Fixed {
+        if rhs.0 == 0 {
+            return if self.0 < 0 { Self::MIN } else { Self::MAX };
+        }
+        let wide = ((self.0 as i64) << FRAC_BITS) / rhs.0 as i64;
+        Fixed(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Absolute value (saturating at `MAX` for `MIN`).
+    pub fn abs(self) -> Fixed {
+        Fixed(self.0.saturating_abs())
+    }
+
+    /// Quantizes an `f32` slice to fixed point and back, returning the
+    /// round-tripped values. Used to inject datapath quantization into the
+    /// functional model.
+    pub fn quantize_slice(xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| Fixed::from_f32(x).to_f32()).collect()
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div for Fixed {
+    type Output = Fixed;
+    fn div(self, rhs: Fixed) -> Fixed {
+        self.saturating_div(rhs)
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        Fixed(self.0.saturating_neg())
+    }
+}
+
+impl From<i16> for Fixed {
+    fn from(x: i16) -> Self {
+        Fixed((x as i32) << FRAC_BITS)
+    }
+}
+
+impl fmt::Debug for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, -0.25, 12345.0625] {
+            assert_eq!(Fixed::from_f32(x).to_f32(), x, "{x} should be exact in Q16.16");
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_resolution() {
+        for i in 0..1000 {
+            let x = (i as f32 - 500.0) * 0.0137;
+            let err = (Fixed::from_f32(x).to_f32() - x).abs();
+            assert!(err <= Fixed::resolution(), "err {err} for {x}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_float_for_small_values() {
+        let a = Fixed::from_f32(1.5);
+        let b = Fixed::from_f32(-2.25);
+        assert_eq!((a + b).to_f32(), -0.75);
+        assert_eq!((a - b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), -3.375);
+        assert!(((a / b).to_f32() - (1.5 / -2.25)).abs() < 2.0 * Fixed::resolution());
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let big = Fixed::from_f32(30000.0);
+        assert_eq!(big + big, Fixed::MAX);
+        assert_eq!(-big - big, Fixed::MIN);
+        assert_eq!(big * big, Fixed::MAX);
+        assert_eq!(Fixed::from_f32(1e20), Fixed::MAX);
+        assert_eq!(Fixed::from_f32(-1e20), Fixed::MIN);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Fixed::ONE / Fixed::ZERO, Fixed::MAX);
+        assert_eq!(-Fixed::ONE / Fixed::ZERO, Fixed::MIN);
+        assert_eq!(Fixed::ZERO / Fixed::ZERO, Fixed::MAX);
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let a = Fixed::from_f32(-3.5);
+        assert_eq!((-a).to_f32(), 3.5);
+        assert_eq!(a.abs().to_f32(), 3.5);
+        assert_eq!(Fixed::MIN.abs(), Fixed::MAX);
+    }
+
+    #[test]
+    fn from_i16_is_exact() {
+        assert_eq!(Fixed::from(5i16).to_f32(), 5.0);
+        assert_eq!(Fixed::from(-7i16).to_f32(), -7.0);
+    }
+
+    #[test]
+    fn quantize_slice_bounded_error() {
+        let xs = [0.1, 0.2, 0.333, -0.777];
+        let q = Fixed::quantize_slice(&xs);
+        for (a, b) in xs.iter().zip(&q) {
+            assert!((a - b).abs() <= Fixed::resolution());
+        }
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Fixed::from_f32(1.0) < Fixed::from_f32(2.0));
+        assert!(Fixed::from_f32(-5.0) < Fixed::from_f32(0.0));
+    }
+}

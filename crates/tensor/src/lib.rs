@@ -1,0 +1,84 @@
+//! Dense matrix/vector math and hardware-oriented arithmetic for the HiMA
+//! reproduction.
+//!
+//! This crate is the numerics substrate shared by the functional DNC model
+//! ([`hima-dnc`]), the architectural simulator ([`hima-engine`]) and the
+//! experiment harnesses. It provides:
+//!
+//! * [`Matrix`] — a small row-major `f32` matrix with the exact set of
+//!   operations the DNC dataflow needs (transpose, mat-vec, outer product,
+//!   element-wise ops, row normalization),
+//! * vector helpers in [`vector`] (dot products, norms, cosine similarity),
+//! * activation functions in [`activation`] (`sigmoid`, `oneplus`, `tanh`),
+//! * exact and hardware-approximated softmax in [`softmax`] — the
+//!   piece-wise-linear + LUT approximation of Section 5.2 of the paper,
+//! * Q-format fixed-point arithmetic in [`fixed`] used to model HiMA's
+//!   32-bit datapath.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_tensor::Matrix;
+//!
+//! let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]][..]);
+//! let v = m.matvec(&[1.0, 1.0]);
+//! assert_eq!(v, vec![3.0, 7.0]);
+//! ```
+//!
+//! [`hima-dnc`]: https://docs.rs/hima-dnc
+//! [`hima-engine`]: https://docs.rs/hima-engine
+
+pub mod activation;
+pub mod fixed;
+pub mod linalg;
+pub mod matrix;
+pub mod softmax;
+pub mod vector;
+
+pub use fixed::Fixed;
+pub use matrix::Matrix;
+pub use softmax::{softmax, softmax_approx, PlaSoftmax};
+
+/// Numerical tolerance used across the workspace when comparing floats
+/// produced by mathematically equivalent but differently ordered
+/// computations.
+pub const EPSILON: f32 = 1e-5;
+
+/// Asserts that two slices are element-wise close within `tol`.
+///
+/// # Panics
+///
+/// Panics with a descriptive message if lengths differ or any element pair
+/// differs by more than `tol`.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+/// Returns `true` when every element pair of `a` and `b` is within `tol`.
+pub fn all_close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_close_detects_mismatch() {
+        assert!(all_close(&[1.0, 2.0], &[1.0, 2.0 + 1e-7], 1e-5));
+        assert!(!all_close(&[1.0], &[1.1], 1e-5));
+        assert!(!all_close(&[1.0], &[1.0, 2.0], 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1 differs")]
+    fn assert_close_panics_on_mismatch() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 1e-5);
+    }
+}

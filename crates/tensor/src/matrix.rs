@@ -1,0 +1,459 @@
+//! Row-major dense `f32` matrix with the operations used by the DNC dataflow.
+//!
+//! The DNC memory unit (paper Fig. 2) needs a small, fixed set of matrix
+//! primitives: transpose, matrix-vector multiplication, vector outer
+//! products, element-wise arithmetic and row normalization. [`Matrix`]
+//! implements exactly those, with shape checking on every operation so the
+//! functional model fails loudly instead of silently mis-shaping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use hima_tensor::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(0, 0)] = 1.0;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(0, 0)], 1.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of {} elements cannot form a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].as_ref().len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), cols, "ragged rows: {} vs {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · v` without materializing the
+    /// transpose (this is the memory-read kernel `v_r = Mᵀ w_r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    pub fn matvec_t(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let w = v[i];
+            if w == 0.0 {
+                continue;
+            }
+            for (o, m) in out.iter_mut().zip(self.row(i)) {
+                *o += w * m;
+            }
+        }
+        out
+    }
+
+    /// Matrix-matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Outer product `a ⊗ b` producing an `a.len() × b.len()` matrix.
+    pub fn outer(a: &[f32], b: &[f32]) -> Matrix {
+        Matrix::from_fn(a.len(), b.len(), |i, j| a[i] * b[j])
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * k).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// L2 norm of each row — the `‖M[i,·]‖` normalization step of
+    /// content-based addressing.
+    pub fn row_norms(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x * x).sum::<f32>().sqrt())
+            .collect()
+    }
+
+    /// Extracts the `rows × cols` submatrix whose top-left corner is
+    /// `(row0, col0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block exceeds the matrix bounds.
+    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "submatrix out of bounds");
+        Matrix::from_fn(rows, cols, |i, j| self[(row0 + i, col0 + j)])
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at
+    /// `(row0, col0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn set_submatrix(&mut self, row0: usize, col0: usize, block: &Matrix) {
+        assert!(
+            row0 + block.rows <= self.rows && col0 + block.cols <= self.cols,
+            "set_submatrix out of bounds"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(row0 + i, col0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// Maximum absolute element (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..], &[5.0, 6.0][..]]);
+        assert_eq!(m.matvec(&[1.0, -1.0]), vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_equals_transpose_matvec() {
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f32 * 0.25 - 1.0);
+        let v = [0.5, -1.0, 2.0, 0.0, 1.0];
+        assert_close(&m.matvec_t(&v), &m.transpose().matvec(&v), 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i + 2 * j) as f32);
+        let i4 = Matrix::identity(4);
+        assert_eq!(m.matmul(&i4), m);
+        assert_eq!(i4.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0][..], &[7.0, 8.0][..]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let m = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn hadamard_add_sub() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0][..]]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[3.0, 8.0]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 6.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn row_norms_unit_rows() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0][..], &[0.0, 0.0][..]]);
+        assert_close(&m.row_norms(), &[5.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn submatrix_and_set_submatrix_round_trip() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f32);
+        let block = m.submatrix(2, 3, 2, 2);
+        assert_eq!(block.as_slice(), &[15.0, 16.0, 21.0, 22.0]);
+        let mut n = Matrix::zeros(6, 6);
+        n.set_submatrix(2, 3, &block);
+        assert_eq!(n[(2, 3)], 15.0);
+        assert_eq!(n[(3, 4)], 22.0);
+        assert_eq!(n[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec shape mismatch")]
+    fn matvec_rejects_bad_shape() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn from_rows_rejects_ragged() {
+        Matrix::from_rows(&[&[1.0, 2.0][..], &[1.0][..]]);
+    }
+
+    #[test]
+    fn col_extracts_column() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn scale_and_map() {
+        let mut m = Matrix::filled(2, 2, 2.0);
+        assert_eq!(m.scale(0.5).as_slice(), &[1.0; 4]);
+        m.map_inplace(|x| x * x);
+        assert_eq!(m.as_slice(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn max_abs_and_sum() {
+        let m = Matrix::from_rows(&[&[-3.0, 1.0][..], &[2.0, -0.5][..]]);
+        assert_eq!(m.max_abs(), 3.0);
+        assert_eq!(m.sum(), -0.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Copy task: store a sequence, then retrieve it in order through the
+//! temporal linkage — the canonical MANN capability (NTM's copy) plus
+//! DNC's history-based ordering.
+//!
+//! The example drives the memory unit directly with hand-built interface
+//! vectors: it writes a sequence of patterns with strong allocation
+//! gating, content-reads the first item, then walks the sequence with
+//! forward (linkage) reads only — which is exactly the access pattern the
+//! history-based read weighting exists for.
+//!
+//! Run with `cargo run --example copy_task`.
+
+use hima::dnc::interface::InterfaceVector;
+use hima::prelude::*;
+
+const W: usize = 8;
+
+/// Interface-vector layout for W = 8, R = 1:
+/// read key [0,8), read strength [8,9), write key [9,17), write strength
+/// [17,18), erase [18,26), write vec [26,34), free gate [34,35), alloc
+/// gate [35,36), write gate [36,37), read modes [37,40).
+fn write_step(pattern: &[f32; W]) -> InterfaceVector {
+    let mut raw = vec![0.0f32; 40];
+    raw[9..17].copy_from_slice(pattern);
+    raw[17] = 30.0;
+    raw[26..34].copy_from_slice(pattern);
+    raw[35] = 10.0;
+    raw[36] = 10.0;
+    InterfaceVector::parse(&raw, W, 1)
+}
+
+fn content_read(key: &[f32; W]) -> InterfaceVector {
+    let mut raw = vec![0.0f32; 40];
+    raw[0..8].copy_from_slice(key);
+    raw[8] = 30.0;
+    raw[36] = -10.0;
+    raw[37] = -10.0;
+    raw[38] = 10.0; // content mode
+    raw[39] = -10.0;
+    InterfaceVector::parse(&raw, W, 1)
+}
+
+fn forward_read() -> InterfaceVector {
+    let mut raw = vec![0.0f32; 40];
+    raw[36] = -10.0;
+    raw[37] = -10.0;
+    raw[38] = -10.0;
+    raw[39] = 10.0; // forward mode: follow the write order
+    InterfaceVector::parse(&raw, W, 1)
+}
+
+fn main() {
+    let mut memory = MemoryUnit::new(MemoryConfig::new(32, W, 1));
+
+    // A sequence of orthogonal-ish patterns.
+    let sequence: Vec<[f32; W]> = (0..5)
+        .map(|i| {
+            let mut p = [0.0f32; W];
+            p[i] = 2.0;
+            p[(i + 3) % W] = -1.0;
+            p
+        })
+        .collect();
+
+    println!("Storing {} patterns...", sequence.len());
+    for p in &sequence {
+        memory.step(&write_step(p));
+    }
+
+    // Recall the head of the sequence by content, then walk forward.
+    println!("Content-read of pattern 0, then forward reads:\n");
+    let first = memory.step(&content_read(&sequence[0]));
+    report(0, &sequence[0], &first.read_vectors[0]);
+    for (i, expected) in sequence.iter().enumerate().skip(1) {
+        let out = memory.step(&forward_read());
+        report(i, expected, &out.read_vectors[0]);
+    }
+
+    println!("\nThe forward reads recover the stored order without re-keying —");
+    println!("this is the linkage/precedence machinery HiMA accelerates.");
+}
+
+fn report(i: usize, expected: &[f32; W], got: &[f32]) {
+    let err: f32 =
+        expected.iter().zip(got).map(|(a, b)| (a - b).abs()).sum::<f32>() / W as f32;
+    let ok = if err < 0.25 { "ok " } else { "OFF" };
+    println!("  item {i}: mean abs error {err:.3} [{ok}]  read = {got:.2?}");
+}

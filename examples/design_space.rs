@@ -1,0 +1,88 @@
+//! Design-space exploration: NoC topologies × memory partitions × tile
+//! counts — the trade-offs behind §4 of the paper.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use hima::mem::optimizer;
+use hima::mem::traffic::{content_weighting_transfers, forward_backward_transfers, memory_read_transfers};
+use hima::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Worst-case hop counts per fabric (Fig. 5(a)-(c)).
+    // ---------------------------------------------------------------
+    println!("== Worst-case inter-tile hops (16 PTs + CT) ==");
+    for topo in Topology::ALL {
+        let g = TopologyGraph::build(topo, 16);
+        println!("  {:<8} {:>2} hops", topo.label(), g.worst_case_hops());
+    }
+
+    // ---------------------------------------------------------------
+    // 2. Traffic-pattern latencies per fabric.
+    // ---------------------------------------------------------------
+    println!("\n== Pattern completion cycles (16 PTs, 16-flit messages) ==");
+    print!("  {:<8}", "fabric");
+    for p in TrafficPattern::ALL {
+        print!(" {:>14}", format!("{p:?}"));
+    }
+    println!();
+    for topo in Topology::ALL {
+        let sim = NocSim::new(TopologyGraph::build(topo, 16));
+        print!("  {:<8}", topo.label());
+        for pattern in TrafficPattern::ALL {
+            print!(" {:>14}", sim.run_pattern(pattern, 16).completion_cycles);
+        }
+        println!();
+    }
+
+    // ---------------------------------------------------------------
+    // 3. Partition sweeps (Fig. 6(c)/(d)).
+    // ---------------------------------------------------------------
+    println!("\n== External-memory partition sweep (N x W = 1024 x 64, N_t = 16) ==");
+    for p in Partition::factorizations(16) {
+        println!(
+            "  {:>5}  content {:>6}  mem-read {:>6} transfers",
+            p.to_string(),
+            content_weighting_transfers(1024, p),
+            memory_read_transfers(1024, 64, p)
+        );
+    }
+    println!(
+        "  optimizer picks: {}",
+        optimizer::best_external_partition(1024, 64, 16)
+    );
+
+    println!("\n== Linkage partition sweep (Eq. 3, N_t = 16) ==");
+    for p in Partition::factorizations(16) {
+        println!("  {:>5}  fwd-bwd {:>7.3} (normalized)", p.to_string(), forward_backward_transfers(p));
+    }
+    println!("  optimizer picks: {}", optimizer::best_linkage_partition(16));
+
+    // ---------------------------------------------------------------
+    // 4. Tile-count scaling of the full engine (Fig. 5(d) flavor).
+    // ---------------------------------------------------------------
+    println!("\n== Engine cycles/step vs tile count ==");
+    println!("  {:>5} {:>12} {:>12} {:>12}", "N_t", "H-tree DNC", "HiMA DNC", "HiMA DNC-D");
+    for nt in [4usize, 8, 16, 32, 64] {
+        let htree = Engine::new(EngineConfig::hima_dnc(nt).with_topology(Topology::HTree));
+        let hima = Engine::new(EngineConfig::hima_dnc(nt));
+        let dncd = Engine::new(EngineConfig::hima_dncd(nt));
+        println!(
+            "  {:>5} {:>12} {:>12} {:>12}",
+            nt,
+            htree.step_cycles(),
+            hima.step_cycles(),
+            dncd.step_cycles()
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // 5. Per-tile memory budget.
+    // ---------------------------------------------------------------
+    println!("\n== Per-PT memory budget (paper configuration) ==");
+    let map = TileMemoryMap::optimized(1024, 64, 4, 16);
+    println!("  external  {:>8} B", map.external_bytes());
+    println!("  linkage   {:>8} B ({:.1}% of PT memory)", map.linkage_bytes(), map.linkage_share() * 100.0);
+    println!("  state     {:>8} B each", map.state_vector_bytes());
+    println!("  DNC-D linkage shrinks to {} B", map.dncd_linkage_bytes());
+}

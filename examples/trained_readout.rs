@@ -1,0 +1,74 @@
+//! Trained readout + bAbI text format: the full data pipeline a downstream
+//! user would run on the real dataset.
+//!
+//! 1. Parse bAbI-format text (an embedded sample here; point
+//!    `hima-cli babi <file>` at real task files).
+//! 2. Build a vocabulary and encode stories into episodes.
+//! 3. Train a reservoir-style linear readout on the DNC's read vectors.
+//! 4. Compare DNC and DNC-D retrieval on the synthetic 20-task suite.
+//!
+//! Run with `cargo run --release --example trained_readout`.
+
+use hima::dnc::DncParams;
+use hima::tasks::tasks::TOKEN_WIDTH;
+use hima::tasks::train::{
+    collect_query_samples, mean_accuracy, readout_accuracy, trained_accuracy, TrainedReadout,
+};
+use hima::tasks::{encode_story, parse_stories, Vocabulary, TASKS};
+use hima::prelude::*;
+
+const SAMPLE: &str = "\
+1 Mary moved to the bathroom.
+2 John went to the hallway.
+3 Where is Mary?\tbathroom\t1
+1 Daniel travelled to the office.
+2 Sandra took the football.
+3 Where is Daniel?\toffice\t1
+";
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1-2. bAbI format -> episodes.
+    // ---------------------------------------------------------------
+    println!("== bAbI text format ==");
+    let stories = parse_stories(SAMPLE).expect("well-formed sample");
+    let vocab = Vocabulary::build(&stories);
+    println!("parsed {} stories, vocabulary of {} words", stories.len(), vocab.len());
+    for story in &stories {
+        let enc = encode_story(story, &vocab);
+        println!(
+            "  story: {} steps, {} queries, episode width {}",
+            enc.episode.len(),
+            enc.episode.query_steps.len(),
+            enc.episode.width()
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // 3. Train a readout on one synthetic task.
+    // ---------------------------------------------------------------
+    println!("\n== Reservoir-style trained readout (task 1: single supporting fact) ==");
+    let params = DncParams::new(64, 16, 2).with_hidden(32).with_io(TOKEN_WIDTH, TOKEN_WIDTH);
+    let task = &TASKS[0];
+    let train_eps = task.generate(30, 11).episodes;
+    let eval_eps = task.generate(10, 12).episodes;
+
+    let mut dnc = Dnc::new(params, 21);
+    let (x, y) = collect_query_samples(&mut dnc, &train_eps);
+    println!("collected {} training samples of dim {}", x.rows(), x.cols());
+    let readout = TrainedReadout::fit(&x, &y, 1e-2);
+    let acc = readout_accuracy(&mut dnc, &readout, &eval_eps);
+    println!("DNC retrieval accuracy: {:.1}% (chance 8.3%)", acc * 100.0);
+
+    // ---------------------------------------------------------------
+    // 4. DNC vs DNC-D across the suite.
+    // ---------------------------------------------------------------
+    println!("\n== DNC vs DNC-D trained retrieval across the 20-task suite ==");
+    for tiles in [2usize, 8] {
+        let rows = trained_accuracy(params, tiles, 2021, 16, 6, 1e-2);
+        let (a, b) = mean_accuracy(&rows);
+        println!("  N_t = {tiles}: DNC {:.1}%  DNC-D {:.1}%", a * 100.0, b * 100.0);
+    }
+    println!("\n(untrained reservoir keys make absolute retrieval weak; the relative-");
+    println!("divergence harness in `hima-tasks::eval` is the primary Fig. 10 metric)");
+}
