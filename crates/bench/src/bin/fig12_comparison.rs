@@ -22,7 +22,7 @@ fn main() {
     let dncd_us = dncd_step * steps;
 
     header("Fig. 12(b): inference speed, normalized to the GPU");
-    println!("{:<18} {:>12} {:>12}  {}", "platform", "us/test", "speedup", "notes");
+    println!("{:<18} {:>12} {:>12}  notes", "platform", "us/test", "speedup");
     let mut rows: Vec<(String, f64, &str)> = vec![
         (CPU.name.to_string(), CPU.inference_us, "paper §3.2"),
         (GPU.name.to_string(), GPU.inference_us, "paper §3.2 (reference)"),
@@ -56,7 +56,9 @@ fn main() {
     let farm_area_mm2 = AreaModel::estimate(&EngineConfig::baseline(16)).total_mm2() / 3.16;
 
     println!("{:<18} {:>12} {:>12} {:>14}", "design", "rel. area", "rel. power", "max memory N");
-    let table: Vec<(&str, Option<f64>, Option<f64>, usize, &str)> = vec![
+    // (design, rel. area, rel. power, max memory rows, note)
+    type Row = (&'static str, Option<f64>, Option<f64>, usize, &'static str);
+    let table: Vec<Row> = vec![
         ("Farm", FARM.area_mm2, FARM.power_w, FARM.max_memory_rows, "40nm-class, mixed-signal"),
         ("MANNA", MANNA.normalized_area(40.0), MANNA.power_w, MANNA.max_memory_rows, "15nm, NTM only"),
         ("HiMA-DNC", Some(dnc_area / farm_area_mm2), Some(dnc_w), 1024, "this work"),

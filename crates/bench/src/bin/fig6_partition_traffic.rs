@@ -14,7 +14,7 @@ use hima_bench::header;
 
 fn main() {
     header("Fig. 6(c): memory-read kernel traffic vs external-memory partition (N x W = 1024 x 64)");
-    println!("{:<8} {}", "", "columns = log2(N_t^w): 0 (row-wise) ... log2(N_t) (column-wise)");
+    println!("{:<8} columns = log2(N_t^w): 0 (row-wise) ... log2(N_t) (column-wise)", "");
     for nt in [4usize, 16, 32, 48, 64] {
         let sweep = memory_read_sweep(1024, 64, nt);
         let min = sweep.iter().map(|(_, t)| *t).min().unwrap().max(1);

@@ -50,7 +50,7 @@ fn usage() {
 }
 
 fn list() {
-    println!("{:<8} {:<26} {}", "id", "binary", "description");
+    println!("{:<8} {:<26} description", "id", "binary");
     for (id, bin, desc) in EXPERIMENTS {
         println!("{id:<8} {bin:<26} {desc}");
     }

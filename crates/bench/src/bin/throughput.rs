@@ -1,0 +1,104 @@
+//! Batched-path throughput: lane-steps/sec of the data-parallel
+//! `BatchDnc` at batch sizes {1, 8, 32, 128}, at 1 thread and at all
+//! machine threads, against the sequential per-example `Dnc::step` loop.
+//!
+//! Two effects are measured separately:
+//!
+//! * **batching** — the controller/interface/output projections run as one
+//!   shared-weight `B × K · Wᵀ` product per step instead of `B` mat-vecs
+//!   (visible already at 1 thread), and
+//! * **lane parallelism** — the `B` independent memory units fan out
+//!   across rayon worker threads (visible in the N-thread column on
+//!   multi-core hosts).
+//!
+//! The batched path is bit-compatible with the sequential one (property
+//! tested in `crates/dnc/tests/properties.rs`), so every speedup reported
+//! here is a pure execution-path win.
+
+use hima::dnc::BatchDnc;
+use hima::prelude::*;
+use hima::tensor::Matrix;
+use rayon::ThreadPoolBuilder;
+use std::time::{Duration, Instant};
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+const MEASURE: Duration = Duration::from_millis(400);
+
+fn params() -> DncParams {
+    DncParams::new(128, 16, 2).with_hidden(64).with_io(16, 16)
+}
+
+/// One `B × input` token block with per-lane variation.
+fn input_block(batch: usize, width: usize, t: usize) -> Matrix {
+    Matrix::from_fn(batch, width, |b, i| (((b * 131 + t * 17 + i * 7) as f32) * 0.13).sin())
+}
+
+/// Lane-steps/sec of the sequential path: `batch` independent `Dnc`s
+/// stepped one after another.
+fn sequential_rate(batch: usize) -> f64 {
+    let mut models: Vec<Dnc> = (0..batch).map(|_| Dnc::new(params(), 7)).collect();
+    let width = params().input_size;
+    // Warm-up step primes allocations.
+    for (b, m) in models.iter_mut().enumerate() {
+        m.step(input_block(batch, width, 0).row(b));
+    }
+    let start = Instant::now();
+    let mut t = 1usize;
+    while start.elapsed() < MEASURE {
+        let x = input_block(batch, width, t);
+        for (b, m) in models.iter_mut().enumerate() {
+            m.step(x.row(b));
+        }
+        t += 1;
+    }
+    (t - 1) as f64 * batch as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Lane-steps/sec of the batched path at a given worker-thread count.
+fn batched_rate(batch: usize, threads: usize) -> f64 {
+    let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+    let mut model = BatchDnc::new(params(), batch, 7);
+    let width = params().input_size;
+    pool.install(|| {
+        model.step_batch(&input_block(batch, width, 0));
+        let start = Instant::now();
+        let mut t = 1usize;
+        while start.elapsed() < MEASURE {
+            model.step_batch(&input_block(batch, width, t));
+            t += 1;
+        }
+        (t - 1) as f64 * batch as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+fn main() {
+    let machine_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let p = params();
+    hima_bench::header(&format!(
+        "Batched DNC throughput — N={} W={} R={} H={}, {} machine threads",
+        p.memory_size, p.word_size, p.read_heads, p.hidden_size, machine_threads
+    ));
+
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>10} {:>10}",
+        "batch", "seq steps/s", "batch@1T", &format!("batch@{machine_threads}T"), "x @1T", "x @NT"
+    );
+    for &batch in &BATCH_SIZES {
+        let seq = sequential_rate(batch);
+        let one = batched_rate(batch, 1);
+        let many = if machine_threads > 1 { batched_rate(batch, machine_threads) } else { one };
+        println!(
+            "{:>6} {:>16.0} {:>16.0} {:>16.0} {:>10} {:>10}",
+            batch,
+            seq,
+            one,
+            many,
+            hima_bench::times(one / seq),
+            hima_bench::times(many / seq),
+        );
+    }
+    println!(
+        "\nlane-steps/sec; 'x' columns are speedup of the batched path over\n\
+         the sequential per-example loop at the same batch size."
+    );
+}

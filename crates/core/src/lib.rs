@@ -44,7 +44,9 @@ pub use hima_tensor as tensor;
 pub mod prelude {
     pub use hima_cost::{AreaModel, AreaReport, PowerModel, PowerReport};
     pub use hima_dnc::allocation::SkimRate;
-    pub use hima_dnc::{Dnc, DncD, DncParams, InterfaceVector, MemoryConfig, MemoryUnit};
+    pub use hima_dnc::{
+        BatchDnc, BatchDncD, Dnc, DncD, DncParams, InterfaceVector, MemoryConfig, MemoryUnit,
+    };
     pub use hima_engine::{Engine, EngineConfig, FeatureLevel};
     pub use hima_mem::{Partition, TileMemoryMap};
     pub use hima_noc::{Mode, NocSim, Topology, TopologyGraph, TrafficPattern};

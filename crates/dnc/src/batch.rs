@@ -1,0 +1,534 @@
+//! Batched, data-parallel execution of the DNC and DNC-D models.
+//!
+//! The single-example [`Dnc::step`](crate::Dnc::step) path processes one
+//! token through one set of state memories. Serving-style workloads run
+//! *many independent sequences* through the **same weights**, which admits
+//! two structural speedups:
+//!
+//! 1. **Shared-weight batching** — the controller, interface and output
+//!    projections become one `B × K` by `N × K`ᵀ product per step
+//!    ([`hima_tensor::Matrix::matmul_nt`]) instead of `B` mat-vecs, and
+//!    the LSTM gates are activated as whole `B × H` row-blocks
+//!    ([`crate::lstm::Lstm::step_batch`]).
+//! 2. **Lane data-parallelism** — each lane's memory unit (content
+//!    addressing, usage sort, linkage, soft read/write) is independent of
+//!    every other lane's, so lanes fan out across threads with rayon.
+//!
+//! Both [`BatchDnc`] and [`BatchDncD`] are **bit-compatible** with running
+//! their `B` lanes through the sequential models: the batched kernels use
+//! the same per-row accumulation order as `matvec`, and the per-lane
+//! memory step is the very same [`MemoryUnit`] code. The equivalence is
+//! property-tested in `crates/dnc/tests/properties.rs`, which keeps the
+//! engine's cycle model and the Fig. 10 accuracy harness valid on top of
+//! the batched path.
+
+use crate::dnc::Dnc;
+use crate::distributed::{DncD, ReadMerge};
+use crate::interface::InterfaceVector;
+use crate::lstm::{Lstm, LstmState};
+use crate::memory::{MemoryConfig, MemoryUnit};
+use crate::profile::KernelProfile;
+use crate::DncParams;
+use hima_tensor::Matrix;
+use rayon::prelude::*;
+
+/// One batch lane of a centralized DNC: the lane-private memory unit plus
+/// the lane's last flattened read vector.
+#[derive(Debug, Clone)]
+struct Lane {
+    memory: MemoryUnit,
+    read: Vec<f32>,
+}
+
+/// `B` independent DNC lanes sharing one set of weights.
+///
+/// Lanes start from blank (reset) state; the weights are identical to a
+/// [`Dnc`] constructed with the same parameters and seed, so lane `b` of
+/// [`BatchDnc::step_batch`] reproduces `Dnc::step` on lane `b`'s input
+/// stream exactly.
+///
+/// # Example
+///
+/// ```
+/// use hima_dnc::{BatchDnc, Dnc, DncParams};
+/// use hima_tensor::Matrix;
+///
+/// let params = DncParams::new(16, 4, 1).with_io(3, 3);
+/// let mut batch = BatchDnc::new(params, 2, 7);
+/// let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0][..], &[0.0, 1.0, 0.0][..]]);
+/// let y = batch.step_batch(&x);
+/// assert_eq!(y.shape(), (2, 3));
+///
+/// // Lane 0 matches a sequential DNC fed lane 0's input.
+/// let mut dnc = Dnc::new(params, 7);
+/// let y0 = dnc.step(&[1.0, 0.0, 0.0]);
+/// hima_tensor::assert_close(y.row(0), &y0, 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchDnc {
+    params: DncParams,
+    controller: Lstm,
+    interface_proj: Matrix,
+    output_proj: Matrix,
+    lstm_states: Vec<LstmState>,
+    lanes: Vec<Lane>,
+    last_read: Matrix,
+    last_hidden: Matrix,
+}
+
+impl BatchDnc {
+    /// Creates `batch` blank lanes with weights identical to
+    /// `Dnc::new(params, seed)` and an exact memory unit per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn new(params: DncParams, batch: usize, seed: u64) -> Self {
+        let mem_cfg = MemoryConfig::new(params.memory_size, params.word_size, params.read_heads);
+        Self::with_memory_config(params, mem_cfg, batch, seed)
+    }
+
+    /// Creates `batch` blank lanes with weights identical to
+    /// `Dnc::with_memory_config(params, mem_cfg, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or the memory geometry disagrees with
+    /// `params`.
+    pub fn with_memory_config(
+        params: DncParams,
+        mem_cfg: MemoryConfig,
+        batch: usize,
+        seed: u64,
+    ) -> Self {
+        // Reuse the sequential constructor so weight init stays defined in
+        // exactly one place.
+        Dnc::with_memory_config(params, mem_cfg, seed).batched(batch)
+    }
+
+    /// Internal constructor used by [`Dnc::batched`]: shares weights with
+    /// an existing model and starts every lane blank.
+    pub(crate) fn from_parts(
+        params: DncParams,
+        controller: Lstm,
+        interface_proj: Matrix,
+        output_proj: Matrix,
+        mem_cfg: MemoryConfig,
+        batch: usize,
+    ) -> Self {
+        assert!(batch > 0, "need at least one batch lane");
+        let read_width = params.read_heads * params.word_size;
+        let lanes = (0..batch)
+            .map(|_| Lane { memory: MemoryUnit::new(mem_cfg), read: vec![0.0; read_width] })
+            .collect();
+        Self {
+            params,
+            controller,
+            interface_proj,
+            output_proj,
+            lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
+            lanes,
+            last_read: Matrix::zeros(batch, read_width),
+            last_hidden: Matrix::zeros(batch, params.hidden_size),
+        }
+    }
+
+    /// Number of batch lanes `B`.
+    pub fn batch(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The model hyper-parameters.
+    pub fn params(&self) -> &DncParams {
+        &self.params
+    }
+
+    /// Lane `b`'s memory unit (for state inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`.
+    pub fn memory(&self, lane: usize) -> &MemoryUnit {
+        &self.lanes[lane].memory
+    }
+
+    /// The `B × R·W` block of read vectors fed to the controller at the
+    /// next step (row `b` is lane `b`'s flattened read vectors).
+    pub fn last_read(&self) -> &Matrix {
+        &self.last_read
+    }
+
+    /// The `B × (H + R·W)` feature block `[h_t ; v_r]` per lane — the
+    /// batched analogue of [`Dnc::last_features`].
+    pub fn last_features(&self) -> Matrix {
+        Matrix::hcat(&self.last_hidden, &self.last_read)
+    }
+
+    /// Kernel profile aggregated across every lane's memory unit.
+    pub fn profile(&self) -> KernelProfile {
+        let mut p = KernelProfile::new();
+        for lane in &self.lanes {
+            p.merge(lane.memory.profile());
+        }
+        p
+    }
+
+    /// Resets every lane's memory and recurrent state (weights unchanged).
+    pub fn reset(&mut self) {
+        let read_width = self.params.read_heads * self.params.word_size;
+        for lane in &mut self.lanes {
+            lane.memory.reset();
+            lane.read = vec![0.0; read_width];
+        }
+        for state in &mut self.lstm_states {
+            *state = LstmState::zeros(self.params.hidden_size);
+        }
+        self.last_read = Matrix::zeros(self.lanes.len(), read_width);
+        self.last_hidden = Matrix::zeros(self.lanes.len(), self.params.hidden_size);
+    }
+
+    /// Runs one time step for every lane: `inputs` is `B × input_size`
+    /// (row `b` is lane `b`'s token) and the result is `B × output_size`.
+    ///
+    /// The controller and both projections run as single shared-weight
+    /// batched products; the per-lane memory units step in parallel across
+    /// rayon worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`.
+    pub fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
+        assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+
+        // Controller on [x_t ; v_r^{t-1}], all lanes at once.
+        let ctrl_in = Matrix::hcat(inputs, &self.last_read);
+        let hidden = self.controller.step_batch(&mut self.lstm_states, &ctrl_in);
+
+        // Interface projection + parse (input skip connection), batched.
+        let iface_in = Matrix::hcat(&hidden, inputs);
+        let raw_iface = iface_in.matmul_nt(&self.interface_proj);
+
+        // Memory unit step: lanes are independent — fan out across threads.
+        let (w, r) = (self.params.word_size, self.params.read_heads);
+        let raw = &raw_iface;
+        self.lanes.par_iter_mut().enumerate().for_each(|(b, lane)| {
+            let iv = InterfaceVector::parse(raw.row(b), w, r);
+            lane.read = lane.memory.step(&iv).flattened();
+        });
+        for (b, lane) in self.lanes.iter().enumerate() {
+            self.last_read.row_mut(b).copy_from_slice(&lane.read);
+        }
+
+        // Output projection over [h ; v_r], batched.
+        let out_in = Matrix::hcat(&hidden, &self.last_read);
+        let y = out_in.matmul_nt(&self.output_proj);
+        self.last_hidden = hidden;
+        y
+    }
+
+    /// Runs a whole synchronized sequence: `steps[t]` is the `B ×
+    /// input_size` block for time `t`; the result holds one `B ×
+    /// output_size` block per step.
+    pub fn run_sequence_batch(&mut self, steps: &[Matrix]) -> Vec<Matrix> {
+        steps.iter().map(|x| self.step_batch(x)).collect()
+    }
+}
+
+/// One batch lane of the distributed DNC-D: the lane-private shard memory
+/// units plus the lane's merged read vector.
+#[derive(Debug, Clone)]
+struct LaneD {
+    shards: Vec<MemoryUnit>,
+    read: Vec<f32>,
+}
+
+/// `B` independent DNC-D lanes sharing one set of weights (controller,
+/// per-shard interface projections, output projection and the read-merge
+/// `α`).
+///
+/// Lanes start from blank state; lane `b` of
+/// [`BatchDncD::step_batch`] reproduces [`DncD::step`] on lane `b`'s
+/// input stream exactly.
+#[derive(Debug, Clone)]
+pub struct BatchDncD {
+    params: DncParams,
+    controller: Lstm,
+    interface_projs: Vec<Matrix>,
+    output_proj: Matrix,
+    merge: ReadMerge,
+    lstm_states: Vec<LstmState>,
+    lanes: Vec<LaneD>,
+    last_read: Matrix,
+    last_hidden: Matrix,
+}
+
+impl BatchDncD {
+    /// Creates `batch` blank lanes with weights identical to
+    /// `DncD::new(params, tiles, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `tiles == 0` or `tiles >
+    /// params.memory_size`.
+    pub fn new(params: DncParams, tiles: usize, batch: usize, seed: u64) -> Self {
+        DncD::new(params, tiles, seed).batched(batch)
+    }
+
+    /// Internal constructor used by [`DncD::batched`].
+    pub(crate) fn from_parts(
+        params: DncParams,
+        controller: Lstm,
+        interface_projs: Vec<Matrix>,
+        output_proj: Matrix,
+        merge: ReadMerge,
+        shard_cfgs: Vec<MemoryConfig>,
+        batch: usize,
+    ) -> Self {
+        assert!(batch > 0, "need at least one batch lane");
+        let read_width = params.read_heads * params.word_size;
+        let lanes = (0..batch)
+            .map(|_| LaneD {
+                shards: shard_cfgs.iter().map(|cfg| MemoryUnit::new(*cfg)).collect(),
+                read: vec![0.0; read_width],
+            })
+            .collect();
+        Self {
+            params,
+            controller,
+            interface_projs,
+            output_proj,
+            merge,
+            lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
+            lanes,
+            last_read: Matrix::zeros(batch, read_width),
+            last_hidden: Matrix::zeros(batch, params.hidden_size),
+        }
+    }
+
+    /// Number of batch lanes `B`.
+    pub fn batch(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of distributed shards `N_t` per lane.
+    pub fn tiles(&self) -> usize {
+        self.interface_projs.len()
+    }
+
+    /// The model hyper-parameters.
+    pub fn params(&self) -> &DncParams {
+        &self.params
+    }
+
+    /// The `B × R·W` block of merged read vectors (row `b` is lane `b`).
+    pub fn last_read(&self) -> &Matrix {
+        &self.last_read
+    }
+
+    /// Replaces the read-merge weights used by every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count disagrees.
+    pub fn set_merge(&mut self, merge: ReadMerge) {
+        assert_eq!(merge.shards(), self.tiles(), "merge shard count mismatch");
+        self.merge = merge;
+    }
+
+    /// Resets every lane's shard memories and recurrent state.
+    pub fn reset(&mut self) {
+        let read_width = self.params.read_heads * self.params.word_size;
+        for lane in &mut self.lanes {
+            for shard in &mut lane.shards {
+                shard.reset();
+            }
+            lane.read = vec![0.0; read_width];
+        }
+        for state in &mut self.lstm_states {
+            *state = LstmState::zeros(self.params.hidden_size);
+        }
+        self.last_read = Matrix::zeros(self.lanes.len(), read_width);
+        self.last_hidden = Matrix::zeros(self.lanes.len(), self.params.hidden_size);
+    }
+
+    /// Runs one time step for every lane (`inputs` is `B × input_size`),
+    /// returning the `B × output_size` block of outputs.
+    ///
+    /// The controller and every shard's interface projection run batched
+    /// over all lanes; each lane then steps its `N_t` shard memory units
+    /// and merges the shard reads (Eq. 4), with lanes fanned out across
+    /// rayon worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`.
+    pub fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
+        assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+
+        let ctrl_in = Matrix::hcat(inputs, &self.last_read);
+        let hidden = self.controller.step_batch(&mut self.lstm_states, &ctrl_in);
+
+        // One batched projection per shard (each shard has its own
+        // interface weights but shares them across lanes).
+        let iface_in = Matrix::hcat(&hidden, inputs);
+        let raw_per_shard: Vec<Matrix> =
+            self.interface_projs.iter().map(|proj| iface_in.matmul_nt(proj)).collect();
+
+        let (w, r) = (self.params.word_size, self.params.read_heads);
+        let (raws, merge) = (&raw_per_shard, &self.merge);
+        self.lanes.par_iter_mut().enumerate().for_each(|(b, lane)| {
+            let shard_reads: Vec<Vec<f32>> = lane
+                .shards
+                .iter_mut()
+                .zip(raws)
+                .map(|(shard, raw)| {
+                    let iv = InterfaceVector::parse(raw.row(b), w, r);
+                    shard.step(&iv).flattened()
+                })
+                .collect();
+            lane.read = merge.merge(&shard_reads);
+        });
+        for (b, lane) in self.lanes.iter().enumerate() {
+            self.last_read.row_mut(b).copy_from_slice(&lane.read);
+        }
+
+        let out_in = Matrix::hcat(&hidden, &self.last_read);
+        let y = out_in.matmul_nt(&self.output_proj);
+        self.last_hidden = hidden;
+        y
+    }
+
+    /// Runs a whole synchronized sequence (`steps[t]` is `B ×
+    /// input_size`), returning one `B × output_size` block per step.
+    pub fn run_sequence_batch(&mut self, steps: &[Matrix]) -> Vec<Matrix> {
+        steps.iter().map(|x| self.step_batch(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::SorterKind;
+    use crate::allocation::SkimRate;
+
+    fn params() -> DncParams {
+        DncParams::new(16, 4, 2).with_hidden(24).with_io(5, 6)
+    }
+
+    /// Stacks per-lane inputs for one time step into a `B × I` block.
+    fn step_block(lanes: &[Vec<Vec<f32>>], t: usize) -> Matrix {
+        let rows: Vec<&[f32]> = lanes.iter().map(|lane| lane[t].as_slice()).collect();
+        Matrix::from_rows(&rows)
+    }
+
+    fn lane_inputs(batch: usize, steps: usize, width: usize) -> Vec<Vec<Vec<f32>>> {
+        (0..batch)
+            .map(|b| {
+                (0..steps)
+                    .map(|t| {
+                        (0..width)
+                            .map(|i| (((b * 131 + t * 17 + i * 7) as f32) * 0.13).sin())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_dnc_matches_sequential_lanes_exactly() {
+        let (batch, steps) = (4, 6);
+        let lanes = lane_inputs(batch, steps, 5);
+        let mut batched = BatchDnc::new(params(), batch, 11);
+        let mut sequential: Vec<_> = (0..batch).map(|_| Dnc::new(params(), 11)).collect();
+        for t in 0..steps {
+            let y = batched.step_batch(&step_block(&lanes, t));
+            for (b, dnc) in sequential.iter_mut().enumerate() {
+                let want = dnc.step(&lanes[b][t]);
+                assert_eq!(y.row(b), &want[..], "lane {b} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dncd_matches_sequential_lanes_exactly() {
+        let (batch, steps) = (3, 5);
+        let lanes = lane_inputs(batch, steps, 5);
+        let mut batched = BatchDncD::new(params(), 4, batch, 23);
+        let mut sequential: Vec<_> = (0..batch).map(|_| DncD::new(params(), 4, 23)).collect();
+        for t in 0..steps {
+            let y = batched.step_batch(&step_block(&lanes, t));
+            for (b, dncd) in sequential.iter_mut().enumerate() {
+                let want = dncd.step(&lanes[b][t]);
+                assert_eq!(y.row(b), &want[..], "lane {b} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_feature_configs_batch_identically() {
+        let cfg = MemoryConfig::new(16, 4, 2)
+            .with_sorter(SorterKind::TwoStage { tiles: 4 })
+            .with_skim(SkimRate::new(0.2))
+            .with_approx_softmax(true);
+        let lanes = lane_inputs(3, 4, 5);
+        let mut batched = BatchDnc::with_memory_config(params(), cfg, 3, 5);
+        let mut sequential: Vec<_> =
+            (0..3).map(|_| Dnc::with_memory_config(params(), cfg, 5)).collect();
+        for t in 0..4 {
+            let y = batched.step_batch(&step_block(&lanes, t));
+            for (b, dnc) in sequential.iter_mut().enumerate() {
+                assert_eq!(y.row(b), &dnc.step(&lanes[b][t])[..], "lane {b} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_blank_lanes() {
+        let lanes = lane_inputs(2, 3, 5);
+        let mut batched = BatchDnc::new(params(), 2, 9);
+        let first = batched.step_batch(&step_block(&lanes, 0));
+        for t in 1..3 {
+            batched.step_batch(&step_block(&lanes, t));
+        }
+        batched.reset();
+        let again = batched.step_batch(&step_block(&lanes, 0));
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn batched_from_existing_model_shares_weights() {
+        let dnc = Dnc::new(params(), 31);
+        let mut batched = dnc.batched(2);
+        let mut fresh = Dnc::new(params(), 31);
+        let x = vec![0.25f32; 5];
+        let block = Matrix::from_rows(&[x.as_slice(), x.as_slice()]);
+        let y = batched.step_batch(&block);
+        let want = fresh.step(&x);
+        assert_eq!(y.row(0), &want[..]);
+        assert_eq!(y.row(1), &want[..]);
+    }
+
+    #[test]
+    fn profile_aggregates_all_lanes() {
+        let mut batched = BatchDnc::new(params(), 3, 1);
+        let x = Matrix::zeros(3, 5);
+        batched.step_batch(&x);
+        let p = batched.profile();
+        assert_eq!(p.calls(crate::profile::KernelId::MemoryRead), 3 * 2, "3 lanes × 2 heads");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one batch lane")]
+    fn rejects_zero_batch() {
+        BatchDnc::new(params(), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn rejects_wrong_batch_rows() {
+        BatchDnc::new(params(), 2, 1).step_batch(&Matrix::zeros(3, 5));
+    }
+}

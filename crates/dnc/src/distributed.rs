@@ -127,6 +127,9 @@ fn solve_spd(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
         // Eliminate.
         for row in col + 1..n {
             let f = a[row][col] / a[col][col];
+            // Rows `row` and `col` alias inside `a`, so the update reads
+            // through indices rather than a borrowed slice pair.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }
@@ -353,6 +356,25 @@ impl DncD {
     /// Runs a whole input sequence, returning one output per step.
     pub fn run_sequence(&mut self, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         inputs.iter().map(|x| self.step(x)).collect()
+    }
+
+    /// Creates a [`crate::BatchDncD`] of `batch` blank lanes sharing this
+    /// model's weights, shard layout and read-merge — the data-parallel
+    /// entry point for driving many independent sequences at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn batched(&self, batch: usize) -> crate::BatchDncD {
+        crate::BatchDncD::from_parts(
+            self.params,
+            self.controller.clone(),
+            self.interface_projs.clone(),
+            self.output_proj.clone(),
+            self.merge.clone(),
+            self.shards.iter().map(|s| *s.config()).collect(),
+            batch,
+        )
     }
 
     /// Calibrates the merge weights against a reference DNC on a

@@ -187,6 +187,24 @@ impl Dnc {
     pub fn run_sequence(&mut self, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         inputs.iter().map(|x| self.step(x)).collect()
     }
+
+    /// Creates a [`crate::BatchDnc`] of `batch` blank lanes sharing this
+    /// model's weights and memory configuration — the data-parallel entry
+    /// point for driving many independent sequences at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn batched(&self, batch: usize) -> crate::BatchDnc {
+        crate::BatchDnc::from_parts(
+            self.params,
+            self.controller.clone(),
+            self.interface_proj.clone(),
+            self.output_proj.clone(),
+            *self.memory.config(),
+            batch,
+        )
+    }
 }
 
 #[cfg(test)]

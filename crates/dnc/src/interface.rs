@@ -90,6 +90,22 @@ impl InterfaceVector {
         }
     }
 
+    /// Parses one interface vector per row of a `B × interface_size`
+    /// row-block — the batched form of [`InterfaceVector::parse`] for
+    /// callers holding all lanes' raw controller emissions as one matrix
+    /// (row `b` is lane `b`). The in-crate batched path parses per lane
+    /// inside its parallel loop instead, so each lane's parse runs on the
+    /// worker thread that consumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the `W`/`R` layout.
+    pub fn parse_rows(raw: &hima_tensor::Matrix, word_size: usize, read_heads: usize) -> Vec<Self> {
+        (0..raw.rows())
+            .map(|b| Self::parse(raw.row(b), word_size, read_heads))
+            .collect()
+    }
+
     /// Number of read heads this interface drives.
     pub fn read_heads(&self) -> usize {
         self.read_keys.len()

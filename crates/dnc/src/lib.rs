@@ -32,6 +32,7 @@
 //! ```
 
 pub mod allocation;
+pub mod batch;
 pub mod content;
 pub mod dnc;
 pub mod distributed;
@@ -44,6 +45,7 @@ pub mod quantized;
 pub mod usage;
 
 pub use crate::dnc::Dnc;
+pub use batch::{BatchDnc, BatchDncD};
 pub use distributed::{DncD, ReadMerge};
 pub use interface::InterfaceVector;
 pub use memory::{MemoryConfig, MemoryUnit};
@@ -143,7 +145,7 @@ mod tests {
         assert_eq!(p.interface_size(), 471);
         // Graves et al. use the same layout; cross-check a second shape.
         let p = DncParams::new(16, 8, 1);
-        assert_eq!(p.interface_size(), 8 * 1 + 3 * 8 + 5 * 1 + 3);
+        assert_eq!(p.interface_size(), 8 + 3 * 8 + 5 + 3);
     }
 
     #[test]

@@ -93,17 +93,37 @@ impl Lstm {
         self.state = LstmState::zeros(self.hidden_size);
     }
 
-    /// Runs one time step, returning the new hidden state.
+    /// Runs one time step on the cell's own recurrent state, returning the
+    /// new hidden state.
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != input_size`.
     pub fn step(&mut self, input: &[f32]) -> Vec<f32> {
+        // Validate before temporarily moving the state out, so a caller
+        // error cannot leave `self.state` holding the empty placeholder.
         assert_eq!(input.len(), self.input_size, "LSTM input width mismatch");
+        let mut state = std::mem::replace(&mut self.state, LstmState { hidden: Vec::new(), cell: Vec::new() });
+        let new_h = self.step_with_state(&mut state, input);
+        self.state = state;
+        new_h
+    }
+
+    /// Runs one time step on caller-owned recurrent state — the lane
+    /// kernel behind both [`Lstm::step`] (one internal lane) and the
+    /// batched path (one external state per batch lane, shared weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_size` or the state width disagrees
+    /// with `hidden_size`.
+    pub fn step_with_state(&self, state: &mut LstmState, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_size, "LSTM input width mismatch");
+        assert_eq!(state.hidden.len(), self.hidden_size, "LSTM state width mismatch");
         let h = self.hidden_size;
         let mut x = Vec::with_capacity(self.input_size + h);
         x.extend_from_slice(input);
-        x.extend_from_slice(&self.state.hidden);
+        x.extend_from_slice(&state.hidden);
 
         let pre = self.weights.matvec(&x);
         let mut new_c = vec![0.0; h];
@@ -113,10 +133,69 @@ impl Lstm {
             let f_g = sigmoid(pre[h + j] + self.bias[h + j]);
             let g = tanh(pre[2 * h + j] + self.bias[2 * h + j]);
             let o_g = sigmoid(pre[3 * h + j] + self.bias[3 * h + j]);
-            new_c[j] = f_g * self.state.cell[j] + i_g * g;
+            new_c[j] = f_g * state.cell[j] + i_g * g;
             new_h[j] = o_g * tanh(new_c[j]);
         }
-        self.state = LstmState { hidden: new_h.clone(), cell: new_c };
+        *state = LstmState { hidden: new_h.clone(), cell: new_c };
+        new_h
+    }
+
+    /// Runs one time step for `B` independent lanes through the shared
+    /// weights: `inputs` is `B × input_size` (one lane per row), `states`
+    /// holds one recurrent state per lane, and the returned matrix is the
+    /// `B × hidden_size` block of new hidden states.
+    ///
+    /// The pre-activations for all lanes are produced by a single batched
+    /// `[X ; H] · Wᵀ` product and the gate nonlinearities are applied to
+    /// whole `B × H` row-blocks, so one call replaces `B` scalar
+    /// [`Lstm::step_with_state`] calls while staying bit-compatible with
+    /// them (same per-row accumulation order, same elementwise ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != states.len()`, the input width is wrong,
+    /// or any state width disagrees with `hidden_size`.
+    pub fn step_batch(&self, states: &mut [LstmState], inputs: &Matrix) -> Matrix {
+        assert_eq!(inputs.rows(), states.len(), "LSTM batch size mismatch");
+        assert_eq!(inputs.cols(), self.input_size, "LSTM input width mismatch");
+        let (b, h) = (states.len(), self.hidden_size);
+
+        // [X ; H^{t-1}] as one B × (I+H) row-block.
+        let mut x_cat = Matrix::zeros(b, self.input_size + h);
+        for (bi, state) in states.iter().enumerate() {
+            assert_eq!(state.hidden.len(), h, "LSTM state width mismatch");
+            let row = x_cat.row_mut(bi);
+            row[..self.input_size].copy_from_slice(inputs.row(bi));
+            row[self.input_size..].copy_from_slice(&state.hidden);
+        }
+
+        // One shared-weight product for every lane, plus the bias broadcast.
+        let mut pre = x_cat.matmul_nt(&self.weights);
+        pre.add_row_inplace(&self.bias);
+
+        // Gate blocks (B × H each), activated as whole row-blocks.
+        let mut i_g = pre.submatrix(0, 0, b, h);
+        let mut f_g = pre.submatrix(0, h, b, h);
+        let mut g = pre.submatrix(0, 2 * h, b, h);
+        let mut o_g = pre.submatrix(0, 3 * h, b, h);
+        hima_tensor::activation::sigmoid_block(&mut i_g);
+        hima_tensor::activation::sigmoid_block(&mut f_g);
+        hima_tensor::activation::tanh_block(&mut g);
+        hima_tensor::activation::sigmoid_block(&mut o_g);
+
+        let mut cells = Matrix::zeros(b, h);
+        for (bi, state) in states.iter().enumerate() {
+            cells.row_mut(bi).copy_from_slice(&state.cell);
+        }
+        let new_c = f_g.hadamard(&cells).add(&i_g.hadamard(&g));
+        let mut tanh_c = new_c.clone();
+        hima_tensor::activation::tanh_block(&mut tanh_c);
+        let new_h = o_g.hadamard(&tanh_c);
+
+        for (bi, state) in states.iter_mut().enumerate() {
+            state.cell.copy_from_slice(new_c.row(bi));
+            state.hidden.copy_from_slice(new_h.row(bi));
+        }
         new_h
     }
 

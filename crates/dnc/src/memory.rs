@@ -273,8 +273,7 @@ impl MemoryUnit {
             let memory = &mut self.memory;
             let (erase, write) = (&iv.erase, &iv.write);
             self.profile.time(KernelId::MemoryWrite, || {
-                for i in 0..memory.rows() {
-                    let w = w_w[i];
+                for (i, &w) in w_w.iter().enumerate() {
                     if w == 0.0 {
                         continue;
                     }

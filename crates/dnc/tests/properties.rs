@@ -139,3 +139,129 @@ proptest! {
         prop_assert!(scaled.iter().sum::<f32>() <= 1.0 + 1e-5);
     }
 }
+
+// --- Batched-path equivalence -------------------------------------------
+//
+// The batched data-parallel execution path must be interchangeable with
+// the sequential per-example path: `step_batch(B)` over B lanes has to
+// reproduce B independent `step` runs within `EPSILON` for both the
+// centralized DNC and the distributed DNC-D. This is what keeps the
+// engine's cycle model and the Fig. 10 accuracy harness valid on top of
+// the batched path.
+
+/// Per-lane input streams with lane-, time- and element-dependent values.
+fn lane_streams(batch: usize, steps: usize, width: usize, seed: u64) -> Vec<Vec<Vec<f32>>> {
+    (0..batch)
+        .map(|b| {
+            (0..steps)
+                .map(|t| {
+                    (0..width)
+                        .map(|i| {
+                            (((b * 131 + t * 17 + i * 7) as f32 + seed as f32 * 0.37) * 0.13).sin()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Stacks time step `t` of every lane stream into a `B × width` block.
+fn block_at(streams: &[Vec<Vec<f32>>], t: usize) -> hima_tensor::Matrix {
+    let rows: Vec<&[f32]> = streams.iter().map(|s| s[t].as_slice()).collect();
+    hima_tensor::Matrix::from_rows(&rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_dnc_equals_independent_sequential_runs(
+        batch in prop::sample::select(vec![1usize, 3, 8]),
+        seed in 0u64..100,
+        steps in 2usize..6,
+    ) {
+        let params = hima_dnc::DncParams::new(16, 4, 2).with_hidden(16).with_io(5, 5);
+        let streams = lane_streams(batch, steps, 5, seed);
+        let mut batched = hima_dnc::BatchDnc::new(params, batch, seed);
+        let mut lanes: Vec<_> = (0..batch).map(|_| hima_dnc::Dnc::new(params, seed)).collect();
+        for t in 0..steps {
+            let y = batched.step_batch(&block_at(&streams, t));
+            for (b, dnc) in lanes.iter_mut().enumerate() {
+                let want = dnc.step(&streams[b][t]);
+                prop_assert!(
+                    hima_tensor::all_close(y.row(b), &want, hima_tensor::EPSILON),
+                    "lane {} diverged at t {}", b, t
+                );
+                prop_assert!(
+                    hima_tensor::all_close(
+                        batched.last_read().row(b),
+                        dnc.last_read(),
+                        hima_tensor::EPSILON
+                    ),
+                    "lane {} read vectors diverged at t {}", b, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dncd_equals_independent_sequential_runs(
+        batch in prop::sample::select(vec![1usize, 3, 8]),
+        tiles in prop::sample::select(vec![1usize, 2, 4]),
+        seed in 0u64..100,
+    ) {
+        let params = hima_dnc::DncParams::new(16, 4, 1).with_hidden(16).with_io(4, 4);
+        let steps = 4;
+        let streams = lane_streams(batch, steps, 4, seed);
+        let mut batched = hima_dnc::BatchDncD::new(params, tiles, batch, seed);
+        let mut lanes: Vec<_> =
+            (0..batch).map(|_| hima_dnc::DncD::new(params, tiles, seed)).collect();
+        for t in 0..steps {
+            let y = batched.step_batch(&block_at(&streams, t));
+            for (b, dncd) in lanes.iter_mut().enumerate() {
+                let want = dncd.step(&streams[b][t]);
+                prop_assert!(
+                    hima_tensor::all_close(y.row(b), &want, hima_tensor::EPSILON),
+                    "lane {} diverged at t {}", b, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lstm_equals_per_lane_steps(
+        batch in prop::sample::select(vec![1usize, 3, 8]),
+        seed in 0u64..100,
+    ) {
+        let lstm = hima_dnc::lstm::Lstm::new(5, 12, seed);
+        let streams = lane_streams(batch, 5, 5, seed);
+        let mut batch_states = vec![hima_dnc::lstm::LstmState::zeros(12); batch];
+        let mut lane_states = vec![hima_dnc::lstm::LstmState::zeros(12); batch];
+        for t in 0..5 {
+            let h = lstm.step_batch(&mut batch_states, &block_at(&streams, t));
+            for (b, state) in lane_states.iter_mut().enumerate() {
+                let want = lstm.step_with_state(state, &streams[b][t]);
+                prop_assert!(
+                    hima_tensor::all_close(h.row(b), &want, hima_tensor::EPSILON),
+                    "lane {} hidden diverged at t {}", b, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rows_equals_per_row_parse(batch in 1usize..6, seed in 0u64..50) {
+        let (w, r) = (4usize, 2usize);
+        let width = w * r + 3 * w + 5 * r + 3;
+        let raw = hima_tensor::Matrix::from_fn(batch, width, |b, i| {
+            (((b * 37 + i * 13) as f32 + seed as f32) * 0.21).sin() * 3.0
+        });
+        let parsed = InterfaceVector::parse_rows(&raw, w, r);
+        prop_assert_eq!(parsed.len(), batch);
+        for (b, iv) in parsed.iter().enumerate() {
+            prop_assert_eq!(iv, &InterfaceVector::parse(raw.row(b), w, r));
+            prop_assert!(iv.is_well_formed());
+        }
+    }
+}

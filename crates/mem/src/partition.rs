@@ -64,7 +64,7 @@ impl Partition {
     pub fn factorizations(n_t: usize) -> Vec<Partition> {
         assert!(n_t > 0, "need at least one tile");
         (1..=n_t)
-            .filter(|w| n_t % w == 0)
+            .filter(|w| n_t.is_multiple_of(*w))
             .map(|w| Partition::new(n_t / w, w))
             .collect()
     }
@@ -163,9 +163,9 @@ mod tests {
         }
         assert_eq!(counts.iter().sum::<usize>(), n * m);
         // Block shapes agree with the element counts.
-        for t in 0..p.tiles() {
+        for (t, &count) in counts.iter().enumerate() {
             let (h, w) = p.block_shape(t, n, m);
-            assert_eq!(counts[t], h * w, "tile {t}");
+            assert_eq!(count, h * w, "tile {t}");
         }
     }
 

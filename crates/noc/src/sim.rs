@@ -137,7 +137,7 @@ impl NocSim {
                 if h > 0 {
                     let node = w[0];
                     let channels = relay_free.entry(node).or_insert_with(|| {
-                        let slots = self.graph.neighbors(node).len().min(MAX_ROUTER_RADIX).max(1);
+                        let slots = self.graph.neighbors(node).len().clamp(1, MAX_ROUTER_RADIX);
                         vec![0; slots]
                     });
                     let best = channels

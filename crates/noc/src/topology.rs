@@ -141,9 +141,8 @@ impl TopologyGraph {
             for i in 0..width {
                 let kind = if is_leaf_level && i < n_pts {
                     NodeKind::Processing
-                } else if is_leaf_level {
-                    NodeKind::Router // padded leaf, unused
                 } else {
+                    // Interior router, or a padded (unused) leaf slot.
                     NodeKind::Router
                 };
                 let node = g.add_node(kind, None);

@@ -43,7 +43,7 @@ proptest! {
         let sim = NocSim::new(TopologyGraph::build(topo, n));
         let rep = sim.run_pattern(TrafficPattern::Broadcast, flits);
         // Completion can never beat one message's serialization latency.
-        prop_assert!(rep.completion_cycles >= flits + 1);
+        prop_assert!(rep.completion_cycles > flits);
         // And never beats injecting all messages at the CT.
         prop_assert!(rep.completion_cycles >= flits * n as u64);
     }

@@ -96,7 +96,7 @@ impl MdsaSorter {
             })
             .collect();
 
-        let snake_dir = |row: usize| if row % 2 == 0 { Direction::Ascending } else { Direction::Descending };
+        let snake_dir = |row: usize| if row.is_multiple_of(2) { Direction::Ascending } else { Direction::Descending };
         let mut phases = 0u64;
         // Shear sort needs at most ⌈log₂ p⌉ + 1 row/column rounds; cap the
         // loop there and finish with one cleanup row pass.

@@ -1,5 +1,6 @@
 //! Episodic QA sequences: token streams with designated query steps.
 
+use hima_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// One episodic sequence: a stream of token vectors with query positions.
@@ -63,6 +64,33 @@ impl EpisodeBatch {
     pub fn total_queries(&self) -> usize {
         self.episodes.iter().map(|e| e.query_steps.len()).sum()
     }
+
+    /// The common episode length, if every episode in the batch has the
+    /// same number of steps (the condition for lock-step batched
+    /// execution). `None` for ragged batches or an empty batch.
+    pub fn uniform_len(&self) -> Option<usize> {
+        uniform_len(&self.episodes)
+    }
+}
+
+/// The common episode length of a slice of episodes, if uniform (see
+/// [`EpisodeBatch::uniform_len`]).
+pub fn uniform_len(episodes: &[Episode]) -> Option<usize> {
+    let len = episodes.first()?.len();
+    episodes.iter().all(|e| e.len() == len).then_some(len)
+}
+
+/// Stacks time step `t` of every episode into a `B × width` input block
+/// (row `b` is episode `b`'s token at time `t`) — the bridge between an
+/// [`EpisodeBatch`] and the batched `step_batch` model APIs.
+///
+/// # Panics
+///
+/// Panics if `episodes` is empty or `t` is out of range for any episode.
+pub fn step_block(episodes: &[Episode], t: usize) -> Matrix {
+    assert!(!episodes.is_empty(), "cannot build a step block from zero episodes");
+    let rows: Vec<&[f32]> = episodes.iter().map(|e| e.inputs[t].as_slice()).collect();
+    Matrix::from_rows(&rows)
 }
 
 #[cfg(test)]

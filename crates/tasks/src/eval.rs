@@ -10,7 +10,7 @@
 //! projection is dominated by the shared controller state and would mask
 //! the divergence).
 
-use crate::episode::Episode;
+use crate::episode::{step_block, uniform_len, Episode};
 use crate::tasks::{TaskSpec, TASKS, TOKEN_WIDTH};
 use hima_dnc::allocation::SkimRate;
 use hima_dnc::{Dnc, DncD, DncParams};
@@ -122,19 +122,17 @@ fn task_error(config: &EvalConfig, task: &TaskSpec) -> TaskError {
     }
 
     let eval = task.generate(config.eval_episodes, config.seed ^ 0xE7A1);
+    let (ref_reads, dist_reads) = run_pair_batched(&dnc, &dncd, &eval.episodes);
     let mut queries = 0usize;
     let mut disagreements = 0usize;
     let mut divergence_sum = 0.0f64;
-    for episode in &eval.episodes {
-        dnc.reset();
-        dncd.reset();
-        let (ref_reads, dist_reads) = run_pair(&mut dnc, &mut dncd, episode);
+    for (b, episode) in eval.episodes.iter().enumerate() {
         for &q in &episode.query_steps {
             queries += 1;
-            if argmax(&ref_reads[q]) != argmax(&dist_reads[q]) {
+            if argmax(&ref_reads[b][q]) != argmax(&dist_reads[b][q]) {
                 disagreements += 1;
             }
-            divergence_sum += normalized_l2(&ref_reads[q], &dist_reads[q]);
+            divergence_sum += normalized_l2(&ref_reads[b][q], &dist_reads[b][q]);
         }
     }
     let error = if queries == 0 { 0.0 } else { disagreements as f64 / queries as f64 };
@@ -157,18 +155,69 @@ pub fn mean_divergence(errors: &[TaskError]) -> f64 {
     errors.iter().map(|e| e.divergence).sum::<f64>() / errors.len() as f64
 }
 
-/// Steps both models over the episode, collecting the *read vectors* (the
-/// retrieved memory content) at every step. Inference error is judged on
+/// Drives both models over every episode at once via the batched
+/// data-parallel path (one lane per episode, shared weights), collecting
+/// the *read vectors* (the retrieved memory content) at every step of
+/// every episode: `result[episode][step]`. Inference error is judged on
 /// what the memory unit returns — the quantity DNC-D approximates — rather
 /// than on the controller-dominated output projection.
-fn run_pair(dnc: &mut Dnc, dncd: &mut DncD, episode: &Episode) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
-    let mut a = Vec::with_capacity(episode.len());
-    let mut b = Vec::with_capacity(episode.len());
-    for x in &episode.inputs {
-        dnc.step(x);
-        a.push(dnc.last_read().to_vec());
-        dncd.step(x);
-        b.push(dncd.last_read().to_vec());
+///
+/// Batched lanes start blank, exactly like the per-episode `reset()` of
+/// the sequential harness, and the batched models are bit-compatible with
+/// the sequential ones, so the reported errors are unchanged. Ragged
+/// episode lists (never produced by [`TaskSpec::generate`], whose episode
+/// length is fixed per task) fall back to per-episode sequential runs.
+#[allow(clippy::type_complexity)]
+fn run_pair_batched(
+    dnc: &Dnc,
+    dncd: &DncD,
+    episodes: &[Episode],
+) -> (Vec<Vec<Vec<f32>>>, Vec<Vec<Vec<f32>>>) {
+    if episodes.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let Some(steps) = uniform_len(episodes) else {
+        return run_pair_sequential(&mut dnc.clone(), &mut dncd.clone(), episodes);
+    };
+    let lanes = episodes.len();
+    let mut batch_dnc = dnc.batched(lanes);
+    let mut batch_dncd = dncd.batched(lanes);
+    let mut a = vec![Vec::with_capacity(steps); lanes];
+    let mut b = vec![Vec::with_capacity(steps); lanes];
+    for t in 0..steps {
+        let x = step_block(episodes, t);
+        batch_dnc.step_batch(&x);
+        batch_dncd.step_batch(&x);
+        for lane in 0..lanes {
+            a[lane].push(batch_dnc.last_read().row(lane).to_vec());
+            b[lane].push(batch_dncd.last_read().row(lane).to_vec());
+        }
+    }
+    (a, b)
+}
+
+/// Sequential fallback of [`run_pair_batched`] for ragged episode lists.
+#[allow(clippy::type_complexity)]
+fn run_pair_sequential(
+    dnc: &mut Dnc,
+    dncd: &mut DncD,
+    episodes: &[Episode],
+) -> (Vec<Vec<Vec<f32>>>, Vec<Vec<Vec<f32>>>) {
+    let mut a = Vec::with_capacity(episodes.len());
+    let mut b = Vec::with_capacity(episodes.len());
+    for episode in episodes {
+        dnc.reset();
+        dncd.reset();
+        let mut ea = Vec::with_capacity(episode.len());
+        let mut eb = Vec::with_capacity(episode.len());
+        for x in &episode.inputs {
+            dnc.step(x);
+            ea.push(dnc.last_read().to_vec());
+            dncd.step(x);
+            eb.push(dncd.last_read().to_vec());
+        }
+        a.push(ea);
+        b.push(eb);
     }
     (a, b)
 }
@@ -237,6 +286,25 @@ mod tests {
         let a = relative_error(&EvalConfig::small(4));
         let b = relative_error(&EvalConfig::small(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluation_deterministic_across_thread_counts() {
+        // Lane parallelism must not perturb results: per-lane RNG streams
+        // and per-lane state make the batched harness bit-deterministic
+        // whether the lanes run on one worker thread or many.
+        let cfg = EvalConfig::small(2);
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| relative_error(&cfg));
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| relative_error(&cfg));
+        assert_eq!(one, four);
     }
 
     #[test]

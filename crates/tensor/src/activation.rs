@@ -50,6 +50,19 @@ pub fn tanh_vec(xs: &[f32]) -> Vec<f32> {
     xs.iter().copied().map(tanh).collect()
 }
 
+/// Applies `sigmoid` to a whole row-block in place — the batched gate
+/// activation used by the data-parallel LSTM path (one call per `B × H`
+/// gate block instead of `B·H` scalar calls at scattered sites).
+pub fn sigmoid_block(block: &mut crate::Matrix) {
+    block.map_inplace(sigmoid);
+}
+
+/// Applies `tanh` to a whole row-block in place (batched cell/output
+/// activation).
+pub fn tanh_block(block: &mut crate::Matrix) {
+    block.map_inplace(tanh);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

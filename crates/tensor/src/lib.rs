@@ -37,7 +37,7 @@ pub mod vector;
 
 pub use fixed::Fixed;
 pub use matrix::Matrix;
-pub use softmax::{softmax, softmax_approx, PlaSoftmax};
+pub use softmax::{softmax, softmax_approx, softmax_rows, PlaSoftmax};
 
 /// Numerical tolerance used across the workspace when comparing floats
 /// produced by mathematically equivalent but differently ordered

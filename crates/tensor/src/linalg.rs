@@ -55,6 +55,9 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Option<Matrix> {
             if factor == 0.0 {
                 continue;
             }
+            // Rows `row` and `col` alias inside `aug`, so the update reads
+            // through indices rather than a borrowed slice pair.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n + m {
                 aug[row][k] -= factor * aug[col][k];
             }

@@ -185,8 +185,7 @@ impl Matrix {
     pub fn matvec_t(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let w = v[i];
+        for (i, &w) in v.iter().enumerate() {
             if w == 0.0 {
                 continue;
             }
@@ -217,6 +216,75 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Batched matrix product against a transposed right factor:
+    /// `self · otherᵀ`, where `self` is `B × K` and `other` is `N × K`,
+    /// yielding `B × N`.
+    ///
+    /// This is the batched form of [`Matrix::matvec`]: row `i` of the
+    /// result equals `other.matvec(self.row(i))`, computed with the same
+    /// per-row accumulation order, so driving `B` lanes through one
+    /// `matmul_nt` is bit-identical to `B` separate `matvec` calls. The
+    /// batched DNC path leans on this for the controller, interface and
+    /// output projections (shared weights, per-lane activations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} vs {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let lhs = self.row(i);
+            let dst = out.row_mut(i);
+            for (j, d) in dst.iter_mut().enumerate() {
+                // Same accumulation order as `matvec` (sequential zip-sum
+                // over K) — the batched path must be bit-compatible with
+                // the per-lane path.
+                *d = lhs.iter().zip(other.row(j)).map(|(a, b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Row-wise concatenation `[self | other]`: both operands must have
+    /// the same row count; the result is `rows × (cols_a + cols_b)`.
+    ///
+    /// The batched DNC path uses this to form per-lane feature rows such
+    /// as `[x_t ; v_r^{t-1}]` without per-lane `Vec` plumbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hcat(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows, "hcat row mismatch: {} vs {}", a.rows, b.rows);
+        let mut out = Matrix::zeros(a.rows, a.cols + b.cols);
+        for i in 0..a.rows {
+            let dst = out.row_mut(i);
+            dst[..a.cols].copy_from_slice(a.row(i));
+            dst[a.cols..].copy_from_slice(b.row(i));
+        }
+        out
+    }
+
+    /// Adds `bias` to every row in place (row-broadcast add) — the batched
+    /// bias kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_inplace(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "row-broadcast shape mismatch");
+        for i in 0..self.rows {
+            for (x, b) in self.row_mut(i).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
     }
 
     /// Outer product `a ⊗ b` producing an `a.len() × b.len()` matrix.

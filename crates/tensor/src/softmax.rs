@@ -155,6 +155,28 @@ impl Default for PlaSoftmax {
     }
 }
 
+/// Row-wise softmax over a row-block: every row of `m` is replaced by its
+/// softmax, independently — the batched row-block form of [`softmax`]
+/// (`B` lanes' logits stacked as rows), row-for-row equivalent to the
+/// scalar function (property-tested).
+pub fn softmax_rows(m: &mut crate::Matrix) {
+    for i in 0..m.rows() {
+        let row = m.row_mut(i);
+        if row.is_empty() {
+            continue;
+        }
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut total = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            total += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= total;
+        }
+    }
+}
+
 /// Weighted softmax used by content addressing:
 /// `softmax(β · sims)` where `β ≥ 1` is the key strength.
 pub fn weighted_softmax(sims: &[f32], beta: f32, approx: Option<&PlaSoftmax>) -> Vec<f32> {

@@ -132,3 +132,75 @@ proptest! {
         }
     }
 }
+
+// --- Batched row-block kernels ------------------------------------------
+//
+// The batched execution path stacks B independent lanes as matrix rows;
+// these properties pin the row-block kernels to their per-lane
+// equivalents (`matmul_nt` vs repeated `matvec`, `softmax_rows` vs
+// per-row `softmax`, row-broadcast bias vs scalar adds).
+
+proptest! {
+    #[test]
+    fn matmul_nt_equals_repeated_matvec(
+        b in prop::sample::select(vec![1usize, 3, 8]),
+        n in 1usize..8,
+        k in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let x = Matrix::from_fn(b, k, |i, j| ((i * 31 + j * 7 + seed as usize) % 23) as f32 * 0.25 - 2.0);
+        let w = Matrix::from_fn(n, k, |i, j| ((i * 13 + j * 11 + seed as usize) % 19) as f32 * 0.125 - 1.0);
+        let out = x.matmul_nt(&w);
+        prop_assert_eq!(out.shape(), (b, n));
+        for lane in 0..b {
+            let want = w.matvec(x.row(lane));
+            prop_assert_eq!(out.row(lane), &want[..], "lane {} differs", lane);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_of_transpose(n in 1usize..7, k in 1usize..7, seed in 0u64..100) {
+        let a = Matrix::from_fn(n, k, |i, j| ((i * 5 + j * 3 + seed as usize) % 13) as f32 - 6.0);
+        let bm = Matrix::from_fn(n, k, |i, j| ((i * 7 + j * 11 + seed as usize) % 17) as f32 - 8.0);
+        let fast = a.matmul_nt(&bm);
+        let slow = a.matmul(&bm.transpose());
+        prop_assert!(hima_tensor::all_close(fast.as_slice(), slow.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn hcat_preserves_rows(rows in 1usize..6, ca in 1usize..6, cb in 1usize..6, seed in 0u64..50) {
+        let a = Matrix::from_fn(rows, ca, |i, j| (i * 10 + j + seed as usize) as f32);
+        let b = Matrix::from_fn(rows, cb, |i, j| -((i * 10 + j + seed as usize) as f32));
+        let c = Matrix::hcat(&a, &b);
+        prop_assert_eq!(c.shape(), (rows, ca + cb));
+        for i in 0..rows {
+            prop_assert_eq!(&c.row(i)[..ca], a.row(i));
+            prop_assert_eq!(&c.row(i)[ca..], b.row(i));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_equals_per_row_softmax(rows in 1usize..6, cols in 1usize..9, seed in 0u64..100) {
+        let m = Matrix::from_fn(rows, cols, |i, j| ((i * 17 + j * 29 + seed as usize) % 31) as f32 * 0.2 - 3.0);
+        let mut batched = m.clone();
+        hima_tensor::softmax_rows(&mut batched);
+        for i in 0..rows {
+            let want = softmax(m.row(i));
+            prop_assert!(hima_tensor::all_close(batched.row(i), &want, 1e-6), "row {}", i);
+            prop_assert!((batched.row(i).iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn add_row_inplace_broadcasts(rows in 1usize..6, cols in 1usize..8, seed in 0u64..50) {
+        let mut m = Matrix::from_fn(rows, cols, |i, j| (i * 3 + j + seed as usize) as f32);
+        let bias: Vec<f32> = (0..cols).map(|j| j as f32 * 0.5 - 1.0).collect();
+        let before = m.clone();
+        m.add_row_inplace(&bias);
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert_eq!(m[(i, j)], before[(i, j)] + bias[j]);
+            }
+        }
+    }
+}

@@ -199,8 +199,8 @@ fn fig12b_comparison_ordering() {
     assert!((dnc_test_us - 11.8).abs() < 1e-6);
     assert!(dncd_test_us < dnc_test_us);
     assert!(baselines::FARM.inference_us > dnc_test_us, "HiMA-DNC must beat Farm");
-    assert!(baselines::GPU.inference_us > baselines::FARM.inference_us);
-    assert!(baselines::CPU.inference_us > baselines::GPU.inference_us);
+    const { assert!(baselines::GPU.inference_us > baselines::FARM.inference_us) };
+    const { assert!(baselines::CPU.inference_us > baselines::GPU.inference_us) };
     // Headline: hundreds of times faster than the GPU.
     let speedup_dnc = baselines::GPU.inference_us / dnc_test_us;
     let speedup_dncd = baselines::GPU.inference_us / dncd_test_us;

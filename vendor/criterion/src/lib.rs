@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! provides a small wall-clock timing harness behind the criterion API
+//! the workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box` and `Bencher::iter`. Each benchmark warms
+//! up briefly, then runs a fixed measurement budget and reports the mean
+//! time per iteration. No statistics, baselines or HTML reports — just
+//! honest numbers on stdout.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark label built from a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `payload` repeatedly until the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut payload: impl FnMut() -> R) {
+        // Warm-up: one untimed call (also primes lazily built state).
+        black_box(payload());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            black_box(payload());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    budget: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness keys its budget on
+    /// wall-clock time rather than sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b =
+            Bencher { total: Duration::ZERO, iters: 1, budget: self.budget };
+        f(&mut b);
+        println!(
+            "bench {:<50} {:>12}/iter ({} iters)",
+            format!("{}/{}", self.name, label),
+            fmt_duration(b.total / u32::try_from(b.iters).unwrap_or(u32::MAX)),
+            b.iters
+        );
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function(&mut self, label: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(&label.to_string(), f);
+        self
+    }
+
+    /// Times one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup { name: name.to_string(), budget, _criterion: self }
+    }
+
+    /// Times one ungrouped benchmark.
+    pub fn bench_function(&mut self, label: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let budget = self.budget;
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            budget,
+            _criterion: self,
+        };
+        group.run(&label.to_string(), f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 1,
+            budget: Duration::from_millis(5),
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters >= 1);
+        assert_eq!(count, b.iters + 1, "one warm-up call plus timed calls");
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

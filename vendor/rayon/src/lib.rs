@@ -1,0 +1,311 @@
+//! Offline stand-in for `rayon` (API subset).
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! re-implements the slice of rayon the workspace uses — `join`,
+//! `ThreadPoolBuilder::install`, `current_num_threads`, and
+//! `par_iter{,_mut}().enumerate().for_each(..)` over slices — with real
+//! OS-thread parallelism via `std::thread::scope`. Work is split into one
+//! contiguous chunk per thread, which matches the batch-lane workloads
+//! here (uniform cost per element). Swapping in the real rayon is a
+//! one-line change in the workspace manifest.
+
+use std::cell::Cell;
+use std::thread;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 means
+    /// "use the machine default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the machine-default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A "pool" that scopes a thread-count override; threads themselves are
+/// spawned per parallel call via `std::thread::scope`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing parallel calls
+    /// made from inside it (on this thread).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured thread count (0 = machine default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-stub join worker panicked"))
+    })
+}
+
+/// The parallel-iterator subset: `par_iter`, `par_iter_mut`, `enumerate`,
+/// `for_each`.
+pub mod iter {
+    use super::current_num_threads;
+    use std::thread;
+
+    /// Parallel shared iterator over a slice.
+    pub struct ParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    /// Parallel exclusive iterator over a slice.
+    pub struct ParIterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    /// Index-carrying wrapper produced by `enumerate()`.
+    pub struct Enumerate<I> {
+        inner: I,
+    }
+
+    /// Splits `len` items into one contiguous span per worker and runs
+    /// `run(start, span_len)` for each span on its own scoped thread.
+    fn for_each_span(len: usize, run: impl Fn(usize, usize) + Sync) {
+        let threads = current_num_threads().max(1).min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            run(0, len);
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        thread::scope(|s| {
+            for t in 0..threads {
+                let start = t * chunk;
+                let span = chunk.min(len.saturating_sub(start));
+                if span == 0 {
+                    break;
+                }
+                let run = &run;
+                s.spawn(move || run(start, span));
+            }
+        });
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Pairs each item with its index.
+        pub fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { inner: self }
+        }
+
+        /// Applies `f` to every item, in parallel across worker spans.
+        pub fn for_each(self, f: impl Fn(&'a T) + Sync) {
+            let slice = self.slice;
+            for_each_span(slice.len(), |start, span| {
+                for item in &slice[start..start + span] {
+                    f(item);
+                }
+            });
+        }
+    }
+
+    impl<'a, T: Sync> Enumerate<ParIter<'a, T>> {
+        /// Applies `f` to every `(index, item)` pair, in parallel.
+        pub fn for_each(self, f: impl Fn((usize, &'a T)) + Sync) {
+            let slice = self.inner.slice;
+            for_each_span(slice.len(), |start, span| {
+                for (i, item) in slice[start..start + span].iter().enumerate() {
+                    f((start + i, item));
+                }
+            });
+        }
+    }
+
+    impl<'a, T: Send> ParIterMut<'a, T> {
+        /// Pairs each item with its index.
+        pub fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { inner: self }
+        }
+
+        /// Applies `f` to every item, in parallel across worker spans.
+        pub fn for_each(self, f: impl Fn(&mut T) + Sync) {
+            Enumerate { inner: self }.for_each(|(_, item)| f(item));
+        }
+    }
+
+    impl<'a, T: Send> Enumerate<ParIterMut<'a, T>> {
+        /// Applies `f` to every `(index, item)` pair, in parallel.
+        pub fn for_each(self, f: impl Fn((usize, &mut T)) + Sync) {
+            let slice = self.inner.slice;
+            let len = slice.len();
+            let threads = current_num_threads().max(1).min(len.max(1));
+            if threads <= 1 || len <= 1 {
+                for (i, item) in slice.iter_mut().enumerate() {
+                    f((i, item));
+                }
+                return;
+            }
+            let chunk = len.div_ceil(threads);
+            thread::scope(|s| {
+                for (t, span) in slice.chunks_mut(chunk).enumerate() {
+                    let f = &f;
+                    s.spawn(move || {
+                        for (i, item) in span.iter_mut().enumerate() {
+                            f((t * chunk + i, item));
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator` for slices/vecs.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Shared item type.
+        type Item: 'a;
+        /// Shared parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefMutIterator` for slices/vecs.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Exclusive item type.
+        type Item: 'a;
+        /// Exclusive parallel iterator.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut xs = vec![0u32; 1000];
+        xs.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u32 + 1);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(*x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_iter_counts_all_items() {
+        let xs = vec![1u64; 357];
+        let count = AtomicUsize::new(0);
+        xs.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 357);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        let mut xs = vec![0usize; 10];
+        pool.install(|| {
+            xs.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        });
+        assert_eq!(xs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_element_slices() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = vec![5u8];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, vec![6]);
+    }
+}

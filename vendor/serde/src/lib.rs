@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The hermetic build environment has no crates.io access. The repro
+//! derives `Serialize`/`Deserialize` on its public config and report
+//! types for downstream users, but never serializes anything itself, so
+//! this stub provides: the two trait names (blanket-implemented for every
+//! type) and the matching no-op derive macros re-exported from the
+//! sibling `serde_derive` stub. Swapping in the real serde is a one-line
+//! change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de` with the owned-deserialize marker.
+pub mod de {
+    /// Marker standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in the repro actually serializes data — the
+//! `#[derive(Serialize, Deserialize)]` annotations exist so downstream
+//! users with the real serde can persist configs and reports. These
+//! no-op derives accept the syntax and emit no impls; the traits in the
+//! sibling `serde` stub are blanket-implemented instead.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (incl. `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (incl. `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
