@@ -24,7 +24,7 @@ fn bench_dnc_step(c: &mut Criterion) {
             BenchmarkId::new("dncd_nt4", format!("{n}x{w}")),
             &params,
             |b, &p| {
-                let mut dncd = DncD::new(p, 4, 7);
+                let mut dncd = EngineBuilder::new(p).sharded(4).seed(7).build();
                 let x = vec![0.3f32; 16];
                 b.iter(|| dncd.step(black_box(&x)))
             },

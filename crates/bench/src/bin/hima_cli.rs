@@ -5,11 +5,14 @@
 //! $ hima-cli run fig7
 //! $ hima-cli run all
 //! $ hima-cli engine --tiles 32 --level dncd
+//! $ hima-cli step --tiles 4 --lanes 8 --quantized --steps 50
 //! $ hima-cli babi path/to/qa1_train.txt
 //! ```
 
 use hima::prelude::*;
+use hima::tensor::{Matrix, QFormat};
 use std::process::{exit, Command};
+use std::time::Instant;
 
 const EXPERIMENTS: [(&str, &str, &str); 11] = [
     ("table1", "table1_kernels", "Table 1: DNC kernel analysis"),
@@ -31,6 +34,7 @@ fn main() {
         Some("list") => list(),
         Some("run") => run(args.get(1).map(String::as_str)),
         Some("engine") => engine(&args[1..]),
+        Some("step") => step(&args[1..]),
         Some("babi") => babi(args.get(1).map(String::as_str)),
         _ => {
             usage();
@@ -46,6 +50,9 @@ fn usage() {
     eprintln!("  hima-cli run <id|all>              run experiment binaries");
     eprintln!("  hima-cli engine [--tiles N] [--level L]   query the cycle/area/power models");
     eprintln!("                  levels: baseline|sort|noc|submat|dncd|approx");
+    eprintln!("  hima-cli step [--tiles N] [--lanes B] [--steps T] [--quantized] [--skim K]");
+    eprintln!("                  run the functional model via EngineBuilder/MemoryEngine");
+    eprintln!("                  (--tiles 1 = monolithic DNC, N > 1 = sharded DNC-D)");
     eprintln!("  hima-cli babi <file>               parse a bAbI-format file and report stats");
 }
 
@@ -137,6 +144,66 @@ fn engine(args: &[String]) {
     println!("  area        : {:.2} mm2 (PT {:.2}, CT {:.2})", area.total_mm2(), area.pt_mm2, area.ct_mm2);
     println!("  power       : {:.2} W", power.total_w());
     println!("  energy/step : {:.3} uJ", power.energy_per_step_uj());
+}
+
+/// Builds a functional engine from command-line axes and reports measured
+/// throughput plus the per-kernel profile — a direct window onto the
+/// unified `EngineBuilder`/`MemoryEngine` path the harnesses use.
+fn step(args: &[String]) {
+    let mut tiles = 1usize;
+    let mut lanes = 8usize;
+    let mut steps = 50usize;
+    let mut quantized = false;
+    let mut skim = 0.0f32;
+    fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiles" => tiles = num(it.next(), "--tiles needs a positive integer"),
+            "--lanes" => lanes = num(it.next(), "--lanes needs a positive integer"),
+            "--steps" => steps = num(it.next(), "--steps needs a positive integer"),
+            "--skim" => skim = num(it.next(), "--skim needs a rate in [0,1)"),
+            "--quantized" => quantized = true,
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if tiles == 0 || lanes == 0 || steps == 0 {
+        bail::<()>("--tiles/--lanes/--steps must be positive");
+    }
+
+    let params = DncParams::new(256, 32, 2).with_hidden(64).with_io(16, 16);
+    let mut builder = EngineBuilder::new(params).lanes(lanes).seed(2021);
+    if tiles > 1 {
+        builder = builder.sharded(tiles);
+    }
+    if quantized {
+        builder = builder.quantized(QFormat::q16_16());
+    }
+    if skim > 0.0 {
+        builder = builder.skim(SkimRate::new(skim));
+    }
+    let spec = builder.spec();
+    let mut engine = builder.build();
+
+    let x = Matrix::from_fn(lanes, params.input_size, |b, i| ((b * 7 + i) as f32 * 0.21).sin());
+    engine.step_batch(&x); // warm-up
+    let start = Instant::now();
+    for _ in 0..steps {
+        engine.step_batch(&x);
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    println!("engine        : {} × {lanes} lanes (N={} W={} R={})",
+        spec.label(), params.memory_size, params.word_size, params.read_heads);
+    println!("steps         : {steps}  ({:.1} lane-steps/sec)", (steps * lanes) as f64 / secs);
+    println!("time/step     : {:.3} ms", secs * 1e3 / steps as f64);
+    let profile = engine.profile();
+    println!("kernel profile (share of memory-unit time):");
+    for (cat, share) in profile.category_shares() {
+        println!("  {:<24} {:>5.1}%", format!("{cat:?}"), share * 100.0);
+    }
 }
 
 fn babi(path: Option<&str>) {

@@ -1,31 +1,39 @@
-//! Batched-path throughput: lane-steps/sec of the data-parallel
-//! `BatchDnc` at batch sizes {1, 8, 32, 128}, at 1 thread and at all
-//! machine threads, against the sequential per-example `Dnc::step` loop.
+//! Batched-path throughput through the unified `MemoryEngine` API:
+//! lane-steps/sec at batch sizes {1, 8, 32, 128}, at 1 thread and at all
+//! machine threads, against the sequential single-lane loop — plus a
+//! topology × datapath sweep driven from the same code path.
 //!
-//! Two effects are measured separately:
+//! Three effects are measured:
 //!
 //! * **batching** — the controller/interface/output projections run as one
 //!   shared-weight `B × K · Wᵀ` product per step instead of `B` mat-vecs
-//!   (visible already at 1 thread), and
-//! * **lane parallelism** — the `B` independent memory units fan out
-//!   across rayon worker threads (visible in the N-thread column on
-//!   multi-core hosts).
+//!   (visible already at 1 thread),
+//! * **lane × shard parallelism** — the independent memory units (all
+//!   `B × N_t` of them for a sharded engine) fan out across rayon worker
+//!   threads as one flat task grid (visible in the N-thread column),
+//! * **datapath cost** — the fixed-point engines pay a rounding pass per
+//!   step, the price of modeling the hardware number format.
 //!
-//! The batched path is bit-compatible with the sequential one (property
-//! tested in `crates/dnc/tests/properties.rs`), so every speedup reported
-//! here is a pure execution-path win.
+//! Every engine here is built by `EngineBuilder` and stepped through
+//! `MemoryEngine`; batched and sequential paths are bit-compatible
+//! (conformance suite in `crates/dnc/tests/conformance.rs`), so every
+//! speedup reported is a pure execution-path win.
 
-use hima::dnc::BatchDnc;
 use hima::prelude::*;
-use hima::tensor::Matrix;
+use hima::tensor::{Matrix, QFormat};
 use rayon::ThreadPoolBuilder;
 use std::time::{Duration, Instant};
 
 const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+const SWEEP_BATCH: usize = 32;
 const MEASURE: Duration = Duration::from_millis(400);
 
 fn params() -> DncParams {
     DncParams::new(128, 16, 2).with_hidden(64).with_io(16, 16)
+}
+
+fn builder() -> EngineBuilder {
+    EngineBuilder::new(params()).seed(7)
 }
 
 /// One `B × input` token block with per-lane variation.
@@ -33,10 +41,10 @@ fn input_block(batch: usize, width: usize, t: usize) -> Matrix {
     Matrix::from_fn(batch, width, |b, i| (((b * 131 + t * 17 + i * 7) as f32) * 0.13).sin())
 }
 
-/// Lane-steps/sec of the sequential path: `batch` independent `Dnc`s
-/// stepped one after another.
-fn sequential_rate(batch: usize) -> f64 {
-    let mut models: Vec<Dnc> = (0..batch).map(|_| Dnc::new(params(), 7)).collect();
+/// Lane-steps/sec of the sequential path: `batch` independent single-lane
+/// engines stepped one after another.
+fn sequential_rate(base: &EngineBuilder, batch: usize) -> f64 {
+    let mut models: Vec<BoxedEngine> = (0..batch).map(|_| base.clone().lanes(1).build()).collect();
     let width = params().input_size;
     // Warm-up step primes allocations.
     for (b, m) in models.iter_mut().enumerate() {
@@ -55,9 +63,9 @@ fn sequential_rate(batch: usize) -> f64 {
 }
 
 /// Lane-steps/sec of the batched path at a given worker-thread count.
-fn batched_rate(batch: usize, threads: usize) -> f64 {
+fn batched_rate(base: &EngineBuilder, batch: usize, threads: usize) -> f64 {
     let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-    let mut model = BatchDnc::new(params(), batch, 7);
+    let mut model = base.clone().lanes(batch).build();
     let width = params().input_size;
     pool.install(|| {
         model.step_batch(&input_block(batch, width, 0));
@@ -83,10 +91,12 @@ fn main() {
         "{:>6} {:>16} {:>16} {:>16} {:>10} {:>10}",
         "batch", "seq steps/s", "batch@1T", &format!("batch@{machine_threads}T"), "x @1T", "x @NT"
     );
+    let mono = builder();
     for &batch in &BATCH_SIZES {
-        let seq = sequential_rate(batch);
-        let one = batched_rate(batch, 1);
-        let many = if machine_threads > 1 { batched_rate(batch, machine_threads) } else { one };
+        let seq = sequential_rate(&mono, batch);
+        let one = batched_rate(&mono, batch, 1);
+        let many =
+            if machine_threads > 1 { batched_rate(&mono, batch, machine_threads) } else { one };
         println!(
             "{:>6} {:>16.0} {:>16.0} {:>16.0} {:>10} {:>10}",
             batch,
@@ -100,5 +110,37 @@ fn main() {
     println!(
         "\nlane-steps/sec; 'x' columns are speedup of the batched path over\n\
          the sequential per-example loop at the same batch size."
+    );
+
+    hima_bench::header(&format!(
+        "Topology × datapath sweep at B = {SWEEP_BATCH} — one MemoryEngine code path"
+    ));
+    let q = QFormat::q16_16();
+    let sweep: [(&str, EngineBuilder); 4] = [
+        ("monolithic / f32", builder()),
+        ("sharded(4) / f32", builder().sharded(4)),
+        ("monolithic / Q16.16", builder().quantized(q)),
+        ("sharded(4) / Q16.16", builder().sharded(4).quantized(q)),
+    ];
+    println!(
+        "{:<22} {:>16} {:>16} {:>10}",
+        "engine", "lane-steps @1T", &format!("@{machine_threads}T"), "x threads"
+    );
+    for (label, b) in &sweep {
+        let one = batched_rate(b, SWEEP_BATCH, 1);
+        let many =
+            if machine_threads > 1 { batched_rate(b, SWEEP_BATCH, machine_threads) } else { one };
+        println!(
+            "{:<22} {:>16.0} {:>16.0} {:>10}",
+            label,
+            one,
+            many,
+            hima_bench::times(many / one)
+        );
+    }
+    println!(
+        "\nThe sharded rows fan a {SWEEP_BATCH} × 4 lane × shard task grid across\n\
+         threads; the Q16.16 rows pay the per-step state-rounding pass of the\n\
+         fixed-point datapath model."
     );
 }

@@ -16,14 +16,21 @@
 //!
 //! # Quickstart
 //!
+//! Functional models are built through the
+//! [`EngineBuilder`](hima_dnc::EngineBuilder) and stepped through the
+//! unified [`MemoryEngine`](hima_dnc::MemoryEngine) trait — one API over
+//! monolithic / sharded topology × batch lanes × f32 / fixed-point
+//! datapath:
+//!
 //! ```
 //! use hima::prelude::*;
+//! use hima::tensor::Matrix;
 //!
-//! // Functional DNC inference.
+//! // A 4-shard DNC-D serving 8 lanes through shared weights.
 //! let params = DncParams::new(64, 16, 2).with_io(8, 8);
-//! let mut model = Dnc::new(params, 1);
-//! let y = model.step(&[0.0; 8]);
-//! assert_eq!(y.len(), 8);
+//! let mut engine = EngineBuilder::new(params).sharded(4).lanes(8).seed(1).build();
+//! let y = engine.step_batch(&Matrix::zeros(8, 8));
+//! assert_eq!(y.shape(), (8, 8));
 //!
 //! // Architectural speedup of the paper's headline configuration.
 //! let baseline = Engine::new(EngineConfig::baseline(16));
@@ -44,8 +51,10 @@ pub use hima_tensor as tensor;
 pub mod prelude {
     pub use hima_cost::{AreaModel, AreaReport, PowerModel, PowerReport};
     pub use hima_dnc::allocation::SkimRate;
+    pub use hima_dnc::Topology as EngineTopology;
     pub use hima_dnc::{
-        BatchDnc, BatchDncD, Dnc, DncD, DncParams, InterfaceVector, MemoryConfig, MemoryUnit,
+        BatchDnc, BatchDncD, BoxedEngine, Datapath, Dnc, DncD, DncParams, EngineBuilder,
+        EngineSpec, InterfaceVector, MemoryConfig, MemoryEngine, MemoryUnit,
     };
     pub use hima_engine::{Engine, EngineConfig, FeatureLevel};
     pub use hima_mem::{Partition, TileMemoryMap};
@@ -54,7 +63,7 @@ pub mod prelude {
         CentralizedMergeSorter, MdsaSorter, ParallelMergeSorter, SortEngine, TwoStageSorter,
     };
     pub use hima_tasks::{relative_error, EvalConfig, TaskSpec, TASKS};
-    pub use hima_tensor::{softmax, softmax_approx, Fixed, Matrix, PlaSoftmax};
+    pub use hima_tensor::{softmax, softmax_approx, Fixed, Matrix, PlaSoftmax, QFormat};
 }
 
 #[cfg(test)]

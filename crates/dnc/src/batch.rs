@@ -10,33 +10,89 @@
 //!    ([`hima_tensor::Matrix::matmul_nt`]) instead of `B` mat-vecs, and
 //!    the LSTM gates are activated as whole `B × H` row-blocks
 //!    ([`crate::lstm::Lstm::step_batch`]).
-//! 2. **Lane data-parallelism** — each lane's memory unit (content
-//!    addressing, usage sort, linkage, soft read/write) is independent of
-//!    every other lane's, so lanes fan out across threads with rayon.
+//! 2. **Lane × shard data-parallelism** — each lane's memory units are
+//!    independent of every other lane's, and within a DNC-D lane the
+//!    `N_t` shards are independent of each other too. [`BatchDncD`]
+//!    flattens the whole `B × N_t` grid into **one** rayon task list per
+//!    step (the 2-D decomposition mirroring the hardware tiling), so a
+//!    single sharded lane still fans out across threads.
+//!
+//! Both engines support the fixed-point [`Datapath`] axis: with
+//! [`Datapath::Quantized`] every lane's memory unit is a
+//! [`QuantizedMemoryUnit`] that rounds its inputs and stored state to the
+//! Q-format each step (the controller and projections stay f32 — HiMA is
+//! the *memory-access* engine; the controller lives outside it).
 //!
 //! Both [`BatchDnc`] and [`BatchDncD`] are **bit-compatible** with running
 //! their `B` lanes through the sequential models: the batched kernels use
 //! the same per-row accumulation order as `matvec`, and the per-lane
 //! memory step is the very same [`MemoryUnit`] code. The equivalence is
-//! property-tested in `crates/dnc/tests/properties.rs`, which keeps the
-//! engine's cycle model and the Fig. 10 accuracy harness valid on top of
-//! the batched path.
+//! asserted across every topology × lanes × datapath combination by the
+//! trait-level conformance suite in `crates/dnc/tests/conformance.rs`.
+//!
+//! Construct these engines through
+//! [`EngineBuilder`](crate::EngineBuilder); the type-specific
+//! constructors are deprecated shims.
 
-use crate::dnc::Dnc;
+use crate::builder::Datapath;
 use crate::distributed::{DncD, ReadMerge};
+use crate::dnc::Dnc;
 use crate::interface::InterfaceVector;
 use crate::lstm::{Lstm, LstmState};
-use crate::memory::{MemoryConfig, MemoryUnit};
+use crate::memory::{MemoryConfig, MemoryUnit, ReadResult};
 use crate::profile::KernelProfile;
+use crate::quantized::QuantizedMemoryUnit;
 use crate::DncParams;
 use hima_tensor::Matrix;
 use rayon::prelude::*;
+
+/// A lane's memory unit on either datapath.
+#[derive(Debug, Clone)]
+pub(crate) enum LaneMemory {
+    /// Exact f32 unit.
+    F32(MemoryUnit),
+    /// Fixed-point unit (state rounded to the Q-format every step).
+    Quantized(QuantizedMemoryUnit),
+}
+
+impl LaneMemory {
+    pub(crate) fn new(cfg: MemoryConfig, datapath: Datapath) -> Self {
+        match datapath {
+            Datapath::F32 => LaneMemory::F32(MemoryUnit::new(cfg)),
+            Datapath::Quantized(q) => {
+                LaneMemory::Quantized(QuantizedMemoryUnit::with_format(cfg, q))
+            }
+        }
+    }
+
+    fn step(&mut self, iv: &InterfaceVector) -> ReadResult {
+        match self {
+            LaneMemory::F32(u) => u.step(iv),
+            LaneMemory::Quantized(q) => q.step(iv),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            LaneMemory::F32(u) => u.reset(),
+            LaneMemory::Quantized(q) => q.reset(),
+        }
+    }
+
+    /// The wrapped unit, for state inspection and profiling.
+    pub(crate) fn unit(&self) -> &MemoryUnit {
+        match self {
+            LaneMemory::F32(u) => u,
+            LaneMemory::Quantized(q) => q.inner(),
+        }
+    }
+}
 
 /// One batch lane of a centralized DNC: the lane-private memory unit plus
 /// the lane's last flattened read vector.
 #[derive(Debug, Clone)]
 struct Lane {
-    memory: MemoryUnit,
+    memory: LaneMemory,
     read: Vec<f32>,
 }
 
@@ -50,11 +106,11 @@ struct Lane {
 /// # Example
 ///
 /// ```
-/// use hima_dnc::{BatchDnc, Dnc, DncParams};
+/// use hima_dnc::{Dnc, DncParams, EngineBuilder, MemoryEngine};
 /// use hima_tensor::Matrix;
 ///
 /// let params = DncParams::new(16, 4, 1).with_io(3, 3);
-/// let mut batch = BatchDnc::new(params, 2, 7);
+/// let mut batch = EngineBuilder::new(params).lanes(2).seed(7).build();
 /// let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0][..], &[0.0, 1.0, 0.0][..]]);
 /// let y = batch.step_batch(&x);
 /// assert_eq!(y.shape(), (2, 3));
@@ -70,6 +126,7 @@ pub struct BatchDnc {
     controller: Lstm,
     interface_proj: Matrix,
     output_proj: Matrix,
+    datapath: Datapath,
     lstm_states: Vec<LstmState>,
     lanes: Vec<Lane>,
     last_read: Matrix,
@@ -83,9 +140,10 @@ impl BatchDnc {
     /// # Panics
     ///
     /// Panics if `batch == 0`.
+    #[deprecated(note = "compose with `EngineBuilder::new(params).lanes(batch).seed(seed).build()`")]
     pub fn new(params: DncParams, batch: usize, seed: u64) -> Self {
         let mem_cfg = MemoryConfig::new(params.memory_size, params.word_size, params.read_heads);
-        Self::with_memory_config(params, mem_cfg, batch, seed)
+        Dnc::with_memory_config(params, mem_cfg, seed).batched_with(batch, Datapath::F32)
     }
 
     /// Creates `batch` blank lanes with weights identical to
@@ -95,6 +153,9 @@ impl BatchDnc {
     ///
     /// Panics if `batch == 0` or the memory geometry disagrees with
     /// `params`.
+    #[deprecated(
+        note = "compose with `EngineBuilder` (`.skim()`, `.sorter()`, `.approx_softmax()` cover the MemoryConfig features)"
+    )]
     pub fn with_memory_config(
         params: DncParams,
         mem_cfg: MemoryConfig,
@@ -103,11 +164,11 @@ impl BatchDnc {
     ) -> Self {
         // Reuse the sequential constructor so weight init stays defined in
         // exactly one place.
-        Dnc::with_memory_config(params, mem_cfg, seed).batched(batch)
+        Dnc::with_memory_config(params, mem_cfg, seed).batched_with(batch, Datapath::F32)
     }
 
-    /// Internal constructor used by [`Dnc::batched`]: shares weights with
-    /// an existing model and starts every lane blank.
+    /// Internal constructor used by [`Dnc::batched`] and the builder:
+    /// shares weights with an existing model and starts every lane blank.
     pub(crate) fn from_parts(
         params: DncParams,
         controller: Lstm,
@@ -115,17 +176,22 @@ impl BatchDnc {
         output_proj: Matrix,
         mem_cfg: MemoryConfig,
         batch: usize,
+        datapath: Datapath,
     ) -> Self {
         assert!(batch > 0, "need at least one batch lane");
         let read_width = params.read_heads * params.word_size;
         let lanes = (0..batch)
-            .map(|_| Lane { memory: MemoryUnit::new(mem_cfg), read: vec![0.0; read_width] })
+            .map(|_| Lane {
+                memory: LaneMemory::new(mem_cfg, datapath),
+                read: vec![0.0; read_width],
+            })
             .collect();
         Self {
             params,
             controller,
             interface_proj,
             output_proj,
+            datapath,
             lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
             lanes,
             last_read: Matrix::zeros(batch, read_width),
@@ -143,13 +209,18 @@ impl BatchDnc {
         &self.params
     }
 
+    /// The numeric datapath of the lane memory units.
+    pub fn datapath(&self) -> Datapath {
+        self.datapath
+    }
+
     /// Lane `b`'s memory unit (for state inspection).
     ///
     /// # Panics
     ///
     /// Panics if `lane >= batch()`.
     pub fn memory(&self, lane: usize) -> &MemoryUnit {
-        &self.lanes[lane].memory
+        self.lanes[lane].memory.unit()
     }
 
     /// The `B × R·W` block of read vectors fed to the controller at the
@@ -168,7 +239,7 @@ impl BatchDnc {
     pub fn profile(&self) -> KernelProfile {
         let mut p = KernelProfile::new();
         for lane in &self.lanes {
-            p.merge(lane.memory.profile());
+            p.merge(lane.memory.unit().profile());
         }
         p
     }
@@ -235,11 +306,20 @@ impl BatchDnc {
     }
 }
 
+/// One shard of one DNC-D batch lane: the shard's memory unit plus its
+/// last flattened read vector — the unit of work of the 2-D (lane ×
+/// shard) parallel decomposition.
+#[derive(Debug, Clone)]
+struct ShardLane {
+    memory: LaneMemory,
+    read: Vec<f32>,
+}
+
 /// One batch lane of the distributed DNC-D: the lane-private shard memory
 /// units plus the lane's merged read vector.
 #[derive(Debug, Clone)]
 struct LaneD {
-    shards: Vec<MemoryUnit>,
+    shards: Vec<ShardLane>,
     read: Vec<f32>,
 }
 
@@ -249,7 +329,10 @@ struct LaneD {
 ///
 /// Lanes start from blank state; lane `b` of
 /// [`BatchDncD::step_batch`] reproduces [`DncD::step`] on lane `b`'s
-/// input stream exactly.
+/// input stream exactly. Each step fans the flattened `B × N_t` grid of
+/// shard memory units out across rayon worker threads — the ROADMAP's
+/// 2-D lane × shard decomposition — so even a single sharded lane
+/// (`lanes(1)`) parallelizes across its shards.
 #[derive(Debug, Clone)]
 pub struct BatchDncD {
     params: DncParams,
@@ -257,6 +340,7 @@ pub struct BatchDncD {
     interface_projs: Vec<Matrix>,
     output_proj: Matrix,
     merge: ReadMerge,
+    datapath: Datapath,
     lstm_states: Vec<LstmState>,
     lanes: Vec<LaneD>,
     last_read: Matrix,
@@ -271,11 +355,15 @@ impl BatchDncD {
     ///
     /// Panics if `batch == 0`, `tiles == 0` or `tiles >
     /// params.memory_size`.
+    #[deprecated(
+        note = "compose with `EngineBuilder::new(params).sharded(tiles).lanes(batch).seed(seed).build()`"
+    )]
     pub fn new(params: DncParams, tiles: usize, batch: usize, seed: u64) -> Self {
-        DncD::new(params, tiles, seed).batched(batch)
+        DncD::new(params, tiles, seed).batched_with(batch, Datapath::F32)
     }
 
-    /// Internal constructor used by [`DncD::batched`].
+    /// Internal constructor used by [`DncD::batched`] and the builder.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         params: DncParams,
         controller: Lstm,
@@ -284,12 +372,19 @@ impl BatchDncD {
         merge: ReadMerge,
         shard_cfgs: Vec<MemoryConfig>,
         batch: usize,
+        datapath: Datapath,
     ) -> Self {
         assert!(batch > 0, "need at least one batch lane");
         let read_width = params.read_heads * params.word_size;
         let lanes = (0..batch)
             .map(|_| LaneD {
-                shards: shard_cfgs.iter().map(|cfg| MemoryUnit::new(*cfg)).collect(),
+                shards: shard_cfgs
+                    .iter()
+                    .map(|cfg| ShardLane {
+                        memory: LaneMemory::new(*cfg, datapath),
+                        read: Vec::new(),
+                    })
+                    .collect(),
                 read: vec![0.0; read_width],
             })
             .collect();
@@ -299,6 +394,7 @@ impl BatchDncD {
             interface_projs,
             output_proj,
             merge,
+            datapath,
             lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
             lanes,
             last_read: Matrix::zeros(batch, read_width),
@@ -321,9 +417,31 @@ impl BatchDncD {
         &self.params
     }
 
+    /// The numeric datapath of the shard memory units.
+    pub fn datapath(&self) -> Datapath {
+        self.datapath
+    }
+
     /// The `B × R·W` block of merged read vectors (row `b` is lane `b`).
     pub fn last_read(&self) -> &Matrix {
         &self.last_read
+    }
+
+    /// The `B × (H + R·W)` feature block `[h_t ; v_r]` per lane — the
+    /// batched analogue of [`DncD::last_features`].
+    pub fn last_features(&self) -> Matrix {
+        Matrix::hcat(&self.last_hidden, &self.last_read)
+    }
+
+    /// Kernel profile aggregated across every lane's shard memory units.
+    pub fn profile(&self) -> KernelProfile {
+        let mut p = KernelProfile::new();
+        for lane in &self.lanes {
+            for shard in &lane.shards {
+                p.merge(shard.memory.unit().profile());
+            }
+        }
+        p
     }
 
     /// Replaces the read-merge weights used by every lane.
@@ -341,7 +459,8 @@ impl BatchDncD {
         let read_width = self.params.read_heads * self.params.word_size;
         for lane in &mut self.lanes {
             for shard in &mut lane.shards {
-                shard.reset();
+                shard.memory.reset();
+                shard.read.clear();
             }
             lane.read = vec![0.0; read_width];
         }
@@ -356,9 +475,12 @@ impl BatchDncD {
     /// returning the `B × output_size` block of outputs.
     ///
     /// The controller and every shard's interface projection run batched
-    /// over all lanes; each lane then steps its `N_t` shard memory units
-    /// and merges the shard reads (Eq. 4), with lanes fanned out across
-    /// rayon worker threads.
+    /// over all lanes; the `B × N_t` grid of shard memory units is then
+    /// flattened into **one** parallel task list (each task is one
+    /// shard of one lane), and the per-lane shard reads are merged
+    /// (Eq. 4) deterministically afterwards. The flat grid keeps every
+    /// worker busy even when `B < threads` — the case the sequential
+    /// shard loop used to leave on the table.
     ///
     /// # Panics
     ///
@@ -376,21 +498,25 @@ impl BatchDncD {
         let raw_per_shard: Vec<Matrix> =
             self.interface_projs.iter().map(|proj| iface_in.matmul_nt(proj)).collect();
 
+        // 2-D decomposition: every (lane, shard) pair is one task. Task
+        // i serves lane i / N_t, shard i % N_t.
+        let tiles = self.interface_projs.len();
         let (w, r) = (self.params.word_size, self.params.read_heads);
-        let (raws, merge) = (&raw_per_shard, &self.merge);
-        self.lanes.par_iter_mut().enumerate().for_each(|(b, lane)| {
-            let shard_reads: Vec<Vec<f32>> = lane
-                .shards
-                .iter_mut()
-                .zip(raws)
-                .map(|(shard, raw)| {
-                    let iv = InterfaceVector::parse(raw.row(b), w, r);
-                    shard.step(&iv).flattened()
-                })
-                .collect();
-            lane.read = merge.merge(&shard_reads);
+        let raws = &raw_per_shard;
+        let mut tasks: Vec<&mut ShardLane> =
+            self.lanes.iter_mut().flat_map(|lane| lane.shards.iter_mut()).collect();
+        tasks.par_iter_mut().enumerate().for_each(|(i, shard)| {
+            let (b, s) = (i / tiles, i % tiles);
+            let iv = InterfaceVector::parse(raws[s].row(b), w, r);
+            shard.read = shard.memory.step(&iv).flattened();
         });
-        for (b, lane) in self.lanes.iter().enumerate() {
+
+        // Merge shard reads per lane (Eq. 4) — sequential and
+        // deterministic regardless of task scheduling above.
+        for (b, lane) in self.lanes.iter_mut().enumerate() {
+            let shard_reads: Vec<&[f32]> =
+                lane.shards.iter().map(|s| s.read.as_slice()).collect();
+            lane.read = self.merge.merge_slices(&shard_reads);
             self.last_read.row_mut(b).copy_from_slice(&lane.read);
         }
 
@@ -410,8 +536,7 @@ impl BatchDncD {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::memory::SorterKind;
-    use crate::allocation::SkimRate;
+    use crate::builder::EngineBuilder;
 
     fn params() -> DncParams {
         DncParams::new(16, 4, 2).with_hidden(24).with_io(5, 6)
@@ -441,7 +566,7 @@ mod tests {
     fn batch_dnc_matches_sequential_lanes_exactly() {
         let (batch, steps) = (4, 6);
         let lanes = lane_inputs(batch, steps, 5);
-        let mut batched = BatchDnc::new(params(), batch, 11);
+        let mut batched = Dnc::new(params(), 11).batched_with(batch, Datapath::F32);
         let mut sequential: Vec<_> = (0..batch).map(|_| Dnc::new(params(), 11)).collect();
         for t in 0..steps {
             let y = batched.step_batch(&step_block(&lanes, t));
@@ -456,7 +581,7 @@ mod tests {
     fn batch_dncd_matches_sequential_lanes_exactly() {
         let (batch, steps) = (3, 5);
         let lanes = lane_inputs(batch, steps, 5);
-        let mut batched = BatchDncD::new(params(), 4, batch, 23);
+        let mut batched = DncD::new(params(), 4, 23).batched_with(batch, Datapath::F32);
         let mut sequential: Vec<_> = (0..batch).map(|_| DncD::new(params(), 4, 23)).collect();
         for t in 0..steps {
             let y = batched.step_batch(&step_block(&lanes, t));
@@ -468,27 +593,9 @@ mod tests {
     }
 
     #[test]
-    fn hardware_feature_configs_batch_identically() {
-        let cfg = MemoryConfig::new(16, 4, 2)
-            .with_sorter(SorterKind::TwoStage { tiles: 4 })
-            .with_skim(SkimRate::new(0.2))
-            .with_approx_softmax(true);
-        let lanes = lane_inputs(3, 4, 5);
-        let mut batched = BatchDnc::with_memory_config(params(), cfg, 3, 5);
-        let mut sequential: Vec<_> =
-            (0..3).map(|_| Dnc::with_memory_config(params(), cfg, 5)).collect();
-        for t in 0..4 {
-            let y = batched.step_batch(&step_block(&lanes, t));
-            for (b, dnc) in sequential.iter_mut().enumerate() {
-                assert_eq!(y.row(b), &dnc.step(&lanes[b][t])[..], "lane {b} t {t}");
-            }
-        }
-    }
-
-    #[test]
     fn reset_restores_blank_lanes() {
         let lanes = lane_inputs(2, 3, 5);
-        let mut batched = BatchDnc::new(params(), 2, 9);
+        let mut batched = Dnc::new(params(), 9).batched_with(2, Datapath::F32);
         let first = batched.step_batch(&step_block(&lanes, 0));
         for t in 1..3 {
             batched.step_batch(&step_block(&lanes, t));
@@ -499,6 +606,22 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_builder_path() {
+        // The old constructors must stay behaviour-identical to their
+        // builder equivalents so downstream code migrates gracefully.
+        let x = Matrix::filled(2, 5, 0.25);
+        let mut shim = BatchDnc::new(params(), 2, 31);
+        let mut built = EngineBuilder::new(params()).lanes(2).seed(31).build();
+        assert_eq!(shim.step_batch(&x), built.step_batch(&x));
+
+        let mut shim_d = BatchDncD::new(params(), 4, 2, 31);
+        let mut built_d = EngineBuilder::new(params()).sharded(4).lanes(2).seed(31).build();
+        assert_eq!(shim_d.step_batch(&x), built_d.step_batch(&x));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn batched_from_existing_model_shares_weights() {
         let dnc = Dnc::new(params(), 31);
         let mut batched = dnc.batched(2);
@@ -513,7 +636,7 @@ mod tests {
 
     #[test]
     fn profile_aggregates_all_lanes() {
-        let mut batched = BatchDnc::new(params(), 3, 1);
+        let mut batched = Dnc::new(params(), 1).batched_with(3, Datapath::F32);
         let x = Matrix::zeros(3, 5);
         batched.step_batch(&x);
         let p = batched.profile();
@@ -521,14 +644,42 @@ mod tests {
     }
 
     #[test]
+    fn dncd_profile_aggregates_lanes_and_shards() {
+        let mut batched = DncD::new(params(), 4, 1).batched_with(2, Datapath::F32);
+        batched.step_batch(&Matrix::zeros(2, 5));
+        let p = batched.profile();
+        assert_eq!(
+            p.calls(crate::profile::KernelId::MemoryRead),
+            2 * 4 * 2,
+            "2 lanes × 4 shards × 2 heads"
+        );
+    }
+
+    #[test]
+    fn quantized_datapath_lanes_hold_representable_state() {
+        let q = hima_tensor::QFormat::q16_16();
+        let mut batched = Dnc::new(params(), 3).batched_with(2, Datapath::Quantized(q));
+        assert_eq!(batched.datapath(), Datapath::Quantized(q));
+        let lanes = lane_inputs(2, 3, 5);
+        for t in 0..3 {
+            batched.step_batch(&step_block(&lanes, t));
+        }
+        for lane in 0..2 {
+            for &x in batched.memory(lane).memory().as_slice() {
+                assert!(q.is_representable(x), "lane {lane} holds non-Q16.16 value {x}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "need at least one batch lane")]
     fn rejects_zero_batch() {
-        BatchDnc::new(params(), 0, 1);
+        Dnc::new(params(), 1).batched_with(0, Datapath::F32);
     }
 
     #[test]
     #[should_panic(expected = "batch size mismatch")]
     fn rejects_wrong_batch_rows() {
-        BatchDnc::new(params(), 2, 1).step_batch(&Matrix::zeros(3, 5));
+        Dnc::new(params(), 1).batched_with(2, Datapath::F32).step_batch(&Matrix::zeros(3, 5));
     }
 }

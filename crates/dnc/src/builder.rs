@@ -1,0 +1,436 @@
+//! [`EngineBuilder`]: one constructor over every engine variant.
+//!
+//! The repo used to expose five parallel model types with near-duplicate
+//! but incompatible constructors (`Dnc::new`, `DncD::new`, `BatchDnc::new`,
+//! `BatchDncD::new`, `QuantizedMemoryUnit::new`), hard-wiring every harness
+//! to one variant. The builder instead composes **orthogonal axes** —
+//! mirroring how the HiMA hardware itself is one engine with configuration
+//! knobs:
+//!
+//! * **topology** — [`Topology::Monolithic`] (centralized DNC) or
+//!   [`Topology::Sharded`] (`N_t`-tile DNC-D with a [`ReadMerge`] policy),
+//! * **lanes** — how many independent sequences run through the shared
+//!   weights ([`EngineBuilder::lanes`]),
+//! * **datapath** — [`Datapath::F32`] or a fixed-point
+//!   [`Datapath::Quantized`] format,
+//! * plus the memory-unit feature knobs (skimming, PLA softmax, sorter)
+//!   and the weight seed.
+//!
+//! [`EngineBuilder::build`] returns a boxed [`MemoryEngine`], so harnesses
+//! sweep every axis from one code path.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_dnc::{DncParams, EngineBuilder, MemoryEngine};
+//! use hima_tensor::{Matrix, QFormat};
+//!
+//! let params = DncParams::new(64, 8, 2).with_io(4, 4);
+//! let mut engine = EngineBuilder::new(params)
+//!     .sharded(4)
+//!     .lanes(32)
+//!     .quantized(QFormat::q16_16())
+//!     .seed(7)
+//!     .build();
+//! let y = engine.step_batch(&Matrix::zeros(32, 4));
+//! assert_eq!(y.shape(), (32, 4));
+//! ```
+
+use crate::allocation::SkimRate;
+use crate::distributed::{DncD, ReadMerge};
+use crate::dnc::Dnc;
+use crate::engine::MemoryEngine;
+use crate::memory::{MemoryConfig, SorterKind};
+use crate::DncParams;
+use hima_tensor::QFormat;
+use serde::{Deserialize, Serialize};
+
+/// A built engine, stepped through the [`MemoryEngine`] trait.
+pub type BoxedEngine = Box<dyn MemoryEngine + Send>;
+
+/// Memory-engine topology: one memory, or `N_t` independent shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Centralized DNC: one memory unit with global usage sort and
+    /// linkage.
+    Monolithic,
+    /// Distributed DNC-D (paper §5.1): `tiles` row-wise shards, each
+    /// running the full soft write + soft read locally, with shard reads
+    /// merged by a [`ReadMerge`] weighting (Eq. 4).
+    Sharded {
+        /// Number of distributed shards `N_t`.
+        tiles: usize,
+    },
+}
+
+/// Numeric datapath of the engine's memory units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Datapath {
+    /// IEEE-754 single precision (the functional reference).
+    F32,
+    /// Fixed-point: every interface-vector field is rounded on arrival
+    /// and all stored state after each step, as in a hardware datapath.
+    Quantized(QFormat),
+}
+
+impl Datapath {
+    /// Human-readable label, e.g. `"f32"` or `"Q16.16"`.
+    pub fn label(&self) -> String {
+        match self {
+            Datapath::F32 => "f32".to_string(),
+            Datapath::Quantized(q) => q.label(),
+        }
+    }
+}
+
+/// The serializable axes of an [`EngineBuilder`]: everything that defines
+/// a model variant except the hyper-parameters, lane count and seed
+/// (which are runtime concerns of a particular run).
+///
+/// Configuration types such as
+/// [`EvalConfig`](../hima_tasks/eval/struct.EvalConfig.html) carry an
+/// `EngineSpec` instead of a bare tile count, so a harness config can name
+/// *any* engine variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineSpec {
+    /// Memory topology.
+    pub topology: Topology,
+    /// Numeric datapath.
+    pub datapath: Datapath,
+    /// Usage-skimming rate `K` applied inside every memory unit.
+    pub skim: SkimRate,
+    /// Whether the PLA+LUT softmax approximation is enabled.
+    pub approx_softmax: bool,
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        Self::monolithic()
+    }
+}
+
+impl EngineSpec {
+    /// Exact centralized configuration: monolithic, f32, no
+    /// approximations.
+    pub fn monolithic() -> Self {
+        Self {
+            topology: Topology::Monolithic,
+            datapath: Datapath::F32,
+            skim: SkimRate::NONE,
+            approx_softmax: false,
+        }
+    }
+
+    /// `tiles`-shard DNC-D configuration, f32, no approximations.
+    pub fn sharded(tiles: usize) -> Self {
+        Self { topology: Topology::Sharded { tiles }, ..Self::monolithic() }
+    }
+
+    /// Overrides the datapath.
+    pub fn with_datapath(mut self, datapath: Datapath) -> Self {
+        self.datapath = datapath;
+        self
+    }
+
+    /// Overrides the skimming rate.
+    pub fn with_skim(mut self, skim: SkimRate) -> Self {
+        self.skim = skim;
+        self
+    }
+
+    /// The shard count: 1 for monolithic, `N_t` for sharded.
+    pub fn tiles(&self) -> usize {
+        match self.topology {
+            Topology::Monolithic => 1,
+            Topology::Sharded { tiles } => tiles,
+        }
+    }
+
+    /// Human-readable label, e.g. `"monolithic/f32"` or
+    /// `"sharded(4)/Q16.16"`.
+    pub fn label(&self) -> String {
+        let topo = match self.topology {
+            Topology::Monolithic => "monolithic".to_string(),
+            Topology::Sharded { tiles } => format!("sharded({tiles})"),
+        };
+        format!("{topo}/{}", self.datapath.label())
+    }
+}
+
+/// Composable constructor for every [`MemoryEngine`] variant.
+///
+/// See the [module docs](self) for the axis overview and an example.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    params: DncParams,
+    spec: EngineSpec,
+    sorter: SorterKind,
+    lanes: usize,
+    merge: Option<ReadMerge>,
+    seed: u64,
+}
+
+impl EngineBuilder {
+    /// Starts from the exact centralized configuration: monolithic
+    /// topology, one lane, f32 datapath, centralized sorter, seed 0.
+    pub fn new(params: DncParams) -> Self {
+        Self {
+            params,
+            spec: EngineSpec::monolithic(),
+            sorter: SorterKind::Centralized,
+            lanes: 1,
+            merge: None,
+            seed: 0,
+        }
+    }
+
+    /// Selects the centralized (single-memory) topology.
+    pub fn monolithic(mut self) -> Self {
+        self.spec.topology = Topology::Monolithic;
+        self
+    }
+
+    /// Selects the `tiles`-shard DNC-D topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero or exceeds the memory rows.
+    pub fn sharded(mut self, tiles: usize) -> Self {
+        assert!(tiles > 0, "need at least one tile");
+        assert!(tiles <= self.params.memory_size, "more tiles than memory rows");
+        self.spec.topology = Topology::Sharded { tiles };
+        self
+    }
+
+    /// Sets the number of batch lanes `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn lanes(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "need at least one batch lane");
+        self.lanes = batch;
+        self
+    }
+
+    /// Selects the numeric datapath.
+    pub fn datapath(mut self, datapath: Datapath) -> Self {
+        self.spec.datapath = datapath;
+        self
+    }
+
+    /// Shorthand for a fixed-point datapath in the given format.
+    pub fn quantized(self, format: QFormat) -> Self {
+        self.datapath(Datapath::Quantized(format))
+    }
+
+    /// Enables usage skimming at rate `K` inside every memory unit.
+    pub fn skim(mut self, skim: SkimRate) -> Self {
+        self.spec.skim = skim;
+        self
+    }
+
+    /// Enables the PLA+LUT softmax approximation.
+    pub fn approx_softmax(mut self, on: bool) -> Self {
+        self.spec.approx_softmax = on;
+        self
+    }
+
+    /// Selects the usage-sorter model (monolithic topology only; DNC-D
+    /// shards always sort locally — the sharding *is* the hardware's
+    /// distributed sort).
+    pub fn sorter(mut self, sorter: SorterKind) -> Self {
+        self.sorter = sorter;
+        self
+    }
+
+    /// Sets the read-merge weights for a sharded engine (defaults to the
+    /// uniform merge). Ignored by monolithic topologies.
+    pub fn merge(mut self, merge: ReadMerge) -> Self {
+        self.merge = Some(merge);
+        self
+    }
+
+    /// Sets the weight seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Applies a serialized [`EngineSpec`] (topology, datapath, skim,
+    /// approximation), keeping the params, lanes, sorter and seed.
+    pub fn with_spec(mut self, spec: EngineSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// The builder's current serializable spec.
+    pub fn spec(&self) -> EngineSpec {
+        self.spec
+    }
+
+    /// The model hyper-parameters.
+    pub fn params(&self) -> &DncParams {
+        &self.params
+    }
+
+    /// Fits DNC-D read-merge weights `α` against a monolithic f32
+    /// reference with the same weights (least squares over `inputs`; see
+    /// [`ReadMerge::calibrate`]). Returns `None` for monolithic
+    /// topologies or empty input.
+    ///
+    /// Calibration always runs on the f32 reference pair — it determines
+    /// the merge *weights*, which a quantized engine then rounds through
+    /// its own datapath at inference.
+    pub fn calibrate_merge(&self, inputs: &[Vec<f32>]) -> Option<ReadMerge> {
+        let Topology::Sharded { tiles } = self.spec.topology else {
+            return None;
+        };
+        if inputs.is_empty() {
+            return None;
+        }
+        let mut reference = Dnc::new(self.params, self.seed);
+        let mut dncd = DncD::with_features(
+            self.params,
+            tiles,
+            self.seed,
+            self.spec.skim,
+            self.spec.approx_softmax,
+        );
+        dncd.calibrate_against(&mut reference, inputs);
+        Some(dncd.merge_weights().clone())
+    }
+
+    /// Returns a builder whose merge weights are calibrated on `inputs`
+    /// (no-op for monolithic topologies or empty input).
+    pub fn calibrated(self, inputs: &[Vec<f32>]) -> Self {
+        match self.calibrate_merge(inputs) {
+            Some(m) => self.merge(m),
+            None => self,
+        }
+    }
+
+    /// Builds the engine.
+    ///
+    /// Weights are derived from the seed exactly as the legacy
+    /// constructors derived them, so a monolithic f32 build is
+    /// bit-compatible with [`Dnc::new`] and a sharded build with
+    /// [`DncD::new`] (conformance-tested in
+    /// `crates/dnc/tests/conformance.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the merge weights' shard count disagrees with the
+    /// topology.
+    pub fn build(&self) -> BoxedEngine {
+        match self.spec.topology {
+            Topology::Monolithic => {
+                let mem_cfg = MemoryConfig::new(
+                    self.params.memory_size,
+                    self.params.word_size,
+                    self.params.read_heads,
+                )
+                .with_sorter(self.sorter)
+                .with_skim(self.spec.skim)
+                .with_approx_softmax(self.spec.approx_softmax);
+                let model = Dnc::with_memory_config(self.params, mem_cfg, self.seed);
+                Box::new(model.batched_with(self.lanes, self.spec.datapath))
+            }
+            Topology::Sharded { tiles } => {
+                let mut model = DncD::with_features(
+                    self.params,
+                    tiles,
+                    self.seed,
+                    self.spec.skim,
+                    self.spec.approx_softmax,
+                );
+                if let Some(merge) = &self.merge {
+                    model.set_merge(merge.clone());
+                }
+                Box::new(model.batched_with(self.lanes, self.spec.datapath))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hima_tensor::Matrix;
+
+    fn params() -> DncParams {
+        DncParams::new(16, 4, 1).with_hidden(16).with_io(4, 4)
+    }
+
+    #[test]
+    fn spec_round_trips_through_builder() {
+        let spec = EngineSpec::sharded(4)
+            .with_datapath(Datapath::Quantized(QFormat::q8_8()))
+            .with_skim(SkimRate::new(0.2));
+        let b = EngineBuilder::new(params()).with_spec(spec);
+        assert_eq!(b.spec(), spec);
+        assert_eq!(spec.tiles(), 4);
+        assert_eq!(spec.label(), "sharded(4)/Q8.8");
+        assert_eq!(EngineSpec::default().label(), "monolithic/f32");
+    }
+
+    #[test]
+    fn builds_every_axis_combination() {
+        for spec in [
+            EngineSpec::monolithic(),
+            EngineSpec::sharded(2),
+            EngineSpec::monolithic().with_datapath(Datapath::Quantized(QFormat::q16_16())),
+            EngineSpec::sharded(4).with_datapath(Datapath::Quantized(QFormat::q16_16())),
+        ] {
+            let mut engine =
+                EngineBuilder::new(params()).with_spec(spec).lanes(2).seed(3).build();
+            let y = engine.step_batch(&Matrix::zeros(2, 4));
+            assert_eq!(y.shape(), (2, 4), "{}", spec.label());
+            assert_eq!(engine.batch(), 2);
+        }
+    }
+
+    #[test]
+    fn merge_weights_reach_the_sharded_engine() {
+        let m = ReadMerge::from_weights(vec![1.0, 0.0]);
+        let mut custom =
+            EngineBuilder::new(params()).sharded(2).merge(m).seed(5).build();
+        let mut uniform = EngineBuilder::new(params()).sharded(2).seed(5).build();
+        let x = Matrix::filled(1, 4, 0.5);
+        for _ in 0..3 {
+            let a = custom.step_batch(&x);
+            let b = uniform.step_batch(&x);
+            assert_eq!(a.shape(), b.shape());
+        }
+        assert_ne!(
+            custom.last_read_rows().row(0),
+            uniform.last_read_rows().row(0),
+            "merge policy must change the merged read"
+        );
+    }
+
+    #[test]
+    fn calibrated_builder_recovers_single_shard_identity() {
+        // A 1-shard DNC-D is the centralized model; calibration must find
+        // alpha ≈ 1 and make the sharded engine track the monolithic one.
+        let inputs: Vec<Vec<f32>> =
+            (0..24).map(|t| (0..4).map(|i| ((t * 3 + i) as f32 * 0.21).sin()).collect()).collect();
+        let sharded = EngineBuilder::new(params()).sharded(1).seed(9);
+        let merge = sharded.calibrate_merge(&inputs).expect("sharded + inputs");
+        assert!((merge.alphas()[0] - 1.0).abs() < 1e-3, "{:?}", merge.alphas());
+        assert!(EngineBuilder::new(params()).seed(9).calibrate_merge(&inputs).is_none());
+        assert!(sharded.calibrate_merge(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "more tiles than memory rows")]
+    fn rejects_oversharding_early() {
+        let _ = EngineBuilder::new(params()).sharded(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one batch lane")]
+    fn rejects_zero_lanes() {
+        let _ = EngineBuilder::new(params()).lanes(0);
+    }
+}

@@ -21,7 +21,13 @@ use crate::memory::{MemoryConfig, MemoryUnit, SorterKind};
 use crate::profile::{KernelId, KernelProfile};
 use crate::DncParams;
 use hima_tensor::Matrix;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Minimum total memory elements (`N × W`) before a sequential `DncD`
+/// step fans its shards out across threads; smaller models pay more in
+/// per-step thread spawns than the shard work saves.
+const SHARD_PAR_MIN_ELEMS: usize = 16 * 1024;
 
 /// Trainable read-vector merge weights `α` (Eq. 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,12 +68,23 @@ impl ReadMerge {
     ///
     /// Panics if `shard_reads.len() != shards()` or widths differ.
     pub fn merge(&self, shard_reads: &[Vec<f32>]) -> Vec<f32> {
+        let slices: Vec<&[f32]> = shard_reads.iter().map(Vec::as_slice).collect();
+        self.merge_slices(&slices)
+    }
+
+    /// Borrowing variant of [`ReadMerge::merge`], used by the batched
+    /// engines to merge in-place shard read buffers without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_reads.len() != shards()` or widths differ.
+    pub fn merge_slices(&self, shard_reads: &[&[f32]]) -> Vec<f32> {
         assert_eq!(shard_reads.len(), self.alphas.len(), "shard count mismatch");
-        let width = shard_reads.first().map_or(0, Vec::len);
+        let width = shard_reads.first().map_or(0, |r| r.len());
         let mut out = vec![0.0; width];
         for (alpha, read) in self.alphas.iter().zip(shard_reads) {
             assert_eq!(read.len(), width, "shard read widths differ");
-            for (o, &v) in out.iter_mut().zip(read) {
+            for (o, &v) in out.iter_mut().zip(*read) {
                 *o += alpha * v;
             }
         }
@@ -329,16 +346,37 @@ impl DncD {
 
         // Each shard gets its own sub interface vector (projected from
         // [h ; x], matching `Dnc`) and executes the full soft write + soft
-        // read locally.
+        // read locally. Shards are mutually independent, so above a work
+        // threshold they fan out across rayon worker threads (the shard
+        // half of the 2-D lane × shard decomposition); below it the
+        // per-step thread-spawn overhead of tiny test models would
+        // dominate. Results land in per-shard slots either way, so the
+        // outcome is bit-identical at any thread count.
         let mut iface_in = Vec::with_capacity(hidden.len() + input.len());
         iface_in.extend_from_slice(&hidden);
         iface_in.extend_from_slice(input);
-        let mut shard_reads = Vec::with_capacity(self.shards.len());
-        for (shard, proj) in self.shards.iter_mut().zip(&self.interface_projs) {
-            let raw = proj.matvec(&iface_in);
-            let iv = InterfaceVector::parse(&raw, self.params.word_size, self.params.read_heads);
-            let read = shard.step(&iv);
-            shard_reads.push(read.flattened());
+        let (w, r) = (self.params.word_size, self.params.read_heads);
+        let mut shard_reads: Vec<Vec<f32>> = vec![Vec::new(); self.shards.len()];
+        let parallel = self.shards.len() > 1
+            && self.params.memory_size * self.params.word_size >= SHARD_PAR_MIN_ELEMS;
+        if parallel {
+            let iface = &iface_in;
+            let projs = &self.interface_projs;
+            let mut tasks: Vec<(&mut MemoryUnit, &mut Vec<f32>)> =
+                self.shards.iter_mut().zip(shard_reads.iter_mut()).collect();
+            tasks.par_iter_mut().enumerate().for_each(|(s, (shard, out))| {
+                let raw = projs[s].matvec(iface);
+                let iv = InterfaceVector::parse(&raw, w, r);
+                **out = shard.step(&iv).flattened();
+            });
+        } else {
+            for ((shard, proj), out) in
+                self.shards.iter_mut().zip(&self.interface_projs).zip(shard_reads.iter_mut())
+            {
+                let raw = proj.matvec(&iface_in);
+                let iv = InterfaceVector::parse(&raw, w, r);
+                *out = shard.step(&iv).flattened();
+            }
         }
 
         // Global read vector: trainable weighted sum (Eq. 4).
@@ -359,13 +397,22 @@ impl DncD {
     }
 
     /// Creates a [`crate::BatchDncD`] of `batch` blank lanes sharing this
-    /// model's weights, shard layout and read-merge — the data-parallel
-    /// entry point for driving many independent sequences at once.
+    /// model's weights, shard layout and read-merge.
     ///
     /// # Panics
     ///
     /// Panics if `batch == 0`.
+    #[deprecated(
+        note = "compose with `EngineBuilder::new(params).sharded(tiles).lanes(batch).merge(..).build()`"
+    )]
     pub fn batched(&self, batch: usize) -> crate::BatchDncD {
+        self.batched_with(batch, crate::Datapath::F32)
+    }
+
+    /// Builder plumbing: `batch` blank lanes sharing this model's weights,
+    /// shard layout and read-merge, with shard memory units on the given
+    /// datapath.
+    pub(crate) fn batched_with(&self, batch: usize, datapath: crate::Datapath) -> crate::BatchDncD {
         crate::BatchDncD::from_parts(
             self.params,
             self.controller.clone(),
@@ -374,6 +421,7 @@ impl DncD {
             self.merge.clone(),
             self.shards.iter().map(|s| *s.config()).collect(),
             batch,
+            datapath,
         )
     }
 

@@ -189,13 +189,19 @@ impl Dnc {
     }
 
     /// Creates a [`crate::BatchDnc`] of `batch` blank lanes sharing this
-    /// model's weights and memory configuration — the data-parallel entry
-    /// point for driving many independent sequences at once.
+    /// model's weights and memory configuration.
     ///
     /// # Panics
     ///
     /// Panics if `batch == 0`.
+    #[deprecated(note = "compose with `EngineBuilder::new(params).lanes(batch).seed(seed).build()`")]
     pub fn batched(&self, batch: usize) -> crate::BatchDnc {
+        self.batched_with(batch, crate::Datapath::F32)
+    }
+
+    /// Builder plumbing: `batch` blank lanes sharing this model's weights,
+    /// with the lane memory units on the given datapath.
+    pub(crate) fn batched_with(&self, batch: usize, datapath: crate::Datapath) -> crate::BatchDnc {
         crate::BatchDnc::from_parts(
             self.params,
             self.controller.clone(),
@@ -203,6 +209,7 @@ impl Dnc {
             self.output_proj.clone(),
             *self.memory.config(),
             batch,
+            datapath,
         )
     }
 }

@@ -1,0 +1,316 @@
+//! The unified [`MemoryEngine`] stepping interface.
+//!
+//! HiMA's premise is **one** memory-access engine serving many
+//! configurations — monolithic DNC, `N_t`-sharded DNC-D, batched lanes,
+//! fixed-point datapaths. This module gives the functional models the same
+//! shape: every variant ([`Dnc`], [`DncD`], [`BatchDnc`], [`BatchDncD`],
+//! and the quantized-datapath engines built by
+//! [`EngineBuilder`](crate::EngineBuilder)) steps through one trait, so
+//! harnesses and figure binaries sweep topology × lanes × datapath from a
+//! single code path.
+//!
+//! The canonical signatures are the *batched* ones: a step consumes a
+//! `B × input_size` block and produces a `B × output_size` block. The
+//! single-example models implement them with `B = 1`, and the provided
+//! [`MemoryEngine::step`] is the `B = 1` convenience on top.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_dnc::{DncParams, EngineBuilder, MemoryEngine};
+//! use hima_tensor::Matrix;
+//!
+//! let params = DncParams::new(32, 8, 2).with_io(4, 4);
+//! // Sweep two topologies through the same driver code.
+//! for engine in [
+//!     EngineBuilder::new(params).lanes(3).seed(7).build(),
+//!     EngineBuilder::new(params).sharded(4).lanes(3).seed(7).build(),
+//! ] {
+//!     let mut engine = engine;
+//!     let y = engine.step_batch(&Matrix::zeros(3, 4));
+//!     assert_eq!(y.shape(), (3, 4));
+//!     assert_eq!(engine.last_read_rows().rows(), 3);
+//! }
+//! ```
+
+use crate::batch::{BatchDnc, BatchDncD};
+use crate::distributed::DncD;
+use crate::dnc::Dnc;
+use crate::profile::KernelProfile;
+use crate::DncParams;
+use hima_tensor::Matrix;
+
+/// One stepping API over every DNC execution-engine variant.
+///
+/// Implementors process `B` independent lanes through shared weights; the
+/// monolithic single-example models are `B = 1` engines. All methods are
+/// object safe — harnesses typically hold a
+/// [`BoxedEngine`](crate::BoxedEngine) from
+/// [`EngineBuilder::build`](crate::EngineBuilder::build).
+pub trait MemoryEngine {
+    /// Runs one time step for every lane: `inputs` is `B × input_size`
+    /// (row `b` is lane `b`'s token); the result is `B × output_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`.
+    fn step_batch(&mut self, inputs: &Matrix) -> Matrix;
+
+    /// Number of batch lanes `B`.
+    fn batch(&self) -> usize;
+
+    /// The model hyper-parameters.
+    fn params(&self) -> &DncParams;
+
+    /// The `B × R·W` block of read vectors fed to the controller at the
+    /// next step (row `b` is lane `b`'s flattened — for DNC-D, merged —
+    /// read vectors).
+    fn last_read_rows(&self) -> Matrix;
+
+    /// Lane `lane`'s last read vector, borrowed — the allocation-free
+    /// accessor the per-step harness loops use (where
+    /// [`MemoryEngine::last_read_rows`] would clone the whole block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`.
+    fn last_read_row(&self, lane: usize) -> &[f32];
+
+    /// The `B × (H + R·W)` feature block `[h_t ; v_r]` per lane — what
+    /// the output projection consumes, and what a trained readout
+    /// regresses on.
+    fn last_features_rows(&self) -> Matrix;
+
+    /// Kernel profile aggregated over the controller and every lane's
+    /// memory unit(s).
+    fn profile(&self) -> KernelProfile;
+
+    /// Resets memory and recurrent state of every lane (weights
+    /// unchanged).
+    fn reset(&mut self);
+
+    /// Runs a whole synchronized sequence: `steps[t]` is the
+    /// `B × input_size` block for time `t`; returns one `B × output_size`
+    /// block per step.
+    fn run_sequence_batch(&mut self, steps: &[Matrix]) -> Vec<Matrix> {
+        steps.iter().map(|x| self.step_batch(x)).collect()
+    }
+
+    /// `B = 1` convenience: steps the single lane on `input` and returns
+    /// its output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has more than one lane or `input` has the
+    /// wrong width.
+    fn step(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(self.batch(), 1, "step() is the B=1 convenience; use step_batch()");
+        let y = self.step_batch(&Matrix::from_rows(&[input]));
+        y.row(0).to_vec()
+    }
+}
+
+impl MemoryEngine for Dnc {
+    fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        assert_eq!(inputs.rows(), 1, "Dnc is a single-lane engine");
+        let y = Dnc::step(self, inputs.row(0));
+        Matrix::from_rows(&[y])
+    }
+
+    fn batch(&self) -> usize {
+        1
+    }
+
+    fn params(&self) -> &DncParams {
+        Dnc::params(self)
+    }
+
+    fn last_read_rows(&self) -> Matrix {
+        Matrix::from_rows(&[self.last_read()])
+    }
+
+    fn last_read_row(&self, lane: usize) -> &[f32] {
+        assert_eq!(lane, 0, "Dnc is a single-lane engine");
+        self.last_read()
+    }
+
+    fn last_features_rows(&self) -> Matrix {
+        Matrix::from_rows(&[self.last_features()])
+    }
+
+    fn profile(&self) -> KernelProfile {
+        Dnc::profile(self)
+    }
+
+    fn reset(&mut self) {
+        Dnc::reset(self);
+    }
+}
+
+impl MemoryEngine for DncD {
+    fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        assert_eq!(inputs.rows(), 1, "DncD is a single-lane engine");
+        let y = DncD::step(self, inputs.row(0));
+        Matrix::from_rows(&[y])
+    }
+
+    fn batch(&self) -> usize {
+        1
+    }
+
+    fn params(&self) -> &DncParams {
+        DncD::params(self)
+    }
+
+    fn last_read_rows(&self) -> Matrix {
+        Matrix::from_rows(&[self.last_read()])
+    }
+
+    fn last_read_row(&self, lane: usize) -> &[f32] {
+        assert_eq!(lane, 0, "DncD is a single-lane engine");
+        self.last_read()
+    }
+
+    fn last_features_rows(&self) -> Matrix {
+        Matrix::from_rows(&[self.last_features()])
+    }
+
+    fn profile(&self) -> KernelProfile {
+        DncD::profile(self)
+    }
+
+    fn reset(&mut self) {
+        DncD::reset(self);
+    }
+}
+
+impl MemoryEngine for BatchDnc {
+    fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        BatchDnc::step_batch(self, inputs)
+    }
+
+    fn batch(&self) -> usize {
+        BatchDnc::batch(self)
+    }
+
+    fn params(&self) -> &DncParams {
+        BatchDnc::params(self)
+    }
+
+    fn last_read_rows(&self) -> Matrix {
+        self.last_read().clone()
+    }
+
+    fn last_read_row(&self, lane: usize) -> &[f32] {
+        self.last_read().row(lane)
+    }
+
+    fn last_features_rows(&self) -> Matrix {
+        self.last_features()
+    }
+
+    fn profile(&self) -> KernelProfile {
+        BatchDnc::profile(self)
+    }
+
+    fn reset(&mut self) {
+        BatchDnc::reset(self);
+    }
+}
+
+impl MemoryEngine for BatchDncD {
+    fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        BatchDncD::step_batch(self, inputs)
+    }
+
+    fn batch(&self) -> usize {
+        BatchDncD::batch(self)
+    }
+
+    fn params(&self) -> &DncParams {
+        BatchDncD::params(self)
+    }
+
+    fn last_read_rows(&self) -> Matrix {
+        self.last_read().clone()
+    }
+
+    fn last_read_row(&self, lane: usize) -> &[f32] {
+        self.last_read().row(lane)
+    }
+
+    fn last_features_rows(&self) -> Matrix {
+        self.last_features()
+    }
+
+    fn profile(&self) -> KernelProfile {
+        BatchDncD::profile(self)
+    }
+
+    fn reset(&mut self) {
+        BatchDncD::reset(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DncParams {
+        DncParams::new(16, 4, 1).with_hidden(16).with_io(4, 4)
+    }
+
+    /// Drives any engine through the trait only.
+    fn drive(engine: &mut dyn MemoryEngine, steps: usize) -> Matrix {
+        let b = engine.batch();
+        let mut last = Matrix::zeros(b, engine.params().output_size);
+        for t in 0..steps {
+            let x = Matrix::from_fn(b, engine.params().input_size, |lane, i| {
+                (((lane * 31 + t * 7 + i) as f32) * 0.19).sin()
+            });
+            last = engine.step_batch(&x);
+        }
+        last
+    }
+
+    #[test]
+    fn all_variants_step_through_the_trait() {
+        let mut dnc = Dnc::new(params(), 3);
+        let mut dncd = DncD::new(params(), 2, 3);
+        let engines: [&mut dyn MemoryEngine; 2] = [&mut dnc, &mut dncd];
+        for engine in engines {
+            let y = drive(engine, 3);
+            assert_eq!(y.shape(), (1, 4));
+            assert_eq!(engine.last_read_rows().shape(), (1, 4));
+            assert_eq!(engine.last_features_rows().shape(), (1, 16 + 4));
+        }
+    }
+
+    #[test]
+    fn trait_step_matches_inherent_step_for_dnc() {
+        let x = [0.3f32, -0.2, 0.5, 0.1];
+        let mut a = Dnc::new(params(), 9);
+        let mut b = Dnc::new(params(), 9);
+        let ya = Dnc::step(&mut a, &x);
+        let yb = MemoryEngine::step(&mut b, &x);
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn run_sequence_batch_default_matches_stepping() {
+        let steps: Vec<Matrix> =
+            (0..4).map(|t| Matrix::filled(1, 4, t as f32 * 0.1)).collect();
+        let mut a = Dnc::new(params(), 5);
+        let seq = MemoryEngine::run_sequence_batch(&mut a, &steps);
+        let mut b = Dnc::new(params(), 5);
+        for (x, want) in steps.iter().zip(&seq) {
+            assert_eq!(&MemoryEngine::step_batch(&mut b, x), want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-lane engine")]
+    fn dnc_rejects_multi_row_blocks() {
+        MemoryEngine::step_batch(&mut Dnc::new(params(), 1), &Matrix::zeros(2, 4));
+    }
+}

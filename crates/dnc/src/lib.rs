@@ -17,10 +17,31 @@
 //! * the LSTM controller and interface vector ([`lstm`], [`interface`]),
 //! * the complete model ([`dnc`]) and the distributed variant
 //!   ([`distributed`]),
+//! * the unified stepping API ([`engine`]) and the composable constructor
+//!   ([`builder`]) that together expose every variant — monolithic or
+//!   sharded topology × batch lanes × f32 or fixed-point datapath —
+//!   behind one [`MemoryEngine`] trait,
 //! * per-kernel instrumentation ([`profile`]) used to regenerate the
 //!   paper's runtime-breakdown figures.
 //!
 //! # Example
+//!
+//! The builder composes orthogonal axes instead of bespoke per-variant
+//! constructors:
+//!
+//! ```
+//! use hima_dnc::{DncParams, EngineBuilder, MemoryEngine};
+//! use hima_tensor::Matrix;
+//!
+//! let params = DncParams::new(32, 8, 2).with_io(4, 4);
+//! // A 4-shard DNC-D serving 3 lanes through shared weights.
+//! let mut engine = EngineBuilder::new(params).sharded(4).lanes(3).seed(42).build();
+//! let y = engine.step_batch(&Matrix::zeros(3, 4));
+//! assert_eq!(y.shape(), (3, 4));
+//! ```
+//!
+//! The sequential single-example models remain first-class for
+//! state-inspection workflows and implement the same trait:
 //!
 //! ```
 //! use hima_dnc::{Dnc, DncParams};
@@ -33,9 +54,11 @@
 
 pub mod allocation;
 pub mod batch;
+pub mod builder;
 pub mod content;
 pub mod dnc;
 pub mod distributed;
+pub mod engine;
 pub mod interface;
 pub mod linkage;
 pub mod lstm;
@@ -46,7 +69,9 @@ pub mod usage;
 
 pub use crate::dnc::Dnc;
 pub use batch::{BatchDnc, BatchDncD};
+pub use builder::{BoxedEngine, Datapath, EngineBuilder, EngineSpec, Topology};
 pub use distributed::{DncD, ReadMerge};
+pub use engine::MemoryEngine;
 pub use interface::InterfaceVector;
 pub use memory::{MemoryConfig, MemoryUnit};
 pub use profile::{KernelCategory, KernelId, KernelProfile};

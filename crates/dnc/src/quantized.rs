@@ -12,19 +12,28 @@
 
 use crate::interface::InterfaceVector;
 use crate::memory::{MemoryConfig, MemoryUnit, ReadResult};
-use hima_tensor::Fixed;
+use hima_tensor::QFormat;
 use serde::{Deserialize, Serialize};
 
-/// A memory unit whose inputs and stored state are rounded to Q16.16.
+/// A memory unit whose inputs and stored state are rounded to a fixed
+/// Q-format (Q16.16 by default, matching the paper's 32-bit datapath).
 #[derive(Debug, Clone)]
 pub struct QuantizedMemoryUnit {
     inner: MemoryUnit,
+    format: QFormat,
 }
 
 impl QuantizedMemoryUnit {
-    /// Creates a quantized unit with the given configuration.
+    /// Creates a Q16.16 quantized unit with the given configuration.
     pub fn new(config: MemoryConfig) -> Self {
-        Self { inner: MemoryUnit::new(config) }
+        Self::with_format(config, QFormat::q16_16())
+    }
+
+    /// Creates a quantized unit rounding to an arbitrary [`QFormat`] —
+    /// the datapath axis of
+    /// [`EngineBuilder::quantized`](crate::EngineBuilder::quantized).
+    pub fn with_format(config: MemoryConfig, format: QFormat) -> Self {
+        Self { inner: MemoryUnit::new(config), format }
     }
 
     /// The wrapped (quantized-state) memory unit.
@@ -32,16 +41,20 @@ impl QuantizedMemoryUnit {
         &self.inner
     }
 
+    /// The number format state is rounded to.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
     /// Runs one step: quantizes the interface vector, steps the unit,
     /// quantizes all state and the read vectors.
     pub fn step(&mut self, iv: &InterfaceVector) -> ReadResult {
-        let q_iv = quantize_interface(iv);
+        let fmt = self.format;
+        let q_iv = quantize_interface_with(iv, fmt);
         let mut out = self.inner.step(&q_iv);
-        self.inner.map_state(|x| Fixed::from_f32(x).to_f32());
+        self.inner.map_state(|x| fmt.quantize(x));
         for v in &mut out.read_vectors {
-            for x in v.iter_mut() {
-                *x = Fixed::from_f32(*x).to_f32();
-            }
+            fmt.quantize_slice_inplace(v);
         }
         out
     }
@@ -54,7 +67,12 @@ impl QuantizedMemoryUnit {
 
 /// Rounds every interface-vector field to Q16.16.
 pub fn quantize_interface(iv: &InterfaceVector) -> InterfaceVector {
-    let q = |x: f32| Fixed::from_f32(x).to_f32();
+    quantize_interface_with(iv, QFormat::q16_16())
+}
+
+/// Rounds every interface-vector field to the given format.
+pub fn quantize_interface_with(iv: &InterfaceVector, format: QFormat) -> InterfaceVector {
+    let q = |x: f32| format.quantize(x);
     let qv = |v: &[f32]| v.iter().map(|&x| q(x)).collect::<Vec<f32>>();
     InterfaceVector {
         read_keys: iv.read_keys.iter().map(|k| qv(k)).collect(),
@@ -143,9 +161,35 @@ impl DatapathStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hima_tensor::Fixed;
 
     fn config() -> MemoryConfig {
         MemoryConfig::new(32, 8, 2)
+    }
+
+    #[test]
+    fn custom_format_rounds_more_coarsely() {
+        let mut wide = QuantizedMemoryUnit::new(config());
+        let mut narrow = QuantizedMemoryUnit::with_format(config(), QFormat::q8_8());
+        assert_eq!(narrow.format(), QFormat::q8_8());
+        let len = 8 * 2 + 3 * 8 + 5 * 2 + 3;
+        let raw: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+        let iv = InterfaceVector::parse(&raw, 8, 2);
+        wide.step(&iv);
+        narrow.step(&iv);
+        for &x in narrow.inner().memory().as_slice() {
+            assert!(QFormat::q8_8().is_representable(x), "{x} not Q8.8");
+        }
+        // The narrow datapath diverges from the wide one.
+        let diff: f32 = wide
+            .inner()
+            .memory()
+            .as_slice()
+            .iter()
+            .zip(narrow.inner().memory().as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.0, "Q8.8 should measurably differ from Q16.16");
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Trait-level conformance + equivalence suite for [`MemoryEngine`].
+//!
+//! Every configuration the [`EngineBuilder`] can produce — topology
+//! (monolithic | sharded) × lanes (B ∈ {1, 3, 8}) × datapath (f32 |
+//! Q16.16) — must behave identically through the trait:
+//!
+//! * **batched ≡ sequential**: a `lanes(B)` engine reproduces `B`
+//!   independent `lanes(1)` engines bit-for-bit,
+//! * **legacy anchoring**: the builder's monolithic/sharded f32 builds are
+//!   bit-identical to `Dnc::new` / `DncD::new` with the same seed,
+//! * **determinism across thread counts**: lane/shard fan-out never
+//!   perturbs results,
+//! * **reset** restores blank-lane behaviour,
+//! * the shared trait surface (`batch`, `params`, `last_read_rows`,
+//!   `last_features_rows`, `profile`, `step`, `run_sequence_batch`) is
+//!   consistent for every variant.
+//!
+//! This suite replaces the per-type batched property tests that predated
+//! the unified API.
+
+use hima_dnc::{Datapath, Dnc, DncD, DncParams, EngineBuilder, EngineSpec};
+use hima_tensor::{Matrix, QFormat};
+
+fn params() -> DncParams {
+    DncParams::new(16, 4, 2).with_hidden(16).with_io(5, 5)
+}
+
+/// Every topology × datapath combination the suite enumerates, plus the
+/// §5.2 approximation features (skimming, PLA+LUT softmax) that the
+/// pre-trait property tests covered per-type.
+fn specs() -> Vec<EngineSpec> {
+    let q = Datapath::Quantized(QFormat::q16_16());
+    vec![
+        EngineSpec::monolithic(),
+        EngineSpec::sharded(2),
+        EngineSpec::sharded(4),
+        EngineSpec::monolithic().with_datapath(q),
+        EngineSpec::sharded(2).with_datapath(q),
+        EngineSpec::sharded(4).with_datapath(q),
+        EngineSpec::monolithic().with_skim(hima_dnc::allocation::SkimRate::new(0.2)),
+        EngineSpec::sharded(2).with_skim(hima_dnc::allocation::SkimRate::new(0.2)),
+        EngineSpec {
+            approx_softmax: true,
+            ..EngineSpec::monolithic().with_datapath(q)
+        },
+        EngineSpec { approx_softmax: true, ..EngineSpec::sharded(4) },
+    ]
+}
+
+const BATCHES: [usize; 3] = [1, 3, 8];
+const STEPS: usize = 4;
+const SEED: u64 = 29;
+
+fn builder(spec: EngineSpec) -> EngineBuilder {
+    EngineBuilder::new(params()).with_spec(spec).seed(SEED)
+}
+
+/// Per-lane input streams with lane-, time- and element-dependent values.
+fn lane_streams(batch: usize, steps: usize, width: usize) -> Vec<Vec<Vec<f32>>> {
+    (0..batch)
+        .map(|b| {
+            (0..steps)
+                .map(|t| {
+                    (0..width)
+                        .map(|i| (((b * 131 + t * 17 + i * 7) as f32) * 0.13).sin())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Stacks time step `t` of every lane stream into a `B × width` block.
+fn block_at(streams: &[Vec<Vec<f32>>], t: usize) -> Matrix {
+    let rows: Vec<&[f32]> = streams.iter().map(|s| s[t].as_slice()).collect();
+    Matrix::from_rows(&rows)
+}
+
+#[test]
+fn batched_stepping_matches_sequential_lanes_bit_for_bit() {
+    for spec in specs() {
+        for batch in BATCHES {
+            let streams = lane_streams(batch, STEPS, 5);
+            let mut batched = builder(spec).lanes(batch).build();
+            let mut sequential: Vec<_> =
+                (0..batch).map(|_| builder(spec).lanes(1).build()).collect();
+            for t in 0..STEPS {
+                let y = batched.step_batch(&block_at(&streams, t));
+                let reads = batched.last_read_rows();
+                for (b, lane) in sequential.iter_mut().enumerate() {
+                    let want = lane.step(&streams[b][t]);
+                    assert_eq!(
+                        y.row(b),
+                        &want[..],
+                        "{} B={batch} lane {b} t {t}: outputs diverged",
+                        spec.label()
+                    );
+                    assert_eq!(
+                        reads.row(b),
+                        lane.last_read_rows().row(0),
+                        "{} B={batch} lane {b} t {t}: read vectors diverged",
+                        spec.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn monolithic_f32_build_is_bit_identical_to_legacy_dnc() {
+    let streams = lane_streams(1, 6, 5);
+    let mut engine = builder(EngineSpec::monolithic()).build();
+    let mut legacy = Dnc::new(params(), SEED);
+    for (t, x) in streams[0].iter().enumerate() {
+        assert_eq!(engine.step(x), Dnc::step(&mut legacy, x), "t {t}");
+        assert_eq!(engine.last_read_rows().row(0), legacy.last_read(), "t {t}");
+    }
+}
+
+#[test]
+fn sharded_f32_build_is_bit_identical_to_legacy_dncd() {
+    for tiles in [1usize, 2, 4] {
+        let streams = lane_streams(1, 5, 5);
+        let mut engine = builder(EngineSpec::sharded(tiles)).build();
+        let mut legacy = DncD::new(params(), tiles, SEED);
+        for (t, x) in streams[0].iter().enumerate() {
+            assert_eq!(engine.step(x), DncD::step(&mut legacy, x), "tiles {tiles} t {t}");
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_thread_counts() {
+    for spec in specs() {
+        let streams = lane_streams(8, STEPS, 5);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(|| {
+                let mut engine = builder(spec).lanes(8).build();
+                (0..STEPS).map(|t| engine.step_batch(&block_at(&streams, t))).collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(1), run(4), "{}: thread count changed results", spec.label());
+    }
+}
+
+#[test]
+fn reset_restores_blank_lane_behaviour() {
+    for spec in specs() {
+        let streams = lane_streams(3, STEPS, 5);
+        let mut engine = builder(spec).lanes(3).build();
+        let first = engine.step_batch(&block_at(&streams, 0));
+        for t in 1..STEPS {
+            engine.step_batch(&block_at(&streams, t));
+        }
+        engine.reset();
+        let again = engine.step_batch(&block_at(&streams, 0));
+        assert_eq!(first, again, "{}: reset did not restore blank state", spec.label());
+    }
+}
+
+#[test]
+fn trait_surface_is_consistent_for_every_variant() {
+    let p = params();
+    for spec in specs() {
+        let mut engine = builder(spec).lanes(3).build();
+        assert_eq!(engine.batch(), 3, "{}", spec.label());
+        assert_eq!(engine.params(), &p, "{}", spec.label());
+        engine.step_batch(&Matrix::zeros(3, 5));
+        let read_width = p.read_heads * p.word_size;
+        assert_eq!(engine.last_read_rows().shape(), (3, read_width), "{}", spec.label());
+        assert_eq!(
+            engine.last_features_rows().shape(),
+            (3, p.hidden_size + read_width),
+            "{}",
+            spec.label()
+        );
+        // One soft read per head per memory unit per lane.
+        assert_eq!(
+            engine.profile().calls(hima_dnc::KernelId::MemoryRead),
+            (3 * spec.tiles() * p.read_heads) as u64,
+            "{}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn run_sequence_batch_matches_stepping() {
+    for spec in specs() {
+        let streams = lane_streams(3, STEPS, 5);
+        let blocks: Vec<Matrix> = (0..STEPS).map(|t| block_at(&streams, t)).collect();
+        let mut a = builder(spec).lanes(3).build();
+        let seq = a.run_sequence_batch(&blocks);
+        let mut b = builder(spec).lanes(3).build();
+        for (x, want) in blocks.iter().zip(&seq) {
+            assert_eq!(&b.step_batch(x), want, "{}", spec.label());
+        }
+    }
+}
+
+#[test]
+fn quantized_engines_expose_representable_reads() {
+    let q = QFormat::q16_16();
+    for spec in [
+        EngineSpec::monolithic().with_datapath(Datapath::Quantized(q)),
+        EngineSpec::sharded(4).with_datapath(Datapath::Quantized(q)),
+    ] {
+        let streams = lane_streams(2, STEPS, 5);
+        let mut engine = builder(spec).lanes(2).build();
+        for t in 0..STEPS {
+            engine.step_batch(&block_at(&streams, t));
+        }
+        // Monolithic reads come straight off the quantized unit; sharded
+        // reads are an f32 weighted sum of representable shard reads, so
+        // only the monolithic claim is exact representability.
+        if spec.tiles() == 1 {
+            let reads = engine.last_read_rows();
+            for b in 0..2 {
+                for &x in reads.row(b) {
+                    assert!(q.is_representable(x), "{}: {x} not Q16.16", spec.label());
+                }
+            }
+        }
+        // Both datapaths must diverge from the exact f32 engine.
+        let mut exact = builder(EngineSpec { datapath: Datapath::F32, ..spec }).lanes(2).build();
+        for t in 0..STEPS {
+            exact.step_batch(&block_at(&streams, t));
+        }
+        assert_ne!(
+            engine.last_read_rows().row(0),
+            exact.last_read_rows().row(0),
+            "{}: quantization should be observable",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn seed_determinism_and_divergence_through_the_builder() {
+    for spec in specs() {
+        let x = Matrix::filled(1, 5, 0.3);
+        let mut a = builder(spec).build();
+        let mut b = builder(spec).build();
+        let y = a.step_batch(&x);
+        assert_eq!(y, b.step_batch(&x), "{}", spec.label());
+        let mut c = EngineBuilder::new(params()).with_spec(spec).seed(SEED + 1).build();
+        assert_ne!(y, c.step_batch(&x), "{}", spec.label());
+    }
+}
+
+#[test]
+fn two_stage_sorter_axis_batches_identically() {
+    // The sorter knob lives on the builder (not the serializable spec):
+    // a monolithic engine with the two-stage hardware sort — combined
+    // with skimming and the PLA softmax, the deleted per-type property —
+    // must still batch bit-identically to its sequential lanes.
+    let hw = |lanes: usize| {
+        EngineBuilder::new(params())
+            .sorter(hima_dnc::memory::SorterKind::TwoStage { tiles: 4 })
+            .skim(hima_dnc::allocation::SkimRate::new(0.2))
+            .approx_softmax(true)
+            .seed(SEED)
+            .lanes(lanes)
+            .build()
+    };
+    let batch = 3;
+    let streams = lane_streams(batch, STEPS, 5);
+    let mut batched = hw(batch);
+    let mut sequential: Vec<_> = (0..batch).map(|_| hw(1)).collect();
+    for t in 0..STEPS {
+        let y = batched.step_batch(&block_at(&streams, t));
+        for (b, lane) in sequential.iter_mut().enumerate() {
+            assert_eq!(y.row(b), &lane.step(&streams[b][t])[..], "lane {b} t {t}");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "B=1 convenience")]
+fn step_convenience_rejects_multi_lane_engines() {
+    let mut engine = builder(EngineSpec::monolithic()).lanes(2).build();
+    engine.step(&[0.0; 5]);
+}

@@ -140,14 +140,13 @@ proptest! {
     }
 }
 
-// --- Batched-path equivalence -------------------------------------------
+// --- Batched-kernel equivalence -----------------------------------------
 //
-// The batched data-parallel execution path must be interchangeable with
-// the sequential per-example path: `step_batch(B)` over B lanes has to
-// reproduce B independent `step` runs within `EPSILON` for both the
-// centralized DNC and the distributed DNC-D. This is what keeps the
-// engine's cycle model and the Fig. 10 accuracy harness valid on top of
-// the batched path.
+// Kernel-level properties of the batched building blocks (row-block LSTM,
+// row-wise interface parse). Whole-model equivalence of the batched vs
+// sequential paths is covered across *every* topology × lanes × datapath
+// combination by the trait-level conformance suite in
+// `crates/dnc/tests/conformance.rs`.
 
 /// Per-lane input streams with lane-, time- and element-dependent values.
 fn lane_streams(batch: usize, steps: usize, width: usize, seed: u64) -> Vec<Vec<Vec<f32>>> {
@@ -174,60 +173,6 @@ fn block_at(streams: &[Vec<Vec<f32>>], t: usize) -> hima_tensor::Matrix {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn batch_dnc_equals_independent_sequential_runs(
-        batch in prop::sample::select(vec![1usize, 3, 8]),
-        seed in 0u64..100,
-        steps in 2usize..6,
-    ) {
-        let params = hima_dnc::DncParams::new(16, 4, 2).with_hidden(16).with_io(5, 5);
-        let streams = lane_streams(batch, steps, 5, seed);
-        let mut batched = hima_dnc::BatchDnc::new(params, batch, seed);
-        let mut lanes: Vec<_> = (0..batch).map(|_| hima_dnc::Dnc::new(params, seed)).collect();
-        for t in 0..steps {
-            let y = batched.step_batch(&block_at(&streams, t));
-            for (b, dnc) in lanes.iter_mut().enumerate() {
-                let want = dnc.step(&streams[b][t]);
-                prop_assert!(
-                    hima_tensor::all_close(y.row(b), &want, hima_tensor::EPSILON),
-                    "lane {} diverged at t {}", b, t
-                );
-                prop_assert!(
-                    hima_tensor::all_close(
-                        batched.last_read().row(b),
-                        dnc.last_read(),
-                        hima_tensor::EPSILON
-                    ),
-                    "lane {} read vectors diverged at t {}", b, t
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn batch_dncd_equals_independent_sequential_runs(
-        batch in prop::sample::select(vec![1usize, 3, 8]),
-        tiles in prop::sample::select(vec![1usize, 2, 4]),
-        seed in 0u64..100,
-    ) {
-        let params = hima_dnc::DncParams::new(16, 4, 1).with_hidden(16).with_io(4, 4);
-        let steps = 4;
-        let streams = lane_streams(batch, steps, 4, seed);
-        let mut batched = hima_dnc::BatchDncD::new(params, tiles, batch, seed);
-        let mut lanes: Vec<_> =
-            (0..batch).map(|_| hima_dnc::DncD::new(params, tiles, seed)).collect();
-        for t in 0..steps {
-            let y = batched.step_batch(&block_at(&streams, t));
-            for (b, dncd) in lanes.iter_mut().enumerate() {
-                let want = dncd.step(&streams[b][t]);
-                prop_assert!(
-                    hima_tensor::all_close(y.row(b), &want, hima_tensor::EPSILON),
-                    "lane {} diverged at t {}", b, t
-                );
-            }
-        }
-    }
 
     #[test]
     fn batch_lstm_equals_per_lane_steps(

@@ -77,7 +77,8 @@ pub(crate) fn keyed_cmp(a: &Keyed, b: &Keyed) -> std::cmp::Ordering {
     a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
 }
 
-/// Checks that `pairs` is sorted ascending under [`keyed_cmp`].
+/// Checks that `pairs` is sorted ascending under the keyed total order
+/// (ascending key, ties broken by index).
 pub fn is_sorted(pairs: &[Keyed]) -> bool {
     pairs.windows(2).all(|w| keyed_cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
 }

@@ -1,28 +1,39 @@
-//! DNC vs DNC-D relative-error evaluation (the Fig. 10 harness).
+//! Engine-vs-reference relative-error evaluation (the Fig. 10 harness).
 //!
-//! Both models share weights (same seed) and consume the same episodes.
-//! The DNC-D read-merge weights `α` are first fit on a calibration split
-//! (the paper's "trainable weighted summation"); the reported error is the
-//! fraction of query steps on the evaluation split where the *retrieved
-//! memory content* diverges — argmax of DNC-D's merged read vector vs
-//! argmax of DNC's read vector. Judging on read vectors rather than the
-//! final output isolates the quantity DNC-D approximates (the output
-//! projection is dominated by the shared controller state and would mask
-//! the divergence).
+//! The engine under test (any [`EngineSpec`] — sharded DNC-D, a
+//! fixed-point datapath, skimming, or combinations) shares weights (same
+//! seed) with a monolithic f32 reference and consumes the same episodes.
+//! For sharded engines the read-merge weights `α` are first fit on a
+//! calibration split (the paper's "trainable weighted summation"); the
+//! reported error is the fraction of query steps where the *retrieved
+//! memory content* diverges — argmax of the engine's (merged) read vector
+//! vs argmax of the reference's read vector. Judging on read vectors
+//! rather than the final output isolates the quantity the variant
+//! approximates (the output projection is dominated by the shared
+//! controller state and would mask the divergence).
+//!
+//! Both models run through the unified [`hima_dnc::MemoryEngine`]
+//! stepping API, one batch lane per episode.
 
-use crate::episode::{step_block, uniform_len, Episode};
+use crate::episode::Episode;
 use crate::tasks::{TaskSpec, TASKS, TOKEN_WIDTH};
 use hima_dnc::allocation::SkimRate;
-use hima_dnc::{Dnc, DncD, DncParams};
+use hima_dnc::{Datapath, DncParams, EngineBuilder, EngineSpec};
 use serde::{Deserialize, Serialize};
 
 /// Evaluation configuration.
+///
+/// The variant under test is named by a full [`EngineSpec`] (topology ×
+/// datapath × approximation features) rather than a bare tile count, so
+/// one config type covers every axis the [`EngineBuilder`] exposes. The
+/// presets route through one private base config; [`EvalConfig::small`]
+/// and [`EvalConfig::saturated`] are the overrides the experiment
+/// binaries and tests use.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EvalConfig {
-    /// Distributed tile count `N_t`.
-    pub tiles: usize,
-    /// Usage skimming rate applied inside DNC-D shards.
-    pub skim: SkimRate,
+    /// The engine variant under test (the reference is always the
+    /// monolithic f32 engine with the same weights).
+    pub engine: EngineSpec,
     /// Memory rows `N` of the centralized reference.
     pub memory_size: usize,
     /// Word size `W`.
@@ -40,12 +51,11 @@ pub struct EvalConfig {
 }
 
 impl EvalConfig {
-    /// A small, fast configuration suitable for tests and the Fig. 10
-    /// experiment binary.
-    pub fn small(tiles: usize) -> Self {
+    /// The shared base: small, fast geometry suitable for tests and the
+    /// Fig. 10 experiment binary, with a monolithic f32 engine spec.
+    fn base() -> Self {
         Self {
-            tiles,
-            skim: SkimRate::NONE,
+            engine: EngineSpec::monolithic(),
             memory_size: 64,
             word_size: 16,
             read_heads: 2,
@@ -56,10 +66,9 @@ impl EvalConfig {
         }
     }
 
-    /// Applies a skimming rate.
-    pub fn with_skim(mut self, k: SkimRate) -> Self {
-        self.skim = k;
-        self
+    /// A small, fast configuration testing a `tiles`-shard DNC-D.
+    pub fn small(tiles: usize) -> Self {
+        Self { engine: EngineSpec::sharded(tiles), ..Self::base() }
     }
 
     /// Memory-saturated configuration: shards small enough (8 rows at
@@ -72,10 +81,44 @@ impl EvalConfig {
         Self { memory_size: 32, ..Self::small(tiles) }
     }
 
+    /// Applies a skimming rate to the engine under test.
+    pub fn with_skim(mut self, k: SkimRate) -> Self {
+        self.engine.skim = k;
+        self
+    }
+
+    /// Applies a datapath to the engine under test.
+    pub fn with_datapath(mut self, datapath: Datapath) -> Self {
+        self.engine.datapath = datapath;
+        self
+    }
+
+    /// Replaces the whole engine spec under test.
+    pub fn with_engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The shard count of the engine under test (1 for monolithic).
+    pub fn tiles(&self) -> usize {
+        self.engine.tiles()
+    }
+
     fn params(&self) -> DncParams {
         DncParams::new(self.memory_size, self.word_size, self.read_heads)
             .with_hidden(self.hidden_size)
             .with_io(TOKEN_WIDTH, TOKEN_WIDTH)
+    }
+
+    /// The monolithic f32 reference builder (shared weights via the
+    /// shared seed).
+    fn reference_builder(&self) -> EngineBuilder {
+        EngineBuilder::new(self.params()).seed(self.seed)
+    }
+
+    /// The builder for the engine under test.
+    fn engine_builder(&self) -> EngineBuilder {
+        EngineBuilder::new(self.params()).with_spec(self.engine).seed(self.seed)
     }
 }
 
@@ -86,8 +129,8 @@ pub struct TaskError {
     pub task_id: usize,
     /// Task name.
     pub name: &'static str,
-    /// Fraction of query steps where DNC-D's retrieved content (read-vector
-    /// argmax) diverges from DNC's, in `[0,1]`.
+    /// Fraction of query steps where the engine's retrieved content
+    /// (read-vector argmax) diverges from the reference's, in `[0,1]`.
     pub error: f64,
     /// Mean normalized L2 distance between the two read vectors at query
     /// steps — a continuous divergence measure that resolves perturbations
@@ -108,31 +151,36 @@ pub fn mean_error(errors: &[TaskError]) -> f64 {
     errors.iter().map(|e| e.error).sum::<f64>() / errors.len() as f64
 }
 
-fn task_error(config: &EvalConfig, task: &TaskSpec) -> TaskError {
-    let params = config.params();
-    let mut dnc = Dnc::new(params, config.seed);
-    let mut dncd = DncD::with_features(params, config.tiles, config.seed, config.skim, false);
+/// Mean divergence across tasks.
+pub fn mean_divergence(errors: &[TaskError]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    errors.iter().map(|e| e.divergence).sum::<f64>() / errors.len() as f64
+}
 
-    // Calibrate α against the reference on held-out episodes.
+fn task_error(config: &EvalConfig, task: &TaskSpec) -> TaskError {
+    // Calibrate α against the reference on held-out episodes (no-op for
+    // monolithic engine specs).
     let calib = task.generate(config.calibration_episodes, config.seed ^ 0xCA11B);
     let calib_inputs: Vec<Vec<f32>> =
         calib.episodes.iter().flat_map(|e| e.inputs.clone()).collect();
-    if !calib_inputs.is_empty() {
-        dncd.calibrate_against(&mut dnc, &calib_inputs);
-    }
+    let engine_builder = config.engine_builder().calibrated(&calib_inputs);
 
     let eval = task.generate(config.eval_episodes, config.seed ^ 0xE7A1);
-    let (ref_reads, dist_reads) = run_pair_batched(&dnc, &dncd, &eval.episodes);
+    let ref_reads = collect_reads(&config.reference_builder(), &eval.episodes);
+    let dut_reads = collect_reads(&engine_builder, &eval.episodes);
+
     let mut queries = 0usize;
     let mut disagreements = 0usize;
     let mut divergence_sum = 0.0f64;
     for (b, episode) in eval.episodes.iter().enumerate() {
         for &q in &episode.query_steps {
             queries += 1;
-            if argmax(&ref_reads[b][q]) != argmax(&dist_reads[b][q]) {
+            if argmax(&ref_reads[b][q]) != argmax(&dut_reads[b][q]) {
                 disagreements += 1;
             }
-            divergence_sum += normalized_l2(&ref_reads[b][q], &dist_reads[b][q]);
+            divergence_sum += normalized_l2(&ref_reads[b][q], &dut_reads[b][q]);
         }
     }
     let error = if queries == 0 { 0.0 } else { disagreements as f64 / queries as f64 };
@@ -147,79 +195,14 @@ fn normalized_l2(a: &[f32], b: &[f32]) -> f64 {
     diff / (norm + 1e-9)
 }
 
-/// Mean divergence across tasks.
-pub fn mean_divergence(errors: &[TaskError]) -> f64 {
-    if errors.is_empty() {
-        return 0.0;
-    }
-    errors.iter().map(|e| e.divergence).sum::<f64>() / errors.len() as f64
-}
-
-/// Drives both models over every episode at once via the batched
-/// data-parallel path (one lane per episode, shared weights), collecting
-/// the *read vectors* (the retrieved memory content) at every step of
-/// every episode: `result[episode][step]`. Inference error is judged on
-/// what the memory unit returns — the quantity DNC-D approximates — rather
-/// than on the controller-dominated output projection.
-///
-/// Batched lanes start blank, exactly like the per-episode `reset()` of
-/// the sequential harness, and the batched models are bit-compatible with
-/// the sequential ones, so the reported errors are unchanged. Ragged
-/// episode lists (never produced by [`TaskSpec::generate`], whose episode
-/// length is fixed per task) fall back to per-episode sequential runs.
-#[allow(clippy::type_complexity)]
-fn run_pair_batched(
-    dnc: &Dnc,
-    dncd: &DncD,
-    episodes: &[Episode],
-) -> (Vec<Vec<Vec<f32>>>, Vec<Vec<Vec<f32>>>) {
-    if episodes.is_empty() {
-        return (Vec::new(), Vec::new());
-    }
-    let Some(steps) = uniform_len(episodes) else {
-        return run_pair_sequential(&mut dnc.clone(), &mut dncd.clone(), episodes);
-    };
-    let lanes = episodes.len();
-    let mut batch_dnc = dnc.batched(lanes);
-    let mut batch_dncd = dncd.batched(lanes);
-    let mut a = vec![Vec::with_capacity(steps); lanes];
-    let mut b = vec![Vec::with_capacity(steps); lanes];
-    for t in 0..steps {
-        let x = step_block(episodes, t);
-        batch_dnc.step_batch(&x);
-        batch_dncd.step_batch(&x);
-        for lane in 0..lanes {
-            a[lane].push(batch_dnc.last_read().row(lane).to_vec());
-            b[lane].push(batch_dncd.last_read().row(lane).to_vec());
-        }
-    }
-    (a, b)
-}
-
-/// Sequential fallback of [`run_pair_batched`] for ragged episode lists.
-#[allow(clippy::type_complexity)]
-fn run_pair_sequential(
-    dnc: &mut Dnc,
-    dncd: &mut DncD,
-    episodes: &[Episode],
-) -> (Vec<Vec<Vec<f32>>>, Vec<Vec<Vec<f32>>>) {
-    let mut a = Vec::with_capacity(episodes.len());
-    let mut b = Vec::with_capacity(episodes.len());
-    for episode in episodes {
-        dnc.reset();
-        dncd.reset();
-        let mut ea = Vec::with_capacity(episode.len());
-        let mut eb = Vec::with_capacity(episode.len());
-        for x in &episode.inputs {
-            dnc.step(x);
-            ea.push(dnc.last_read().to_vec());
-            dncd.step(x);
-            eb.push(dncd.last_read().to_vec());
-        }
-        a.push(ea);
-        b.push(eb);
-    }
-    (a, b)
+/// Builds one engine and drives it over every episode through the unified
+/// [`hima_dnc::MemoryEngine`] API, collecting the *read vectors* (the
+/// retrieved memory content) at every step of every episode:
+/// `result[episode][step]`. One shared implementation with the trained
+/// harness: [`crate::train::episode_features`] (batched one-lane-per-
+/// episode for uniform lengths, single-lane fallback for ragged lists).
+fn collect_reads(builder: &EngineBuilder, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
+    crate::train::episode_features(builder, episodes)
 }
 
 fn argmax(xs: &[f32]) -> usize {
@@ -235,6 +218,7 @@ fn argmax(xs: &[f32]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hima_tensor::QFormat;
 
     #[test]
     fn single_tile_has_zero_error() {
@@ -273,6 +257,31 @@ mod tests {
     }
 
     #[test]
+    fn quantized_datapath_diverges_but_tracks() {
+        // The Q16.16 datapath axis runs through the same harness: the
+        // fixed-point engine must measurably diverge from the f32
+        // reference yet stay a close approximation on this small model.
+        let f32_cfg = EvalConfig::small(4);
+        let q_cfg = f32_cfg.with_datapath(Datapath::Quantized(QFormat::q16_16()));
+        let f = mean_divergence(&relative_error(&f32_cfg));
+        let q = mean_divergence(&relative_error(&q_cfg));
+        assert!(q > 0.0, "quantization must be observable");
+        assert!(q < 2.0, "Q16.16 should stay a bounded approximation: {q}");
+        // Sanity: both specs exercise the same sharding, so the
+        // quantization effect rides on top of the sharding divergence.
+        assert!((q - f).abs() < 1.0, "datapath effect implausibly large: {f} vs {q}");
+    }
+
+    #[test]
+    fn monolithic_spec_matches_reference_exactly() {
+        // A monolithic f32 engine under test *is* the reference.
+        let cfg = EvalConfig::base().with_engine(EngineSpec::monolithic());
+        let errors = relative_error(&cfg);
+        assert_eq!(mean_error(&errors), 0.0);
+        assert_eq!(mean_divergence(&errors), 0.0);
+    }
+
+    #[test]
     fn errors_cover_all_tasks_and_are_probabilities() {
         let errors = relative_error(&EvalConfig::small(4));
         assert_eq!(errors.len(), 20);
@@ -290,9 +299,9 @@ mod tests {
 
     #[test]
     fn evaluation_deterministic_across_thread_counts() {
-        // Lane parallelism must not perturb results: per-lane RNG streams
-        // and per-lane state make the batched harness bit-deterministic
-        // whether the lanes run on one worker thread or many.
+        // Lane/shard parallelism must not perturb results: per-lane state
+        // and deterministic merges make the batched harness
+        // bit-deterministic whether it runs on one worker thread or many.
         let cfg = EvalConfig::small(2);
         let one = rayon::ThreadPoolBuilder::new()
             .num_threads(1)

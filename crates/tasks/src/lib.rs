@@ -10,10 +10,18 @@
 //! of DNC-D *relative to DNC* with shared weights and inputs, which is a
 //! property of the distributed approximation, not of the trained weights.
 //!
-//! [`eval`] runs both models on the same episodes and reports the relative
-//! error (fraction of query steps where DNC-D's output diverges from
-//! DNC's), after fitting the DNC-D read-merge weights `α` on a calibration
-//! split — the inference-time analogue of the paper's trainable merge.
+//! [`eval`] runs the engine under test and the reference on the same
+//! episodes and reports the relative error (fraction of query steps where
+//! the engine's retrieved content diverges from the reference's), after
+//! fitting the DNC-D read-merge weights `α` on a calibration split — the
+//! inference-time analogue of the paper's trainable merge.
+//!
+//! Both harnesses drive models exclusively through the unified
+//! [`hima_dnc::MemoryEngine`] API: an [`eval::EvalConfig`] names the
+//! variant under test with a full [`hima_dnc::EngineSpec`] (topology ×
+//! datapath × approximations), and [`train`] takes an
+//! [`hima_dnc::EngineBuilder`], so every sweep — shards, lanes,
+//! fixed-point — runs through one code path.
 
 pub mod babi_format;
 pub mod episode;

@@ -7,13 +7,17 @@
 //! recurrent reservoir and fit a linear map from its feature vector
 //! `[h_t ; v_r]` to one-hot answer targets by ridge regression, exactly as
 //! in echo-state networks. The readout sees the *read vectors* only — see
-//! [`FeatureModel`] for why — yielding absolute retrieval accuracy for
-//! both DNC and DNC-D: if DNC-D's sharded memory retrieves worse content,
-//! its trained readout answers fewer queries correctly.
+//! [`FeatureModel`] for why — yielding absolute retrieval accuracy for any
+//! engine variant: if a sharded or quantized engine retrieves worse
+//! content, its trained readout answers fewer queries correctly.
+//!
+//! The harness is generic over the unified [`MemoryEngine`] API: callers
+//! pass an [`EngineBuilder`] naming the variant, and the episode runner
+//! builds one batch lane per episode.
 
 use crate::episode::{step_block, uniform_len, Episode};
 use crate::tasks::{TaskSpec, TASKS, VOCAB};
-use hima_dnc::{Dnc, DncD, DncParams};
+use hima_dnc::{DncParams, EngineBuilder, MemoryEngine};
 use hima_tensor::linalg::ridge_regression;
 use hima_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -63,36 +67,42 @@ impl TrainedReadout {
     }
 }
 
-/// A model that can provide query-step features — implemented by both DNC
-/// variants so the trainer is generic over them.
+/// A model that can provide query-step features.
 ///
 /// The features are the **read vectors only** (not the controller hidden
 /// state): at a query step the controller trivially echoes the probed
 /// token, so a readout over `[h ; v_r]` would answer without touching the
-/// memory and mask the retrieval-quality difference between DNC and DNC-D.
-/// Restricting the readout to `v_r` makes the trained accuracy measure
-/// exactly what the memory returned.
+/// memory and mask the retrieval-quality difference between engine
+/// variants. Restricting the readout to `v_r` makes the trained accuracy
+/// measure exactly what the memory returned.
+///
+/// Every single-lane [`MemoryEngine`] implements this via the blanket
+/// impl, so the sequential feature path works for any variant the
+/// [`EngineBuilder`] can produce; [`episode_features`] adds the batched
+/// fast path on top.
 pub trait FeatureModel {
     /// Resets recurrent and memory state.
     fn reset_state(&mut self);
     /// Steps on one input and returns the memory-read feature vector.
     fn step_features(&mut self, input: &[f32]) -> Vec<f32>;
+}
 
-    /// Runs every episode from blank state and returns the feature vector
-    /// at every step of every episode: `result[episode][step]`.
-    ///
-    /// The default drives episodes one at a time; [`Dnc`] and [`DncD`]
-    /// override it with the batched data-parallel path (one lane per
-    /// episode, shared weights), which is bit-compatible with the
-    /// sequential loop.
-    fn episode_features(&mut self, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
-        sequential_episode_features(self, episodes)
+impl<E: MemoryEngine + ?Sized> FeatureModel for E {
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+
+    fn step_features(&mut self, input: &[f32]) -> Vec<f32> {
+        self.step(input);
+        self.last_read_row(0).to_vec()
     }
 }
 
-/// The one-episode-at-a-time feature runner shared by the trait default
-/// and the ragged-batch fallbacks of the batched overrides.
-fn sequential_episode_features<M: FeatureModel + ?Sized>(
+/// The one-episode-at-a-time feature runner: resets the model before each
+/// episode and collects the feature vector at every step. Used by the
+/// ragged-episode fallback of [`episode_features`] and available for any
+/// custom [`FeatureModel`].
+pub fn sequential_episode_features<M: FeatureModel + ?Sized>(
     model: &mut M,
     episodes: &[Episode],
 ) -> Vec<Vec<Vec<f32>>> {
@@ -105,72 +115,32 @@ fn sequential_episode_features<M: FeatureModel + ?Sized>(
         .collect()
 }
 
-/// Collects per-step read-vector features for all lanes of a batched run
-/// over same-length episodes.
-fn batched_read_features<M>(
-    episodes: &[Episode],
-    steps: usize,
-    mut batch: M,
-    mut step_fn: impl FnMut(&mut M, &hima_tensor::Matrix),
-    read_row: impl Fn(&M, usize) -> Vec<f32>,
-) -> Vec<Vec<Vec<f32>>> {
-    let lanes = episodes.len();
-    let mut features = vec![Vec::with_capacity(steps); lanes];
-    for t in 0..steps {
-        let x = step_block(episodes, t);
-        step_fn(&mut batch, &x);
-        for (lane, lane_features) in features.iter_mut().enumerate() {
-            lane_features.push(read_row(&batch, lane));
+/// Runs every episode from blank state through an engine built from
+/// `builder` and returns the read-vector features at every step of every
+/// episode: `result[episode][step]`.
+///
+/// Uniform-length episode lists run batched (one lane per episode, shared
+/// weights) — bit-compatible with the sequential loop (conformance
+/// tested); ragged lists fall back to a single-lane engine.
+pub fn episode_features(builder: &EngineBuilder, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
+    if episodes.is_empty() {
+        return Vec::new();
+    }
+    match uniform_len(episodes) {
+        Some(steps) => {
+            let mut engine = builder.clone().lanes(episodes.len()).build();
+            let mut features = vec![Vec::with_capacity(steps); episodes.len()];
+            for t in 0..steps {
+                engine.step_batch(&step_block(episodes, t));
+                for (lane, lane_features) in features.iter_mut().enumerate() {
+                    lane_features.push(engine.last_read_row(lane).to_vec());
+                }
+            }
+            features
         }
-    }
-    features
-}
-
-impl FeatureModel for Dnc {
-    fn reset_state(&mut self) {
-        self.reset();
-    }
-    fn step_features(&mut self, input: &[f32]) -> Vec<f32> {
-        self.step(input);
-        self.last_read().to_vec()
-    }
-    fn episode_features(&mut self, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
-        // `uniform_len` is `None` for empty or ragged episode lists.
-        match uniform_len(episodes) {
-            Some(steps) => batched_read_features(
-                episodes,
-                steps,
-                self.batched(episodes.len()),
-                |batch, x| {
-                    batch.step_batch(x);
-                },
-                |batch, lane| batch.last_read().row(lane).to_vec(),
-            ),
-            None => sequential_episode_features(self, episodes),
-        }
-    }
-}
-
-impl FeatureModel for DncD {
-    fn reset_state(&mut self) {
-        self.reset();
-    }
-    fn step_features(&mut self, input: &[f32]) -> Vec<f32> {
-        self.step(input);
-        self.last_read().to_vec()
-    }
-    fn episode_features(&mut self, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
-        match uniform_len(episodes) {
-            Some(steps) => batched_read_features(
-                episodes,
-                steps,
-                self.batched(episodes.len()),
-                |batch, x| {
-                    batch.step_batch(x);
-                },
-                |batch, lane| batch.last_read().row(lane).to_vec(),
-            ),
-            None => sequential_episode_features(self, episodes),
+        None => {
+            let mut engine = builder.clone().lanes(1).build();
+            sequential_episode_features(&mut *engine, episodes)
         }
     }
 }
@@ -179,11 +149,11 @@ impl FeatureModel for DncD {
 /// whose answers are the probed fact tokens. In the synthetic suite the
 /// expected answer at a query step is the token one-hot in the query input
 /// itself (a recognition target: did the memory retrieve the probed key?).
-pub fn collect_query_samples<M: FeatureModel>(
-    model: &mut M,
+pub fn collect_query_samples(
+    builder: &EngineBuilder,
     episodes: &[Episode],
 ) -> (Matrix, Matrix) {
-    let all_features = model.episode_features(episodes);
+    let all_features = episode_features(builder, episodes);
     let mut feats: Vec<Vec<f32>> = Vec::new();
     let mut targets: Vec<Vec<f32>> = Vec::new();
     for (ep, ep_features) in episodes.iter().zip(all_features) {
@@ -215,12 +185,12 @@ fn query_token(input: &[f32]) -> usize {
 }
 
 /// Accuracy of a trained readout on held-out episodes.
-pub fn readout_accuracy<M: FeatureModel>(
-    model: &mut M,
+pub fn readout_accuracy(
+    builder: &EngineBuilder,
     readout: &TrainedReadout,
     episodes: &[Episode],
 ) -> f64 {
-    let all_features = model.episode_features(episodes);
+    let all_features = episode_features(builder, episodes);
     let mut correct = 0usize;
     let mut total = 0usize;
     for (ep, ep_features) in episodes.iter().zip(all_features) {
@@ -251,8 +221,8 @@ pub struct TaskAccuracy {
     pub dncd: f64,
 }
 
-/// Trains per-task readouts for DNC and DNC-D (shared weights, `tiles`
-/// shards) and evaluates both on held-out episodes.
+/// Trains per-task readouts for the monolithic DNC and a `tiles`-shard
+/// DNC-D (shared weights) and evaluates both on held-out episodes.
 pub fn trained_accuracy(
     params: DncParams,
     tiles: usize,
@@ -261,16 +231,18 @@ pub fn trained_accuracy(
     eval_episodes: usize,
     lambda: f32,
 ) -> Vec<TaskAccuracy> {
+    let dnc = EngineBuilder::new(params).seed(seed);
+    let dncd = EngineBuilder::new(params).sharded(tiles).seed(seed);
     TASKS
         .iter()
-        .map(|task| trained_task_accuracy(task, params, tiles, seed, train_episodes, eval_episodes, lambda))
+        .map(|task| trained_task_accuracy(task, &dnc, &dncd, seed, train_episodes, eval_episodes, lambda))
         .collect()
 }
 
 fn trained_task_accuracy(
     task: &TaskSpec,
-    params: DncParams,
-    tiles: usize,
+    dnc: &EngineBuilder,
+    dncd: &EngineBuilder,
     seed: u64,
     train_episodes: usize,
     eval_episodes: usize,
@@ -279,15 +251,13 @@ fn trained_task_accuracy(
     let train = task.generate(train_episodes, seed ^ 0x7EA1).episodes;
     let eval = task.generate(eval_episodes, seed ^ 0x0E7A).episodes;
 
-    let mut dnc = Dnc::new(params, seed);
-    let (xf, yf) = collect_query_samples(&mut dnc, &train);
+    let (xf, yf) = collect_query_samples(dnc, &train);
     let dnc_readout = TrainedReadout::fit(&xf, &yf, lambda);
-    let dnc_acc = readout_accuracy(&mut dnc, &dnc_readout, &eval);
+    let dnc_acc = readout_accuracy(dnc, &dnc_readout, &eval);
 
-    let mut dncd = DncD::new(params, tiles, seed);
-    let (xd, yd) = collect_query_samples(&mut dncd, &train);
+    let (xd, yd) = collect_query_samples(dncd, &train);
     let dncd_readout = TrainedReadout::fit(&xd, &yd, lambda);
-    let dncd_acc = readout_accuracy(&mut dncd, &dncd_readout, &eval);
+    let dncd_acc = readout_accuracy(dncd, &dncd_readout, &eval);
 
     TaskAccuracy { task_id: task.id, name: task.name, dnc: dnc_acc, dncd: dncd_acc }
 }
@@ -330,12 +300,29 @@ mod tests {
     fn collect_samples_shapes() {
         let task = &TASKS[0];
         let episodes = task.generate(3, 5).episodes;
-        let mut dnc = Dnc::new(params(), 9);
-        let (x, y) = collect_query_samples(&mut dnc, &episodes);
+        let builder = EngineBuilder::new(params()).seed(9);
+        let (x, y) = collect_query_samples(&builder, &episodes);
         assert_eq!(x.rows(), 3 * task.queries);
         assert_eq!(y.rows(), x.rows());
         assert_eq!(y.cols(), VOCAB);
         assert_eq!(x.cols(), 2 * 16, "read-vector features only");
+    }
+
+    #[test]
+    fn batched_features_match_sequential_featuremodel_path() {
+        // The batched fast path of `episode_features` must agree with the
+        // generic single-lane FeatureModel loop for any engine spec.
+        let task = &TASKS[2];
+        let episodes = task.generate(3, 7).episodes;
+        for builder in [
+            EngineBuilder::new(params()).seed(5),
+            EngineBuilder::new(params()).sharded(4).seed(5),
+        ] {
+            let batched = episode_features(&builder, &episodes);
+            let mut single = builder.clone().lanes(1).build();
+            let sequential = sequential_episode_features(&mut *single, &episodes);
+            assert_eq!(batched, sequential);
+        }
     }
 
     #[test]
@@ -353,11 +340,11 @@ mod tests {
         for seed in [11u64, 21, 31] {
             let train = task.generate(60, seed).episodes;
             let eval = task.generate(20, seed ^ 1).episodes;
-            let mut dnc = Dnc::new(params(), 21);
-            let (x, y) = collect_query_samples(&mut dnc, &train);
+            let dnc = EngineBuilder::new(params()).seed(21);
+            let (x, y) = collect_query_samples(&dnc, &train);
             let readout = TrainedReadout::fit(&x, &y, 1e-2);
-            held_out += readout_accuracy(&mut dnc, &readout, &eval) / 3.0;
-            in_sample += readout_accuracy(&mut dnc, &readout, &train) / 3.0;
+            held_out += readout_accuracy(&dnc, &readout, &eval) / 3.0;
+            in_sample += readout_accuracy(&dnc, &readout, &train) / 3.0;
         }
         assert!(held_out > 1.5 * chance, "held-out {held_out:.3} vs chance {chance:.3}");
         assert!(in_sample > 2.0 * chance, "in-sample {in_sample:.3} vs chance {chance:.3}");

@@ -15,6 +15,104 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 pub const FRAC_BITS: u32 = 16;
 const ONE_RAW: i64 = 1 << FRAC_BITS;
 
+/// A signed two's-complement fixed-point *format* descriptor:
+/// `int_bits` integer bits (sign included) and `frac_bits` fractional
+/// bits, at most 32 bits total — the datapath widths a HiMA-class
+/// accelerator would implement.
+///
+/// Where [`Fixed`] is a Q16.16 *value*, `QFormat` describes a format and
+/// rounds `f32` values onto it, so the quantized-datapath models can sweep
+/// precision. `QFormat::q16_16()` reproduces the [`Fixed`] round trip
+/// bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use hima_tensor::QFormat;
+///
+/// let q = QFormat::q16_16();
+/// assert_eq!(q.quantize(1.5), 1.5);
+/// assert!((q.quantize(0.1) - 0.1).abs() <= q.resolution());
+/// assert_eq!(QFormat::new(8, 8).quantize(1e6), 127.99609375, "saturates");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    /// Integer bits, sign included.
+    pub int_bits: u32,
+    /// Fractional bits.
+    pub frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with the given integer (sign included) and
+    /// fractional bit widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero or the total exceeds 32 bits.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Self {
+        assert!(int_bits >= 1, "need at least a sign bit");
+        assert!(frac_bits >= 1, "need at least one fractional bit");
+        assert!(int_bits + frac_bits <= 32, "datapath width capped at 32 bits");
+        Self { int_bits, frac_bits }
+    }
+
+    /// The paper's 32-bit datapath: Q16.16, identical to [`Fixed`].
+    pub fn q16_16() -> Self {
+        Self::new(16, 16)
+    }
+
+    /// A narrow 16-bit datapath: Q8.8.
+    pub fn q8_8() -> Self {
+        Self::new(8, 8)
+    }
+
+    /// Total datapath width in bits.
+    pub fn total_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// Quantization step (`2^-frac_bits`).
+    pub fn resolution(&self) -> f32 {
+        1.0 / (1u64 << self.frac_bits) as f32
+    }
+
+    /// Rounds `x` to the nearest representable value, saturating at the
+    /// format's range (round-to-nearest, two's-complement saturation —
+    /// the usual hardware datapath behaviour).
+    pub fn quantize(&self, x: f32) -> f32 {
+        let scale = (1u64 << self.frac_bits) as f64;
+        let max_raw = ((1u64 << (self.total_bits() - 1)) - 1) as f64;
+        let min_raw = -((1u64 << (self.total_bits() - 1)) as f64);
+        // NaN clamps to NaN and casts to raw 0, matching `Fixed::from_f32`.
+        let raw = (x as f64 * scale).round().clamp(min_raw, max_raw) as i64;
+        raw as f32 / scale as f32
+    }
+
+    /// Quantizes a whole slice in place.
+    pub fn quantize_slice_inplace(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.quantize(*x);
+        }
+    }
+
+    /// Whether `x` is exactly representable in this format.
+    pub fn is_representable(&self, x: f32) -> bool {
+        self.quantize(x) == x
+    }
+
+    /// Human-readable label, e.g. `"Q16.16"`.
+    pub fn label(&self) -> String {
+        format!("Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
 /// A signed Q16.16 fixed-point number with saturating arithmetic.
 ///
 /// # Example
@@ -242,5 +340,51 @@ mod tests {
     fn ordering_follows_value() {
         assert!(Fixed::from_f32(1.0) < Fixed::from_f32(2.0));
         assert!(Fixed::from_f32(-5.0) < Fixed::from_f32(0.0));
+    }
+
+    #[test]
+    fn qformat_q16_16_matches_fixed_bit_for_bit() {
+        // The quantized-datapath engines switched from the `Fixed` round
+        // trip to `QFormat::quantize`; the default format must reproduce it
+        // exactly, including saturation.
+        let q = QFormat::q16_16();
+        for i in -4000i32..4000 {
+            let x = i as f32 * 17.773;
+            assert_eq!(q.quantize(x), Fixed::from_f32(x).to_f32(), "x={x}");
+        }
+        for x in [1e20f32, -1e20, 32768.5, -32769.0, f32::MAX, f32::MIN] {
+            assert_eq!(q.quantize(x), Fixed::from_f32(x).to_f32(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn qformat_narrow_formats_coarsen() {
+        let fine = QFormat::q16_16();
+        let coarse = QFormat::q8_8();
+        let x = 0.123456f32;
+        assert!((fine.quantize(x) - x).abs() <= fine.resolution());
+        assert!((coarse.quantize(x) - x).abs() <= coarse.resolution());
+        assert!(coarse.resolution() > fine.resolution());
+        // Q8.8 saturates at just under 128 (32767/256).
+        assert_eq!(coarse.quantize(1e6), 32767.0 / 256.0);
+        assert_eq!(coarse.quantize(-1e6), -128.0);
+    }
+
+    #[test]
+    fn qformat_representability_and_label() {
+        let q = QFormat::new(4, 4);
+        assert!(q.is_representable(0.25));
+        assert!(!q.is_representable(0.3));
+        assert_eq!(q.label(), "Q4.4");
+        assert_eq!(format!("{}", QFormat::q16_16()), "Q16.16");
+        let mut xs = [0.3f32, 1.26];
+        q.quantize_slice_inplace(&mut xs);
+        assert!(xs.iter().all(|&x| q.is_representable(x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "datapath width capped at 32 bits")]
+    fn qformat_rejects_overwide() {
+        QFormat::new(20, 20);
     }
 }

@@ -10,7 +10,7 @@
 //!   element-wise ops, row normalization),
 //! * vector helpers in [`vector`] (dot products, norms, cosine similarity),
 //! * activation functions in [`activation`] (`sigmoid`, `oneplus`, `tanh`),
-//! * exact and hardware-approximated softmax in [`softmax`] — the
+//! * exact and hardware-approximated softmax in [`mod@softmax`] — the
 //!   piece-wise-linear + LUT approximation of Section 5.2 of the paper,
 //! * Q-format fixed-point arithmetic in [`fixed`] used to model HiMA's
 //!   32-bit datapath.
@@ -35,7 +35,7 @@ pub mod matrix;
 pub mod softmax;
 pub mod vector;
 
-pub use fixed::Fixed;
+pub use fixed::{Fixed, QFormat};
 pub use matrix::Matrix;
 pub use softmax::{softmax, softmax_approx, softmax_rows, PlaSoftmax};
 

@@ -20,16 +20,36 @@ fn main() {
     println!("  memory invariants hold: {}", dnc.memory().check_invariants(1e-3));
 
     // ---------------------------------------------------------------
-    // 2. The distributed DNC-D with a trainable read merge.
+    // 2. One engine API: EngineBuilder composes topology × lanes ×
+    //    datapath, and every variant steps through MemoryEngine.
     // ---------------------------------------------------------------
-    println!("\n== DNC-D (4 shards) ==");
-    let mut dncd = DncD::new(params, 4, 42);
+    println!("\n== EngineBuilder sweep (one stepping code path) ==");
     let calib: Vec<Vec<f32>> = (0..16)
         .map(|t| (0..8).map(|i| ((t * 3 + i) as f32 * 0.4).sin()).collect())
         .collect();
-    let mut reference = Dnc::new(params, 42);
-    dncd.calibrate_against(&mut reference, &calib);
-    println!("  calibrated merge weights alpha = {:?}", dncd.merge_weights().alphas());
+    let specs = [
+        EngineSpec::monolithic(),
+        EngineSpec::sharded(4),
+        EngineSpec::sharded(4).with_datapath(Datapath::Quantized(QFormat::q16_16())),
+    ];
+    for spec in specs {
+        // 8 lanes through shared weights; sharded specs get their read
+        // merge calibrated against the monolithic reference.
+        let mut engine = EngineBuilder::new(params)
+            .with_spec(spec)
+            .lanes(8)
+            .seed(42)
+            .calibrated(&calib)
+            .build();
+        let y = engine.step_batch(&Matrix::zeros(8, 8));
+        println!(
+            "  {:<22} B={} -> output {}x{}",
+            spec.label(),
+            engine.batch(),
+            y.rows(),
+            y.cols()
+        );
+    }
 
     // ---------------------------------------------------------------
     // 3. Architectural model: the paper's headline speedups.

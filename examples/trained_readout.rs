@@ -53,11 +53,11 @@ fn main() {
     let train_eps = task.generate(30, 11).episodes;
     let eval_eps = task.generate(10, 12).episodes;
 
-    let mut dnc = Dnc::new(params, 21);
-    let (x, y) = collect_query_samples(&mut dnc, &train_eps);
+    let dnc = EngineBuilder::new(params).seed(21);
+    let (x, y) = collect_query_samples(&dnc, &train_eps);
     println!("collected {} training samples of dim {}", x.rows(), x.cols());
     let readout = TrainedReadout::fit(&x, &y, 1e-2);
-    let acc = readout_accuracy(&mut dnc, &readout, &eval_eps);
+    let acc = readout_accuracy(&dnc, &readout, &eval_eps);
     println!("DNC retrieval accuracy: {:.1}% (chance 8.3%)", acc * 100.0);
 
     // ---------------------------------------------------------------

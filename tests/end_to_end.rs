@@ -78,11 +78,13 @@ fn sequence_and_step_apis_agree() {
     for (x, want) in inputs.iter().zip(&seq) {
         assert_eq!(&b.step(x), want);
     }
-    let mut da = DncD::new(params, 4, 23);
-    let dseq = da.run_sequence(&inputs);
-    let mut db = DncD::new(params, 4, 23);
+    // Same agreement for a sharded engine built through the unified API.
+    let blocks: Vec<Matrix> = inputs.iter().map(|x| Matrix::from_rows(&[x.as_slice()])).collect();
+    let mut da = EngineBuilder::new(params).sharded(4).seed(23).build();
+    let dseq = da.run_sequence_batch(&blocks);
+    let mut db = EngineBuilder::new(params).sharded(4).seed(23).build();
     for (x, want) in inputs.iter().zip(&dseq) {
-        assert_eq!(&db.step(x), want);
+        assert_eq!(&db.step(x), want.row(0));
     }
 }
 

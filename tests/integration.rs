@@ -9,8 +9,11 @@ use hima::prelude::*;
 fn dncd_with_one_shard_is_the_centralized_dnc() {
     let params = DncParams::new(32, 8, 2).with_hidden(32).with_io(6, 6);
     let mut dnc = Dnc::new(params, 77);
-    let mut dncd = DncD::new(params, 1, 77);
-    dncd.set_merge(hima::dnc::ReadMerge::from_weights(vec![1.0]));
+    let mut dncd = EngineBuilder::new(params)
+        .sharded(1)
+        .merge(hima::dnc::ReadMerge::from_weights(vec![1.0]))
+        .seed(77)
+        .build();
     for t in 0..15 {
         let x: Vec<f32> = (0..6).map(|i| ((t * 7 + i * 3) as f32 * 0.19).sin()).collect();
         let a = dnc.step(&x);
