@@ -1,9 +1,10 @@
 //! Batched-path throughput through the unified `MemoryEngine` API:
 //! lane-steps/sec at batch sizes {1, 8, 32, 128}, at 1 thread and at all
 //! machine threads, against the sequential single-lane loop — plus a
-//! topology × datapath sweep driven from the same code path.
+//! topology × datapath sweep and a pipelined-vs-synchronous harness
+//! comparison, all driven from the same code path.
 //!
-//! Three effects are measured:
+//! Four effects are measured:
 //!
 //! * **batching** — the controller/interface/output projections run as one
 //!   shared-weight `B × K · Wᵀ` product per step instead of `B` mat-vecs
@@ -12,21 +13,45 @@
 //!   `B × N_t` of them for a sharded engine) fan out across rayon worker
 //!   threads as one flat task grid (visible in the N-thread column),
 //! * **datapath cost** — the fixed-point engines pay a rounding pass per
-//!   step, the price of modeling the hardware number format.
+//!   step, the price of modeling the hardware number format,
+//! * **harness pipelining** — the `hima-pipeline` producer/consumer
+//!   harness overlaps episode generation, batched stepping and metric
+//!   reduction (and reuses engines across batches instead of rebuilding
+//!   per chunk), against the strictly sequential harness at the same
+//!   batch size — with bit-identical metrics (pipeline conformance
+//!   suite).
 //!
-//! Every engine here is built by `EngineBuilder` and stepped through
-//! `MemoryEngine`; batched and sequential paths are bit-compatible
-//! (conformance suite in `crates/dnc/tests/conformance.rs`), so every
-//! speedup reported is a pure execution-path win.
+//! Flags:
+//!
+//! * `--json` — additionally write the measurements to
+//!   `BENCH_throughput.json` (schema below), so the perf trajectory is
+//!   tracked across PRs,
+//! * `--smoke` — short measurement windows and small episode counts, for
+//!   CI smoke runs.
+//!
+//! JSON schema (`schema_version` 1): `{ bench, schema_version,
+//! machine_threads, smoke, params: {memory_size, word_size, read_heads,
+//! hidden_size}, batched: [{batch, seq_steps_per_sec, batched_1t,
+//! batched_nt}], sweep: [{engine, one_thread, all_threads}],
+//! pipeline: [{batch, episodes, lane_steps, sync_lane_steps_per_sec,
+//! pipelined_lane_steps_per_sec, speedup}] }`.
 
+use hima::pipeline::{run_pipeline, EpisodeJob, PipelineSpec};
 use hima::prelude::*;
+use hima::tasks::tasks::TOKEN_WIDTH;
+use hima::tasks::{episode_features, episode_query_rows, Episode};
 use hima::tensor::{Matrix, QFormat};
 use rayon::ThreadPoolBuilder;
 use std::time::{Duration, Instant};
 
 const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
 const SWEEP_BATCH: usize = 32;
-const MEASURE: Duration = Duration::from_millis(400);
+/// Batch sizes of the pipelined-vs-synchronous harness comparison (the
+/// acceptance pair of the pipeline subsystem).
+const PIPELINE_BATCHES: [usize; 2] = [8, 32];
+/// The episode generator driven through both harnesses.
+const PIPELINE_TASK: usize = 2;
+const PIPELINE_SEED: u64 = 2021;
 
 fn params() -> DncParams {
     DncParams::new(128, 16, 2).with_hidden(64).with_io(16, 16)
@@ -36,6 +61,13 @@ fn builder() -> EngineBuilder {
     EngineBuilder::new(params()).seed(7)
 }
 
+/// The harness-comparison engine: same geometry as [`params`] but with
+/// task-token I/O, since both harnesses consume generated episodes.
+fn harness_builder() -> EngineBuilder {
+    let p = DncParams::new(128, 16, 2).with_hidden(64).with_io(TOKEN_WIDTH, TOKEN_WIDTH);
+    EngineBuilder::new(p).seed(7)
+}
+
 /// One `B × input` token block with per-lane variation.
 fn input_block(batch: usize, width: usize, t: usize) -> Matrix {
     Matrix::from_fn(batch, width, |b, i| (((b * 131 + t * 17 + i * 7) as f32) * 0.13).sin())
@@ -43,7 +75,7 @@ fn input_block(batch: usize, width: usize, t: usize) -> Matrix {
 
 /// Lane-steps/sec of the sequential path: `batch` independent single-lane
 /// engines stepped one after another.
-fn sequential_rate(base: &EngineBuilder, batch: usize) -> f64 {
+fn sequential_rate(base: &EngineBuilder, batch: usize, measure: Duration) -> f64 {
     let mut models: Vec<BoxedEngine> = (0..batch).map(|_| base.clone().lanes(1).build()).collect();
     let width = params().input_size;
     // Warm-up step primes allocations.
@@ -52,7 +84,7 @@ fn sequential_rate(base: &EngineBuilder, batch: usize) -> f64 {
     }
     let start = Instant::now();
     let mut t = 1usize;
-    while start.elapsed() < MEASURE {
+    while start.elapsed() < measure {
         let x = input_block(batch, width, t);
         for (b, m) in models.iter_mut().enumerate() {
             m.step(x.row(b));
@@ -63,7 +95,7 @@ fn sequential_rate(base: &EngineBuilder, batch: usize) -> f64 {
 }
 
 /// Lane-steps/sec of the batched path at a given worker-thread count.
-fn batched_rate(base: &EngineBuilder, batch: usize, threads: usize) -> f64 {
+fn batched_rate(base: &EngineBuilder, batch: usize, threads: usize, measure: Duration) -> f64 {
     let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
     let mut model = base.clone().lanes(batch).build();
     let width = params().input_size;
@@ -71,7 +103,7 @@ fn batched_rate(base: &EngineBuilder, batch: usize, threads: usize) -> f64 {
         model.step_batch(&input_block(batch, width, 0));
         let start = Instant::now();
         let mut t = 1usize;
-        while start.elapsed() < MEASURE {
+        while start.elapsed() < measure {
             model.step_batch(&input_block(batch, width, t));
             t += 1;
         }
@@ -79,12 +111,165 @@ fn batched_rate(base: &EngineBuilder, batch: usize, threads: usize) -> f64 {
     })
 }
 
+/// Lane-steps/sec of the **synchronous harness** at chunk size `batch`:
+/// generate a chunk of episodes, run them batched through
+/// [`episode_features`] (which builds a fresh engine per chunk — the
+/// existing eval/train code path), extract the query-sample rows, repeat.
+fn sync_harness_rate(base: &EngineBuilder, task: &TaskSpec, episodes: usize, batch: usize) -> f64 {
+    let start = Instant::now();
+    let mut rows = 0usize;
+    let mut done = 0usize;
+    while done < episodes {
+        let n = batch.min(episodes - done);
+        let chunk: Vec<Episode> =
+            (done..done + n).map(|i| task.episode_at(PIPELINE_SEED, i)).collect();
+        let features = episode_features(base, &chunk);
+        for (episode, feats) in chunk.iter().zip(&features) {
+            rows += episode_query_rows(episode, feats).0.len();
+        }
+        done += n;
+    }
+    assert!(rows > 0, "harness produced no query rows");
+    (episodes * task.episode_len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Lane-steps/sec of the **pipelined harness** over the same work: the
+/// `hima-pipeline` stages overlap generation, stepping and row
+/// extraction, with engines cached and reset across batch units.
+fn pipelined_harness_rate(
+    base: &EngineBuilder,
+    task: &TaskSpec,
+    episodes: usize,
+    batch: usize,
+    machine_threads: usize,
+) -> f64 {
+    let spec = PipelineSpec {
+        gen_workers: (machine_threads / 2).max(1),
+        engine_workers: machine_threads,
+        engine_threads: 1,
+        batch_size: batch,
+        channel_depth: 4,
+    };
+    let jobs =
+        [EpisodeJob::new(*task, episodes, PIPELINE_SEED, vec![base.clone()]).queries_only()];
+    let start = Instant::now();
+    let rows = run_pipeline(&spec, &jobs, |ctx| {
+        episode_query_rows(ctx.episode, &ctx.features[0]).0.len()
+    });
+    let total: usize = rows[0].iter().sum();
+    assert!(total > 0, "harness produced no query rows");
+    (episodes * task.episode_len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` paired measurement with one untimed warm-up of each
+/// path. The reps interleave the two measurements, so scheduler noise
+/// and clock drift hit both sides alike; taking each side's best rep
+/// shaves the remaining noise off the fixed-work timings.
+fn best_of_paired(
+    reps: usize,
+    mut a: impl FnMut() -> f64,
+    mut b: impl FnMut() -> f64,
+) -> (f64, f64) {
+    a();
+    b();
+    let mut best = (f64::MIN, f64::MIN);
+    for _ in 0..reps {
+        best.0 = best.0.max(a());
+        best.1 = best.1.max(b());
+    }
+    best
+}
+
+/// One row of the pipelined-vs-synchronous comparison.
+struct PipelineRow {
+    batch: usize,
+    episodes: usize,
+    lane_steps: usize,
+    sync: f64,
+    pipelined: f64,
+}
+
+fn json_escape_free(label: &str) -> String {
+    label.chars().filter(|c| *c != '"' && *c != '\\').collect()
+}
+
+/// Renders the measurements as the `BENCH_throughput.json` document.
+fn render_json(
+    machine_threads: usize,
+    smoke: bool,
+    batched: &[(usize, f64, f64, f64)],
+    sweep: &[(String, f64, f64)],
+    pipeline: &[PipelineRow],
+) -> String {
+    let p = params();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"throughput\",\n  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"machine_threads\": {machine_threads},\n"));
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!(
+        "  \"params\": {{\"memory_size\": {}, \"word_size\": {}, \"read_heads\": {}, \"hidden_size\": {}}},\n",
+        p.memory_size, p.word_size, p.read_heads, p.hidden_size
+    ));
+    s.push_str("  \"batched\": [\n");
+    for (i, (batch, seq, one, many)) in batched.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {batch}, \"seq_steps_per_sec\": {seq:.1}, \"batched_1t\": {one:.1}, \"batched_nt\": {many:.1}}}{}\n",
+            if i + 1 < batched.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"sweep\": [\n");
+    for (i, (label, one, many)) in sweep.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"one_thread\": {one:.1}, \"all_threads\": {many:.1}}}{}\n",
+            json_escape_free(label),
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"pipeline\": [\n");
+    for (i, row) in pipeline.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"episodes\": {}, \"lane_steps\": {}, \"sync_lane_steps_per_sec\": {:.1}, \"pipelined_lane_steps_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            row.batch,
+            row.episodes,
+            row.lane_steps,
+            row.sync,
+            row.pipelined,
+            row.pipelined / row.sync,
+            if i + 1 < pipeline.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn main() {
+    let mut json = false;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown flag {other:?} (expected --json and/or --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let measure = if smoke { Duration::from_millis(60) } else { Duration::from_millis(400) };
+    let pipeline_episodes = if smoke { 64 } else { 256 };
+    let reps = if smoke { 1 } else { 5 };
+
     let machine_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let p = params();
     hima_bench::header(&format!(
-        "Batched DNC throughput — N={} W={} R={} H={}, {} machine threads",
-        p.memory_size, p.word_size, p.read_heads, p.hidden_size, machine_threads
+        "Batched DNC throughput — N={} W={} R={} H={}, {} machine threads{}",
+        p.memory_size,
+        p.word_size,
+        p.read_heads,
+        p.hidden_size,
+        machine_threads,
+        if smoke { " (smoke mode)" } else { "" }
     ));
 
     println!(
@@ -92,11 +277,15 @@ fn main() {
         "batch", "seq steps/s", "batch@1T", &format!("batch@{machine_threads}T"), "x @1T", "x @NT"
     );
     let mono = builder();
+    let mut batched_rows: Vec<(usize, f64, f64, f64)> = Vec::new();
     for &batch in &BATCH_SIZES {
-        let seq = sequential_rate(&mono, batch);
-        let one = batched_rate(&mono, batch, 1);
-        let many =
-            if machine_threads > 1 { batched_rate(&mono, batch, machine_threads) } else { one };
+        let seq = sequential_rate(&mono, batch, measure);
+        let one = batched_rate(&mono, batch, 1, measure);
+        let many = if machine_threads > 1 {
+            batched_rate(&mono, batch, machine_threads, measure)
+        } else {
+            one
+        };
         println!(
             "{:>6} {:>16.0} {:>16.0} {:>16.0} {:>10} {:>10}",
             batch,
@@ -106,6 +295,7 @@ fn main() {
             hima_bench::times(one / seq),
             hima_bench::times(many / seq),
         );
+        batched_rows.push((batch, seq, one, many));
     }
     println!(
         "\nlane-steps/sec; 'x' columns are speedup of the batched path over\n\
@@ -126,10 +316,14 @@ fn main() {
         "{:<22} {:>16} {:>16} {:>10}",
         "engine", "lane-steps @1T", &format!("@{machine_threads}T"), "x threads"
     );
+    let mut sweep_rows: Vec<(String, f64, f64)> = Vec::new();
     for (label, b) in &sweep {
-        let one = batched_rate(b, SWEEP_BATCH, 1);
-        let many =
-            if machine_threads > 1 { batched_rate(b, SWEEP_BATCH, machine_threads) } else { one };
+        let one = batched_rate(b, SWEEP_BATCH, 1, measure);
+        let many = if machine_threads > 1 {
+            batched_rate(b, SWEEP_BATCH, machine_threads, measure)
+        } else {
+            one
+        };
         println!(
             "{:<22} {:>16.0} {:>16.0} {:>10}",
             label,
@@ -137,10 +331,65 @@ fn main() {
             many,
             hima_bench::times(many / one)
         );
+        sweep_rows.push((label.to_string(), one, many));
     }
     println!(
         "\nThe sharded rows fan a {SWEEP_BATCH} × 4 lane × shard task grid across\n\
          threads; the Q16.16 rows pay the per-step state-rounding pass of the\n\
          fixed-point datapath model."
     );
+
+    let task = &TASKS[PIPELINE_TASK];
+    hima_bench::header(&format!(
+        "Pipelined vs synchronous harness — {} episodes of task {} ({} steps each)",
+        pipeline_episodes,
+        task.id,
+        task.episode_len()
+    ));
+    println!(
+        "{:>6} {:>18} {:>18} {:>10}",
+        "batch", "sync lane-steps/s", "pipelined", "speedup"
+    );
+    let harness = harness_builder();
+    let mut pipeline_rows: Vec<PipelineRow> = Vec::new();
+    for &batch in &PIPELINE_BATCHES {
+        let (sync, pipelined) = best_of_paired(
+            reps,
+            || sync_harness_rate(&harness, task, pipeline_episodes, batch),
+            || pipelined_harness_rate(&harness, task, pipeline_episodes, batch, machine_threads),
+        );
+        println!(
+            "{:>6} {:>18.0} {:>18.0} {:>10}",
+            batch,
+            sync,
+            pipelined,
+            hima_bench::times(pipelined / sync)
+        );
+        pipeline_rows.push(PipelineRow {
+            batch,
+            episodes: pipeline_episodes,
+            lane_steps: pipeline_episodes * task.episode_len(),
+            sync,
+            pipelined,
+        });
+    }
+    println!(
+        "\nBoth harnesses generate, step and reduce the same episodes at the\n\
+         same batch size and produce bit-identical rows (pipeline conformance\n\
+         suite); the pipelined rate overlaps the stages over bounded channels\n\
+         and reuses engines across batches instead of rebuilding per chunk."
+    );
+
+    if json {
+        let doc =
+            render_json(machine_threads, smoke, &batched_rows, &sweep_rows, &pipeline_rows);
+        let path = "BENCH_throughput.json";
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -12,7 +12,9 @@
 //! * [`mem`] — submatrix-wise memory partitions and traffic models,
 //! * [`engine`] — the tiled architectural cycle model,
 //! * [`cost`] — area/power models calibrated to the paper's 40 nm results,
-//! * [`tasks`] — the synthetic bAbI-style accuracy suite.
+//! * [`tasks`] — the synthetic bAbI-style accuracy suite,
+//! * [`pipeline`] — the async producer/consumer episode pipeline
+//!   overlapping generation, batched stepping and metric reduction.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use hima_dnc as dnc;
 pub use hima_engine as engine;
 pub use hima_mem as mem;
 pub use hima_noc as noc;
+pub use hima_pipeline as pipeline;
 pub use hima_sort as sort;
 pub use hima_tasks as tasks;
 pub use hima_tensor as tensor;
@@ -61,6 +64,10 @@ pub mod prelude {
     pub use hima_noc::{Mode, NocSim, Topology, TopologyGraph, TrafficPattern};
     pub use hima_sort::{
         CentralizedMergeSorter, MdsaSorter, ParallelMergeSorter, SortEngine, TwoStageSorter,
+    };
+    pub use hima_pipeline::{
+        collect_query_samples_pipelined, readout_accuracy_pipelined, relative_error_pipelined,
+        run_pipeline, EpisodeCtx, EpisodeJob, FeatureSteps, PipelineSpec,
     };
     pub use hima_tasks::{relative_error, EvalConfig, TaskSpec, TASKS};
     pub use hima_tensor::{softmax, softmax_approx, Fixed, Matrix, PlaSoftmax, QFormat};

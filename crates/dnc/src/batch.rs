@@ -606,25 +606,24 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_builder_path() {
-        // The old constructors must stay behaviour-identical to their
-        // builder equivalents so downstream code migrates gracefully.
+    fn builder_matches_direct_batched_construction() {
+        // `EngineBuilder::build` and the internal `batched_with` plumbing
+        // are the same construction path; pin that they stay bit-equal so
+        // the builder remains the canonical constructor.
         let x = Matrix::filled(2, 5, 0.25);
-        let mut shim = BatchDnc::new(params(), 2, 31);
+        let mut direct = Dnc::new(params(), 31).batched_with(2, Datapath::F32);
         let mut built = EngineBuilder::new(params()).lanes(2).seed(31).build();
-        assert_eq!(shim.step_batch(&x), built.step_batch(&x));
+        assert_eq!(direct.step_batch(&x), built.step_batch(&x));
 
-        let mut shim_d = BatchDncD::new(params(), 4, 2, 31);
+        let mut direct_d = DncD::new(params(), 4, 31).batched_with(2, Datapath::F32);
         let mut built_d = EngineBuilder::new(params()).sharded(4).lanes(2).seed(31).build();
-        assert_eq!(shim_d.step_batch(&x), built_d.step_batch(&x));
+        assert_eq!(direct_d.step_batch(&x), built_d.step_batch(&x));
     }
 
     #[test]
-    #[allow(deprecated)]
     fn batched_from_existing_model_shares_weights() {
         let dnc = Dnc::new(params(), 31);
-        let mut batched = dnc.batched(2);
+        let mut batched = dnc.batched_with(2, Datapath::F32);
         let mut fresh = Dnc::new(params(), 31);
         let x = vec![0.25f32; 5];
         let block = Matrix::from_rows(&[x.as_slice(), x.as_slice()]);

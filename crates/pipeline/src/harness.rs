@@ -1,0 +1,114 @@
+//! Pipelined entry points for the eval/train harnesses.
+//!
+//! Each function here is the producer/consumer counterpart of a
+//! synchronous `hima-tasks` harness entry point, **bit-identical** to it
+//! for the same seed (conformance-tested across worker counts, batch
+//! sizes and channel depths in `tests/conformance.rs`):
+//!
+//! * [`relative_error_pipelined`] ↔ [`hima_tasks::relative_error`],
+//! * [`collect_query_samples_pipelined`] ↔
+//!   [`hima_tasks::collect_query_samples`],
+//! * [`readout_accuracy_pipelined`] ↔ [`hima_tasks::readout_accuracy`].
+//!
+//! The identity holds because both paths share their per-episode units
+//! (same episode RNG streams via [`TaskSpec::episode_at`], same
+//! per-episode partials via [`hima_tasks::episode_query_stats`] /
+//! [`hima_tasks::episode_query_rows`] /
+//! [`hima_tasks::episode_readout_counts`]) and fold them in episode-index
+//! order — and because an episode's features are independent of its
+//! batch-mates (the batched-equals-sequential conformance property of
+//! the engines).
+
+use crate::spec::PipelineSpec;
+use crate::stages::{run_pipeline, EpisodeJob};
+use hima_dnc::EngineBuilder;
+use hima_tasks::{
+    episode_query_rows, episode_query_stats, episode_readout_counts, task_error_from_stats,
+    EvalConfig, TaskError, TaskSpec, TrainedReadout, TASKS,
+};
+use hima_tensor::Matrix;
+
+/// Pipelined [`hima_tasks::relative_error`]: runs the full 20-task
+/// Fig. 10 suite as one pipeline — all tasks' episodes interleave through
+/// the stages, each stepped by the shared-weight reference engine and the
+/// calibrated engine under test — and folds the per-episode
+/// [`QueryStats`](hima_tasks::QueryStats) into per-task errors.
+///
+/// Bit-identical to the synchronous harness for the same config.
+pub fn relative_error_pipelined(config: &EvalConfig, spec: &PipelineSpec) -> Vec<TaskError> {
+    let jobs: Vec<EpisodeJob> = TASKS
+        .iter()
+        .map(|task| {
+            EpisodeJob::new(
+                *task,
+                config.eval_episodes,
+                config.evaluation_seed(),
+                vec![config.reference_builder(), config.calibrated_engine_builder(task)],
+            )
+            .queries_only()
+        })
+        .collect();
+    let stats = run_pipeline(spec, &jobs, |ctx| {
+        episode_query_stats(ctx.episode, &ctx.features[0], &ctx.features[1])
+    });
+    TASKS.iter().zip(&stats).map(|(task, s)| task_error_from_stats(task, s)).collect()
+}
+
+/// Pipelined [`hima_tasks::collect_query_samples`] over `episodes`
+/// episodes of `task` rooted at `seed`: generation, stepping and row
+/// extraction overlap, and the sample matrices assemble in episode-index
+/// order — bit-identical to the synchronous
+/// `collect_query_samples(builder, &task.generate(episodes, seed).episodes)`.
+///
+/// # Panics
+///
+/// Panics if the episodes contain no query steps (matching the
+/// synchronous contract).
+pub fn collect_query_samples_pipelined(
+    builder: &EngineBuilder,
+    task: &TaskSpec,
+    episodes: usize,
+    seed: u64,
+    spec: &PipelineSpec,
+) -> (Matrix, Matrix) {
+    let jobs =
+        [EpisodeJob::new(*task, episodes, seed, vec![builder.clone()]).queries_only()];
+    let rows = run_pipeline(spec, &jobs, |ctx| episode_query_rows(ctx.episode, &ctx.features[0]));
+    let mut feats: Vec<Vec<f32>> = Vec::new();
+    let mut targets: Vec<Vec<f32>> = Vec::new();
+    for (f, y) in rows.into_iter().next().expect("one job") {
+        feats.extend(f);
+        targets.extend(y);
+    }
+    assert!(!feats.is_empty(), "episodes contained no query steps");
+    (Matrix::from_rows(&feats), Matrix::from_rows(&targets))
+}
+
+/// Pipelined [`hima_tasks::readout_accuracy`] over `episodes` episodes of
+/// `task` rooted at `seed` — bit-identical to the synchronous
+/// `readout_accuracy(builder, readout, &task.generate(episodes, seed).episodes)`
+/// (the counts are integers, so the fold is exactly order-free).
+pub fn readout_accuracy_pipelined(
+    builder: &EngineBuilder,
+    readout: &TrainedReadout,
+    task: &TaskSpec,
+    episodes: usize,
+    seed: u64,
+    spec: &PipelineSpec,
+) -> f64 {
+    let jobs =
+        [EpisodeJob::new(*task, episodes, seed, vec![builder.clone()]).queries_only()];
+    let counts = run_pipeline(spec, &jobs, |ctx| {
+        episode_readout_counts(readout, ctx.episode, &ctx.features[0])
+    });
+    let (mut correct, mut total) = (0usize, 0usize);
+    for (c, n) in &counts[0] {
+        correct += c;
+        total += n;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}

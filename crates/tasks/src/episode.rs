@@ -80,17 +80,80 @@ pub fn uniform_len(episodes: &[Episode]) -> Option<usize> {
     episodes.iter().all(|e| e.len() == len).then_some(len)
 }
 
+/// Why a step block cannot be assembled from an episode slice — see
+/// [`try_step_block`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepBlockError {
+    /// The episode slice is empty: a step block has one row per episode,
+    /// so there is no width to infer.
+    Empty,
+    /// An episode is too short for the requested step — the slice is
+    /// non-uniform in length (or `t` is beyond even the longest episode).
+    /// Uniformity is the precondition for lock-step batched execution;
+    /// check it up front with [`uniform_len`].
+    StepOutOfRange {
+        /// Index (within the slice) of the offending episode.
+        episode: usize,
+        /// That episode's length.
+        len: usize,
+        /// The requested time step.
+        t: usize,
+    },
+}
+
+impl std::fmt::Display for StepBlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepBlockError::Empty => {
+                write!(f, "cannot build a step block from zero episodes")
+            }
+            StepBlockError::StepOutOfRange { episode, len, t } => write!(
+                f,
+                "episode {episode} has {len} steps but step {t} was requested \
+                 (non-uniform episode slice? check uniform_len() first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StepBlockError {}
+
 /// Stacks time step `t` of every episode into a `B × width` input block
 /// (row `b` is episode `b`'s token at time `t`) — the bridge between an
-/// [`EpisodeBatch`] and the batched `step_batch` model APIs.
+/// [`EpisodeBatch`] and the batched `step_batch` model APIs, or an error
+/// if the slice is empty or any episode is shorter than `t + 1` steps.
+///
+/// Callers stepping a slice in lock step should gate on [`uniform_len`]
+/// and then iterate `t` up to that length; this function is the checked
+/// fallback when that invariant is not established.
+pub fn try_step_block(episodes: &[Episode], t: usize) -> Result<Matrix, StepBlockError> {
+    if episodes.is_empty() {
+        return Err(StepBlockError::Empty);
+    }
+    for (episode, e) in episodes.iter().enumerate() {
+        if t >= e.len() {
+            return Err(StepBlockError::StepOutOfRange { episode, len: e.len(), t });
+        }
+    }
+    let rows: Vec<&[f32]> = episodes.iter().map(|e| e.inputs[t].as_slice()).collect();
+    Ok(Matrix::from_rows(&rows))
+}
+
+/// Stacks time step `t` of every episode into a `B × width` input block
+/// (row `b` is episode `b`'s token at time `t`) — the panicking form of
+/// [`try_step_block`].
 ///
 /// # Panics
 ///
-/// Panics if `episodes` is empty or `t` is out of range for any episode.
+/// Panics if `episodes` is empty or any episode has fewer than `t + 1`
+/// steps (in particular, when a non-uniform-length slice is stepped past
+/// its shortest episode). The panic message names the offending episode;
+/// use [`try_step_block`] to handle the condition instead.
 pub fn step_block(episodes: &[Episode], t: usize) -> Matrix {
-    assert!(!episodes.is_empty(), "cannot build a step block from zero episodes");
-    let rows: Vec<&[f32]> = episodes.iter().map(|e| e.inputs[t].as_slice()).collect();
-    Matrix::from_rows(&rows)
+    match try_step_block(episodes, t) {
+        Ok(block) => block,
+        Err(e) => panic!("step_block: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +186,68 @@ mod tests {
         let e2 = Episode::new(vec![vec![0.0]; 2], vec![1]);
         let b = EpisodeBatch { task_id: 1, episodes: vec![e1, e2] };
         assert_eq!(b.total_queries(), 3);
+    }
+
+    fn ep(steps: usize, queries: Vec<usize>) -> Episode {
+        Episode::new(vec![vec![0.0, 1.0]; steps], queries)
+    }
+
+    #[test]
+    fn empty_batch_has_no_queries_and_no_uniform_len() {
+        let b = EpisodeBatch { task_id: 3, episodes: vec![] };
+        assert_eq!(b.total_queries(), 0);
+        assert_eq!(b.uniform_len(), None, "an empty batch has no common length");
+    }
+
+    #[test]
+    fn single_episode_batch_is_uniform() {
+        let b = EpisodeBatch { task_id: 3, episodes: vec![ep(4, vec![3])] };
+        assert_eq!(b.uniform_len(), Some(4));
+        assert_eq!(b.total_queries(), 1);
+    }
+
+    #[test]
+    fn mixed_length_batch_is_not_uniform() {
+        let b = EpisodeBatch { task_id: 3, episodes: vec![ep(4, vec![]), ep(2, vec![1])] };
+        assert_eq!(b.uniform_len(), None);
+        assert_eq!(b.total_queries(), 1, "queries still count on ragged batches");
+        // Same-length episodes with different query layouts stay uniform.
+        let u = EpisodeBatch { task_id: 3, episodes: vec![ep(4, vec![0]), ep(4, vec![1, 2])] };
+        assert_eq!(u.uniform_len(), Some(4));
+    }
+
+    #[test]
+    fn try_step_block_stacks_uniform_slices() {
+        let eps = [ep(3, vec![]), ep(3, vec![2])];
+        let block = try_step_block(&eps, 2).expect("uniform slice");
+        assert_eq!(block.shape(), (2, 2));
+        assert_eq!(step_block(&eps, 0), try_step_block(&eps, 0).unwrap());
+    }
+
+    #[test]
+    fn try_step_block_rejects_empty_and_short_episodes() {
+        assert_eq!(try_step_block(&[], 0), Err(StepBlockError::Empty));
+        let eps = [ep(4, vec![]), ep(2, vec![])];
+        // Steps 0..2 exist in both episodes; step 2 only in the first.
+        assert!(try_step_block(&eps, 1).is_ok());
+        assert_eq!(
+            try_step_block(&eps, 2),
+            Err(StepBlockError::StepOutOfRange { episode: 1, len: 2, t: 2 })
+        );
+        let msg = StepBlockError::StepOutOfRange { episode: 1, len: 2, t: 2 }.to_string();
+        assert!(msg.contains("episode 1"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "episode 1 has 2 steps but step 2 was requested")]
+    fn step_block_panics_with_the_offending_episode() {
+        let eps = [ep(4, vec![]), ep(2, vec![])];
+        step_block(&eps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero episodes")]
+    fn step_block_panics_on_empty_slice() {
+        step_block(&[], 0);
     }
 }

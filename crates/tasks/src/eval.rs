@@ -112,13 +112,44 @@ impl EvalConfig {
 
     /// The monolithic f32 reference builder (shared weights via the
     /// shared seed).
-    fn reference_builder(&self) -> EngineBuilder {
+    pub fn reference_builder(&self) -> EngineBuilder {
         EngineBuilder::new(self.params()).seed(self.seed)
     }
 
-    /// The builder for the engine under test.
-    fn engine_builder(&self) -> EngineBuilder {
+    /// The builder for the engine under test (uncalibrated; the harness
+    /// uses [`EvalConfig::calibrated_engine_builder`]).
+    pub fn engine_builder(&self) -> EngineBuilder {
         EngineBuilder::new(self.params()).with_spec(self.engine).seed(self.seed)
+    }
+
+    /// The engine-under-test builder with its read-merge weights `α` fit
+    /// on the task's calibration split (a no-op for monolithic specs).
+    /// Both the synchronous harness and the pipelined one
+    /// (`hima-pipeline`) build the engine through this method, so their
+    /// merge weights are bit-identical.
+    pub fn calibrated_engine_builder(&self, task: &TaskSpec) -> EngineBuilder {
+        let calib = self.calibration_split(task);
+        let calib_inputs: Vec<Vec<f32>> =
+            calib.episodes.iter().flat_map(|e| e.inputs.clone()).collect();
+        self.engine_builder().calibrated(&calib_inputs)
+    }
+
+    /// The held-out episodes used to calibrate `α` for `task`.
+    pub fn calibration_split(&self, task: &TaskSpec) -> crate::episode::EpisodeBatch {
+        task.generate(self.calibration_episodes, self.seed ^ 0xCA11B)
+    }
+
+    /// The episodes evaluated for `task` (generated from
+    /// [`EvalConfig::evaluation_seed`]).
+    pub fn evaluation_split(&self, task: &TaskSpec) -> crate::episode::EpisodeBatch {
+        task.generate(self.eval_episodes, self.evaluation_seed())
+    }
+
+    /// The evaluation split's base seed — pipelined generation workers
+    /// derive the same per-episode RNG streams from it that
+    /// [`EvalConfig::evaluation_split`] uses.
+    pub fn evaluation_seed(&self) -> u64 {
+        self.seed ^ 0xE7A1
     }
 }
 
@@ -159,33 +190,90 @@ pub fn mean_divergence(errors: &[TaskError]) -> f64 {
     errors.iter().map(|e| e.divergence).sum::<f64>() / errors.len() as f64
 }
 
+/// The relative-error partial contributed by one episode: query counts,
+/// argmax disagreements, and the running divergence sum at that episode's
+/// query steps.
+///
+/// Both harness paths reduce through this type: the synchronous
+/// [`relative_error`] computes one partial per episode and folds them in
+/// episode order, and the pipelined harness (`hima-pipeline`) computes
+/// the identical partials on its engine workers and folds them in the
+/// same order — which is what makes the two paths bit-identical even
+/// though floating-point addition is order-sensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Query steps examined.
+    pub queries: usize,
+    /// Query steps whose read-vector argmax diverged from the reference.
+    pub disagreements: usize,
+    /// Sum of normalized L2 distances at the query steps.
+    pub divergence_sum: f64,
+}
+
+impl QueryStats {
+    /// Accumulates another episode's partial. The fold order is the bit
+    /// pattern of the result — callers fold in episode-index order.
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.disagreements += other.disagreements;
+        self.divergence_sum += other.divergence_sum;
+    }
+}
+
+/// Computes one episode's [`QueryStats`] from the reference's and the
+/// engine-under-test's per-step read vectors (`reads[step]`).
+pub fn episode_query_stats(
+    episode: &Episode,
+    ref_reads: &[Vec<f32>],
+    dut_reads: &[Vec<f32>],
+) -> QueryStats {
+    let mut stats = QueryStats::default();
+    for &q in &episode.query_steps {
+        stats.queries += 1;
+        if argmax(&ref_reads[q]) != argmax(&dut_reads[q]) {
+            stats.disagreements += 1;
+        }
+        stats.divergence_sum += normalized_l2(&ref_reads[q], &dut_reads[q]);
+    }
+    stats
+}
+
+/// Folds per-episode partials (in episode-index order) into the task's
+/// [`TaskError`].
+pub fn task_error_from_stats(task: &TaskSpec, stats: &[QueryStats]) -> TaskError {
+    let mut total = QueryStats::default();
+    for s in stats {
+        total.accumulate(s);
+    }
+    let error = if total.queries == 0 {
+        0.0
+    } else {
+        total.disagreements as f64 / total.queries as f64
+    };
+    let divergence = if total.queries == 0 {
+        0.0
+    } else {
+        total.divergence_sum / total.queries as f64
+    };
+    TaskError { task_id: task.id, name: task.name, error, divergence }
+}
+
 fn task_error(config: &EvalConfig, task: &TaskSpec) -> TaskError {
     // Calibrate α against the reference on held-out episodes (no-op for
     // monolithic engine specs).
-    let calib = task.generate(config.calibration_episodes, config.seed ^ 0xCA11B);
-    let calib_inputs: Vec<Vec<f32>> =
-        calib.episodes.iter().flat_map(|e| e.inputs.clone()).collect();
-    let engine_builder = config.engine_builder().calibrated(&calib_inputs);
+    let engine_builder = config.calibrated_engine_builder(task);
 
-    let eval = task.generate(config.eval_episodes, config.seed ^ 0xE7A1);
+    let eval = config.evaluation_split(task);
     let ref_reads = collect_reads(&config.reference_builder(), &eval.episodes);
     let dut_reads = collect_reads(&engine_builder, &eval.episodes);
 
-    let mut queries = 0usize;
-    let mut disagreements = 0usize;
-    let mut divergence_sum = 0.0f64;
-    for (b, episode) in eval.episodes.iter().enumerate() {
-        for &q in &episode.query_steps {
-            queries += 1;
-            if argmax(&ref_reads[b][q]) != argmax(&dut_reads[b][q]) {
-                disagreements += 1;
-            }
-            divergence_sum += normalized_l2(&ref_reads[b][q], &dut_reads[b][q]);
-        }
-    }
-    let error = if queries == 0 { 0.0 } else { disagreements as f64 / queries as f64 };
-    let divergence = if queries == 0 { 0.0 } else { divergence_sum / queries as f64 };
-    TaskError { task_id: task.id, name: task.name, error, divergence }
+    let stats: Vec<QueryStats> = eval
+        .episodes
+        .iter()
+        .enumerate()
+        .map(|(b, episode)| episode_query_stats(episode, &ref_reads[b], &dut_reads[b]))
+        .collect();
+    task_error_from_stats(task, &stats)
 }
 
 /// `‖a − b‖ / (‖a‖ + ε)`.
@@ -314,6 +402,29 @@ mod tests {
             .unwrap()
             .install(|| relative_error(&cfg));
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn stats_fold_handles_zero_queries() {
+        let task = &TASKS[0];
+        let zero = task_error_from_stats(task, &[]);
+        assert_eq!(zero.error, 0.0);
+        assert_eq!(zero.divergence, 0.0);
+        let none = task_error_from_stats(task, &[QueryStats::default()]);
+        assert_eq!(none.error, 0.0);
+    }
+
+    #[test]
+    fn episode_stats_count_disagreements() {
+        let episode = Episode::new(vec![vec![0.0, 1.0]; 3], vec![0, 2]);
+        let reference = vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![0.0, 1.0]];
+        let agree = episode_query_stats(&episode, &reference, &reference);
+        assert_eq!((agree.queries, agree.disagreements), (2, 0));
+        assert_eq!(agree.divergence_sum, 0.0);
+        let flipped = vec![vec![0.0, 1.0], vec![0.0, 0.0], vec![1.0, 0.0]];
+        let differ = episode_query_stats(&episode, &reference, &flipped);
+        assert_eq!((differ.queries, differ.disagreements), (2, 2));
+        assert!(differ.divergence_sum > 0.0);
     }
 
     #[test]

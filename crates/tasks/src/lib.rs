@@ -30,7 +30,13 @@ pub mod tasks;
 pub mod train;
 
 pub use babi_format::{encode_story, parse_stories, EncodedStory, Story, Vocabulary};
-pub use episode::{Episode, EpisodeBatch};
-pub use eval::{relative_error, EvalConfig, TaskError};
+pub use episode::{step_block, try_step_block, Episode, EpisodeBatch, StepBlockError};
+pub use eval::{
+    episode_query_stats, relative_error, task_error_from_stats, EvalConfig, QueryStats,
+    TaskError,
+};
 pub use tasks::{TaskSpec, TASKS};
-pub use train::{trained_accuracy, TaskAccuracy, TrainedReadout};
+pub use train::{
+    collect_query_samples, episode_features, episode_query_rows, episode_readout_counts,
+    readout_accuracy, trained_accuracy, TaskAccuracy, TrainedReadout,
+};

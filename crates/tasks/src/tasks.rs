@@ -92,13 +92,21 @@ impl TaskSpec {
     /// which keeps the batched harnesses bit-deterministic under any lane
     /// scheduling.
     pub fn generate(&self, count: usize, seed: u64) -> EpisodeBatch {
-        let episodes = (0..count)
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(self.episode_seed(seed, i));
-                self.generate_episode(&mut rng)
-            })
-            .collect();
+        let episodes = (0..count).map(|i| self.episode_at(seed, i)).collect();
         EpisodeBatch { task_id: self.id, episodes }
+    }
+
+    /// Generates episode `index` of the stream rooted at `seed` — the
+    /// episode [`TaskSpec::generate`]`(count, seed)` places at `index`
+    /// for any `count > index`.
+    ///
+    /// This is the entry point for parallel episode-generation workers
+    /// (the `hima-pipeline` generation stage): each episode materializes
+    /// from its own RNG stream, so episode `index` is bit-identical no
+    /// matter which worker produces it or in what order.
+    pub fn episode_at(&self, seed: u64, index: usize) -> Episode {
+        let mut rng = StdRng::seed_from_u64(self.episode_seed(seed, index));
+        self.generate_episode(&mut rng)
     }
 
     /// The per-episode stream seed: base seed, task id and episode index
@@ -214,6 +222,16 @@ mod tests {
             assert_eq!(&large[..3], &small[..], "task {}", task.id);
             let solo = task.generate(1, 42).episodes;
             assert_eq!(large[0], solo[0], "task {}", task.id);
+        }
+    }
+
+    #[test]
+    fn episode_at_matches_batch_generation() {
+        for task in &TASKS {
+            let batch = task.generate(5, 77).episodes;
+            for (i, want) in batch.iter().enumerate() {
+                assert_eq!(&task.episode_at(77, i), want, "task {} episode {i}", task.id);
+            }
         }
     }
 

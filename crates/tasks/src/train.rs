@@ -156,15 +156,10 @@ pub fn collect_query_samples(
     let all_features = episode_features(builder, episodes);
     let mut feats: Vec<Vec<f32>> = Vec::new();
     let mut targets: Vec<Vec<f32>> = Vec::new();
-    for (ep, ep_features) in episodes.iter().zip(all_features) {
-        for (t, f) in ep_features.into_iter().enumerate() {
-            if ep.query_steps.contains(&t) {
-                let mut y = vec![0.0f32; VOCAB];
-                y[query_token(&ep.inputs[t])] = 1.0;
-                feats.push(f);
-                targets.push(y);
-            }
-        }
+    for (ep, ep_features) in episodes.iter().zip(&all_features) {
+        let (f, y) = episode_query_rows(ep, ep_features);
+        feats.extend(f);
+        targets.extend(y);
     }
     assert!(!feats.is_empty(), "episodes contained no query steps");
     (
@@ -173,8 +168,50 @@ pub fn collect_query_samples(
     )
 }
 
+/// The `(feature, one-hot target)` rows one episode contributes to the
+/// readout regression, given its per-step features (`features[step]`) —
+/// the per-episode unit of [`collect_query_samples`]. The pipelined
+/// harness (`hima-pipeline`) computes these rows on its engine workers
+/// and assembles them in episode-index order, reproducing the
+/// synchronous sample matrices bit for bit.
+pub fn episode_query_rows(
+    episode: &Episode,
+    features: &[Vec<f32>],
+) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let mut feats: Vec<Vec<f32>> = Vec::with_capacity(episode.query_steps.len());
+    let mut targets: Vec<Vec<f32>> = Vec::with_capacity(episode.query_steps.len());
+    for (t, f) in features.iter().enumerate() {
+        if episode.query_steps.contains(&t) {
+            let mut y = vec![0.0f32; VOCAB];
+            y[query_token(&episode.inputs[t])] = 1.0;
+            feats.push(f.clone());
+            targets.push(y);
+        }
+    }
+    (feats, targets)
+}
+
+/// The `(correct, total)` query counts a trained readout scores on one
+/// episode, given its per-step features — the per-episode unit of
+/// [`readout_accuracy`], shared with the pipelined harness.
+pub fn episode_readout_counts(
+    readout: &TrainedReadout,
+    episode: &Episode,
+    features: &[Vec<f32>],
+) -> (usize, usize) {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &t in &episode.query_steps {
+        total += 1;
+        if readout.predict_class(&features[t]) == query_token(&episode.inputs[t]) {
+            correct += 1;
+        }
+    }
+    (correct, total)
+}
+
 /// The token probed by a query-step input (argmax of the one-hot block).
-fn query_token(input: &[f32]) -> usize {
+pub fn query_token(input: &[f32]) -> usize {
     input
         .iter()
         .take(VOCAB)
@@ -193,13 +230,10 @@ pub fn readout_accuracy(
     let all_features = episode_features(builder, episodes);
     let mut correct = 0usize;
     let mut total = 0usize;
-    for (ep, ep_features) in episodes.iter().zip(all_features) {
-        for &t in &ep.query_steps {
-            total += 1;
-            if readout.predict_class(&ep_features[t]) == query_token(&ep.inputs[t]) {
-                correct += 1;
-            }
-        }
+    for (ep, ep_features) in episodes.iter().zip(&all_features) {
+        let (c, n) = episode_readout_counts(readout, ep, ep_features);
+        correct += c;
+        total += n;
     }
     if total == 0 {
         0.0
