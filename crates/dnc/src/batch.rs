@@ -23,12 +23,22 @@
 //! Q-format each step (the controller and projections stay f32 — HiMA is
 //! the *memory-access* engine; the controller lives outside it).
 //!
+//! Both engines also run **ragged** batches: `step_batch_masked` takes a
+//! [`LaneMask`] naming the lanes still inside their episodes, advances
+//! only those (masked rows of every kernel are skipped, not
+//! zeroed-and-recomputed) and freezes the rest — so unequal-length
+//! episodes share one lane grid, each lane dropping out as its episode
+//! ends. The uniform `step_batch` is the fully-active special case of
+//! the same kernel.
+//!
 //! Both [`BatchDnc`] and [`BatchDncD`] are **bit-compatible** with running
 //! their `B` lanes through the sequential models: the batched kernels use
 //! the same per-row accumulation order as `matvec`, and the per-lane
 //! memory step is the very same [`MemoryUnit`] code. The equivalence is
 //! asserted across every topology × lanes × datapath combination by the
-//! trait-level conformance suite in `crates/dnc/tests/conformance.rs`.
+//! trait-level conformance suite in `crates/dnc/tests/conformance.rs`
+//! (uniform) and the workspace-level `tests/ragged_conformance.rs`
+//! (masked).
 //!
 //! Construct these engines through
 //! [`EngineBuilder`](crate::EngineBuilder); the type-specific
@@ -43,7 +53,7 @@ use crate::memory::{MemoryConfig, MemoryUnit, ReadResult};
 use crate::profile::KernelProfile;
 use crate::quantized::QuantizedMemoryUnit;
 use crate::DncParams;
-use hima_tensor::Matrix;
+use hima_tensor::{LaneMask, Matrix};
 use rayon::prelude::*;
 
 /// A lane's memory unit on either datapath.
@@ -269,31 +279,65 @@ impl BatchDnc {
     ///
     /// Panics if `inputs` is not `B × input_size`.
     pub fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        self.step_batch_masked(inputs, &LaneMask::full(self.lanes.len()))
+    }
+
+    /// Masked form of [`BatchDnc::step_batch`] for ragged batches: only
+    /// the lanes `mask` marks active advance — their controller rows,
+    /// interface/output projection rows and memory units run exactly as
+    /// in the uniform path — while an inactive lane's entire state
+    /// (LSTM, memory, last read vector) stays **frozen** and its kernel
+    /// rows are skipped, not zeroed-and-recomputed. The input rows of
+    /// inactive lanes are padding and never read.
+    ///
+    /// Active lanes are bit-identical to stepping each lane's episode
+    /// alone through a single-lane engine (the ragged conformance
+    /// property); a fully-active mask *is* [`BatchDnc::step_batch`].
+    /// Inactive rows of the returned output block are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size` or
+    /// `mask.lanes() != B`.
+    pub fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
         assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
         assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+        assert_eq!(mask.lanes(), self.lanes.len(), "lane mask size mismatch");
 
-        // Controller on [x_t ; v_r^{t-1}], all lanes at once.
+        // Controller on [x_t ; v_r^{t-1}], all active lanes at once
+        // (frozen lanes surface their held hidden state).
         let ctrl_in = Matrix::hcat(inputs, &self.last_read);
-        let hidden = self.controller.step_batch(&mut self.lstm_states, &ctrl_in);
+        let hidden = self.controller.step_batch_masked(&mut self.lstm_states, &ctrl_in, mask);
 
-        // Interface projection + parse (input skip connection), batched.
+        // Interface projection + parse (input skip connection), batched
+        // over the active rows.
         let iface_in = Matrix::hcat(&hidden, inputs);
-        let raw_iface = iface_in.matmul_nt(&self.interface_proj);
+        let raw_iface = iface_in.matmul_nt_masked(&self.interface_proj, mask);
 
-        // Memory unit step: lanes are independent — fan out across threads.
+        // Memory unit step: active lanes are independent — fan out
+        // across threads; frozen lanes hold their memory state.
         let (w, r) = (self.params.word_size, self.params.read_heads);
         let raw = &raw_iface;
-        self.lanes.par_iter_mut().enumerate().for_each(|(b, lane)| {
-            let iv = InterfaceVector::parse(raw.row(b), w, r);
+        let mut active: Vec<(usize, &mut Lane)> = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .filter(|(b, _)| mask.is_active(*b))
+            .collect();
+        active.par_iter_mut().for_each(|(b, lane)| {
+            let iv = InterfaceVector::parse(raw.row(*b), w, r);
             lane.read = lane.memory.step(&iv).flattened();
         });
         for (b, lane) in self.lanes.iter().enumerate() {
-            self.last_read.row_mut(b).copy_from_slice(&lane.read);
+            if mask.is_active(b) {
+                self.last_read.row_mut(b).copy_from_slice(&lane.read);
+            }
         }
 
-        // Output projection over [h ; v_r], batched.
+        // Output projection over [h ; v_r], batched over the active rows
+        // (inactive output rows stay zero).
         let out_in = Matrix::hcat(&hidden, &self.last_read);
-        let y = out_in.matmul_nt(&self.output_proj);
+        let y = out_in.matmul_nt_masked(&self.output_proj, mask);
         self.last_hidden = hidden;
         y
     }
@@ -486,34 +530,66 @@ impl BatchDncD {
     ///
     /// Panics if `inputs` is not `B × input_size`.
     pub fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
+        self.step_batch_masked(inputs, &LaneMask::full(self.lanes.len()))
+    }
+
+    /// Masked form of [`BatchDncD::step_batch`] for ragged batches: the
+    /// flattened parallel task grid covers only the shards of **active**
+    /// lanes (`mask.active_count() × N_t` tasks), so a lane whose
+    /// episode has ended costs nothing — its shard memories, merged read
+    /// vector and recurrent state stay frozen while live lanes advance.
+    ///
+    /// Active lanes are bit-identical to stepping each lane's episode
+    /// alone (ragged conformance suite); a fully-active mask *is*
+    /// [`BatchDncD::step_batch`]. Inactive rows of the returned output
+    /// block are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size` or
+    /// `mask.lanes() != B`.
+    pub fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
         assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
         assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+        assert_eq!(mask.lanes(), self.lanes.len(), "lane mask size mismatch");
 
         let ctrl_in = Matrix::hcat(inputs, &self.last_read);
-        let hidden = self.controller.step_batch(&mut self.lstm_states, &ctrl_in);
+        let hidden = self.controller.step_batch_masked(&mut self.lstm_states, &ctrl_in, mask);
 
         // One batched projection per shard (each shard has its own
-        // interface weights but shares them across lanes).
+        // interface weights but shares them across lanes), over the
+        // active rows only.
         let iface_in = Matrix::hcat(&hidden, inputs);
-        let raw_per_shard: Vec<Matrix> =
-            self.interface_projs.iter().map(|proj| iface_in.matmul_nt(proj)).collect();
+        let raw_per_shard: Vec<Matrix> = self
+            .interface_projs
+            .iter()
+            .map(|proj| iface_in.matmul_nt_masked(proj, mask))
+            .collect();
 
-        // 2-D decomposition: every (lane, shard) pair is one task. Task
-        // i serves lane i / N_t, shard i % N_t.
-        let tiles = self.interface_projs.len();
+        // 2-D decomposition: every (active lane, shard) pair is one
+        // task, carrying its own (b, s) coordinates.
         let (w, r) = (self.params.word_size, self.params.read_heads);
         let raws = &raw_per_shard;
-        let mut tasks: Vec<&mut ShardLane> =
-            self.lanes.iter_mut().flat_map(|lane| lane.shards.iter_mut()).collect();
-        tasks.par_iter_mut().enumerate().for_each(|(i, shard)| {
-            let (b, s) = (i / tiles, i % tiles);
-            let iv = InterfaceVector::parse(raws[s].row(b), w, r);
+        let mut tasks: Vec<(usize, usize, &mut ShardLane)> = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .filter(|(b, _)| mask.is_active(*b))
+            .flat_map(|(b, lane)| {
+                lane.shards.iter_mut().enumerate().map(move |(s, shard)| (b, s, shard))
+            })
+            .collect();
+        tasks.par_iter_mut().for_each(|(b, s, shard)| {
+            let iv = InterfaceVector::parse(raws[*s].row(*b), w, r);
             shard.read = shard.memory.step(&iv).flattened();
         });
 
-        // Merge shard reads per lane (Eq. 4) — sequential and
+        // Merge shard reads per active lane (Eq. 4) — sequential and
         // deterministic regardless of task scheduling above.
         for (b, lane) in self.lanes.iter_mut().enumerate() {
+            if !mask.is_active(b) {
+                continue;
+            }
             let shard_reads: Vec<&[f32]> =
                 lane.shards.iter().map(|s| s.read.as_slice()).collect();
             lane.read = self.merge.merge_slices(&shard_reads);
@@ -521,7 +597,7 @@ impl BatchDncD {
         }
 
         let out_in = Matrix::hcat(&hidden, &self.last_read);
-        let y = out_in.matmul_nt(&self.output_proj);
+        let y = out_in.matmul_nt_masked(&self.output_proj, mask);
         self.last_hidden = hidden;
         y
     }
@@ -668,6 +744,122 @@ mod tests {
                 assert!(q.is_representable(x), "lane {lane} holds non-Q16.16 value {x}");
             }
         }
+    }
+
+    /// Pads lane `b`'s input with zeros once its stream has ended and
+    /// returns the block plus the step's mask.
+    fn masked_block(lanes: &[Vec<Vec<f32>>], t: usize, width: usize) -> (Matrix, LaneMask) {
+        let lens: Vec<usize> = lanes.iter().map(Vec::len).collect();
+        let zero = vec![0.0f32; width];
+        let rows: Vec<&[f32]> = lanes
+            .iter()
+            .map(|lane| lane.get(t).map_or(zero.as_slice(), Vec::as_slice))
+            .collect();
+        (Matrix::from_rows(&rows), LaneMask::for_step(&lens, t))
+    }
+
+    /// Per-lane streams of *unequal* lengths.
+    fn ragged_lane_inputs(lens: &[usize], width: usize) -> Vec<Vec<Vec<f32>>> {
+        lens.iter()
+            .enumerate()
+            .map(|(b, &len)| {
+                (0..len)
+                    .map(|t| {
+                        (0..width)
+                            .map(|i| (((b * 131 + t * 17 + i * 7) as f32) * 0.13).sin())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn masked_batch_dnc_matches_sequential_ragged_lanes_exactly() {
+        let lens = [5usize, 2, 4];
+        let lanes = ragged_lane_inputs(&lens, 5);
+        let mut batched = Dnc::new(params(), 11).batched_with(3, Datapath::F32);
+        let mut sequential: Vec<_> = (0..3).map(|_| Dnc::new(params(), 11)).collect();
+        for t in 0..5 {
+            let (block, mask) = masked_block(&lanes, t, 5);
+            let y = batched.step_batch_masked(&block, &mask);
+            for (b, dnc) in sequential.iter_mut().enumerate() {
+                if t < lens[b] {
+                    let want = dnc.step(&lanes[b][t]);
+                    assert_eq!(y.row(b), &want[..], "lane {b} t {t}");
+                    assert_eq!(batched.last_read().row(b), dnc.last_read(), "lane {b} t {t}");
+                } else {
+                    assert!(y.row(b).iter().all(|&x| x == 0.0), "ended lane {b} outputs zero");
+                    assert_eq!(
+                        batched.last_read().row(b),
+                        dnc.last_read(),
+                        "ended lane {b} read vector frozen at t {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_batch_dncd_matches_sequential_ragged_lanes_exactly() {
+        let lens = [1usize, 4, 3];
+        let lanes = ragged_lane_inputs(&lens, 5);
+        let mut batched = DncD::new(params(), 4, 23).batched_with(3, Datapath::F32);
+        let mut sequential: Vec<_> = (0..3).map(|_| DncD::new(params(), 4, 23)).collect();
+        for t in 0..4 {
+            let (block, mask) = masked_block(&lanes, t, 5);
+            let y = batched.step_batch_masked(&block, &mask);
+            for (b, dncd) in sequential.iter_mut().enumerate() {
+                if t < lens[b] {
+                    let want = dncd.step(&lanes[b][t]);
+                    assert_eq!(y.row(b), &want[..], "lane {b} t {t}");
+                } else {
+                    assert_eq!(
+                        batched.last_read().row(b),
+                        dncd.last_read(),
+                        "ended lane {b} read vector frozen at t {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_mask_is_bit_identical_to_step_batch() {
+        let lanes = lane_inputs(3, 2, 5);
+        let mut a = Dnc::new(params(), 7).batched_with(3, Datapath::F32);
+        let mut b = Dnc::new(params(), 7).batched_with(3, Datapath::F32);
+        for t in 0..2 {
+            let block = step_block(&lanes, t);
+            assert_eq!(a.step_batch(&block), b.step_batch_masked(&block, &LaneMask::full(3)));
+        }
+    }
+
+    #[test]
+    fn fully_inactive_mask_is_a_frozen_no_op() {
+        let lanes = lane_inputs(2, 2, 5);
+        let mut batched = Dnc::new(params(), 9).batched_with(2, Datapath::F32);
+        batched.step_batch(&step_block(&lanes, 0));
+        let read_before = batched.last_read().clone();
+        let y = batched
+            .step_batch_masked(&step_block(&lanes, 1), &LaneMask::from(vec![false, false]));
+        assert!(y.as_slice().iter().all(|&x| x == 0.0), "no lane advanced");
+        assert_eq!(batched.last_read(), &read_before, "state untouched");
+        // The next real step behaves as if the no-op never happened.
+        let mut control = Dnc::new(params(), 9).batched_with(2, Datapath::F32);
+        control.step_batch(&step_block(&lanes, 0));
+        assert_eq!(
+            batched.step_batch(&step_block(&lanes, 1)),
+            control.step_batch(&step_block(&lanes, 1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lane mask size mismatch")]
+    fn masked_step_rejects_wrong_mask_length() {
+        Dnc::new(params(), 1)
+            .batched_with(2, Datapath::F32)
+            .step_batch_masked(&Matrix::zeros(2, 5), &LaneMask::full(3));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::distributed::DncD;
 use crate::dnc::Dnc;
 use crate::profile::KernelProfile;
 use crate::DncParams;
-use hima_tensor::Matrix;
+use hima_tensor::{LaneMask, Matrix};
 
 /// One stepping API over every DNC execution-engine variant.
 ///
@@ -55,6 +55,34 @@ pub trait MemoryEngine {
     ///
     /// Panics if `inputs` is not `B × input_size`.
     fn step_batch(&mut self, inputs: &Matrix) -> Matrix;
+
+    /// Runs one *masked* time step for ragged batches: only the lanes
+    /// `mask` marks active advance (bit-identically to stepping each
+    /// lane's episode alone), while an inactive lane's state — recurrent,
+    /// memory, last read vector — stays frozen and its input row is
+    /// treated as padding. Inactive rows of the returned block are zero.
+    ///
+    /// The default implementation is the **uniform shim**: it accepts
+    /// only fully-active masks (delegating to
+    /// [`MemoryEngine::step_batch`]) so existing single-lane engines keep
+    /// compiling; the batched engines ([`BatchDnc`], [`BatchDncD`] — and
+    /// therefore everything [`EngineBuilder`](crate::EngineBuilder)
+    /// builds) override it with true masked stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`, if
+    /// `mask.lanes() != B`, or (default shim only) if the mask is not
+    /// fully active.
+    fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
+        assert_eq!(mask.lanes(), self.batch(), "lane mask size mismatch");
+        assert!(
+            mask.is_full(),
+            "this engine supports only fully-active masks (uniform shim); \
+             build a batched engine for ragged stepping"
+        );
+        self.step_batch(inputs)
+    }
 
     /// Number of batch lanes `B`.
     fn batch(&self) -> usize;
@@ -189,6 +217,10 @@ impl MemoryEngine for BatchDnc {
         BatchDnc::step_batch(self, inputs)
     }
 
+    fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
+        BatchDnc::step_batch_masked(self, inputs, mask)
+    }
+
     fn batch(&self) -> usize {
         BatchDnc::batch(self)
     }
@@ -221,6 +253,10 @@ impl MemoryEngine for BatchDnc {
 impl MemoryEngine for BatchDncD {
     fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
         BatchDncD::step_batch(self, inputs)
+    }
+
+    fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
+        BatchDncD::step_batch_masked(self, inputs, mask)
     }
 
     fn batch(&self) -> usize {
@@ -312,5 +348,43 @@ mod tests {
     #[should_panic(expected = "single-lane engine")]
     fn dnc_rejects_multi_row_blocks() {
         MemoryEngine::step_batch(&mut Dnc::new(params(), 1), &Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn default_masked_shim_accepts_full_masks() {
+        let x = Matrix::filled(1, 4, 0.2);
+        let mut a = Dnc::new(params(), 3);
+        let mut b = Dnc::new(params(), 3);
+        let ya = MemoryEngine::step_batch(&mut a, &x);
+        let yb =
+            MemoryEngine::step_batch_masked(&mut b, &x, &hima_tensor::LaneMask::full(1));
+        assert_eq!(ya, yb, "the uniform shim is step_batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-active masks")]
+    fn default_masked_shim_rejects_partial_masks() {
+        let mut dnc = Dnc::new(params(), 1);
+        MemoryEngine::step_batch_masked(
+            &mut dnc,
+            &Matrix::zeros(1, 4),
+            &hima_tensor::LaneMask::from(vec![false]),
+        );
+    }
+
+    #[test]
+    fn batched_engines_override_the_shim_with_true_masking() {
+        use crate::builder::EngineBuilder;
+        let p = params();
+        let mut engine = EngineBuilder::new(p).lanes(2).seed(4).build();
+        let x = Matrix::filled(2, 4, 0.1);
+        engine.step_batch(&x);
+        let frozen = engine.last_read_rows();
+        // Lane 1 inactive: its read row must not move.
+        let y = engine
+            .step_batch_masked(&x, &hima_tensor::LaneMask::from(vec![true, false]));
+        assert!(y.row(1).iter().all(|&v| v == 0.0), "inactive output row is zero");
+        assert_eq!(engine.last_read_rows().row(1), frozen.row(1), "lane 1 frozen");
+        assert_ne!(engine.last_read_rows().row(0), frozen.row(0), "lane 0 advanced");
     }
 }

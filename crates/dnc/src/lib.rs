@@ -76,6 +76,9 @@ pub use interface::InterfaceVector;
 pub use memory::{MemoryConfig, MemoryUnit};
 pub use profile::{KernelCategory, KernelId, KernelProfile};
 pub use quantized::{DatapathStudy, QuantizedMemoryUnit};
+// The lane-activity mask consumed by `MemoryEngine::step_batch_masked`,
+// re-exported so engine users need not depend on hima-tensor directly.
+pub use hima_tensor::LaneMask;
 
 use serde::{Deserialize, Serialize};
 

@@ -8,7 +8,7 @@
 //! DNC-vs-DNC-D accuracy does not require trained weights.
 
 use hima_tensor::activation::{sigmoid, tanh};
-use hima_tensor::Matrix;
+use hima_tensor::{LaneMask, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -156,45 +156,84 @@ impl Lstm {
     /// Panics if `inputs.rows() != states.len()`, the input width is wrong,
     /// or any state width disagrees with `hidden_size`.
     pub fn step_batch(&self, states: &mut [LstmState], inputs: &Matrix) -> Matrix {
+        self.step_batch_masked(states, inputs, &LaneMask::full(states.len()))
+    }
+
+    /// Masked form of [`Lstm::step_batch`] for ragged batches: only the
+    /// lanes `mask` marks active advance. An inactive lane's recurrent
+    /// state is **frozen** — its row of the shared-weight product, the
+    /// gate activations and the state update are all skipped (not
+    /// zeroed and recomputed) — and its row of the returned hidden block
+    /// holds the frozen hidden state, so downstream feature consumers
+    /// keep seeing the lane's last real activation.
+    ///
+    /// Active lanes are bit-identical to [`Lstm::step_batch`] (and hence
+    /// to `B` scalar [`Lstm::step_with_state`] calls); a fully-active
+    /// mask reproduces the unmasked step exactly — `step_batch` is this
+    /// kernel with [`LaneMask::full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != states.len()`,
+    /// `mask.lanes() != states.len()`, the input width is wrong, or any
+    /// state width disagrees with `hidden_size`.
+    pub fn step_batch_masked(
+        &self,
+        states: &mut [LstmState],
+        inputs: &Matrix,
+        mask: &LaneMask,
+    ) -> Matrix {
         assert_eq!(inputs.rows(), states.len(), "LSTM batch size mismatch");
         assert_eq!(inputs.cols(), self.input_size, "LSTM input width mismatch");
+        assert_eq!(mask.lanes(), states.len(), "LSTM lane mask size mismatch");
         let (b, h) = (states.len(), self.hidden_size);
 
-        // [X ; H^{t-1}] as one B × (I+H) row-block.
+        // [X ; H^{t-1}] as one B × (I+H) row-block; inactive lanes keep
+        // their rows zero — the masked product skips them anyway.
         let mut x_cat = Matrix::zeros(b, self.input_size + h);
         for (bi, state) in states.iter().enumerate() {
             assert_eq!(state.hidden.len(), h, "LSTM state width mismatch");
+            if !mask.is_active(bi) {
+                continue;
+            }
             let row = x_cat.row_mut(bi);
             row[..self.input_size].copy_from_slice(inputs.row(bi));
             row[self.input_size..].copy_from_slice(&state.hidden);
         }
 
-        // One shared-weight product for every lane, plus the bias broadcast.
-        let mut pre = x_cat.matmul_nt(&self.weights);
-        pre.add_row_inplace(&self.bias);
+        // One shared-weight product for the active lanes, plus the bias
+        // broadcast.
+        let mut pre = x_cat.matmul_nt_masked(&self.weights, mask);
+        pre.add_row_inplace_masked(&self.bias, mask);
 
         // Gate blocks (B × H each), activated as whole row-blocks.
         let mut i_g = pre.submatrix(0, 0, b, h);
         let mut f_g = pre.submatrix(0, h, b, h);
         let mut g = pre.submatrix(0, 2 * h, b, h);
         let mut o_g = pre.submatrix(0, 3 * h, b, h);
-        hima_tensor::activation::sigmoid_block(&mut i_g);
-        hima_tensor::activation::sigmoid_block(&mut f_g);
-        hima_tensor::activation::tanh_block(&mut g);
-        hima_tensor::activation::sigmoid_block(&mut o_g);
+        hima_tensor::activation::sigmoid_block_masked(&mut i_g, mask);
+        hima_tensor::activation::sigmoid_block_masked(&mut f_g, mask);
+        hima_tensor::activation::tanh_block_masked(&mut g, mask);
+        hima_tensor::activation::sigmoid_block_masked(&mut o_g, mask);
 
         let mut cells = Matrix::zeros(b, h);
-        for (bi, state) in states.iter().enumerate() {
-            cells.row_mut(bi).copy_from_slice(&state.cell);
+        for bi in mask.active_lanes() {
+            cells.row_mut(bi).copy_from_slice(&states[bi].cell);
         }
         let new_c = f_g.hadamard(&cells).add(&i_g.hadamard(&g));
         let mut tanh_c = new_c.clone();
-        hima_tensor::activation::tanh_block(&mut tanh_c);
-        let new_h = o_g.hadamard(&tanh_c);
+        hima_tensor::activation::tanh_block_masked(&mut tanh_c, mask);
+        let mut new_h = o_g.hadamard(&tanh_c);
 
         for (bi, state) in states.iter_mut().enumerate() {
-            state.cell.copy_from_slice(new_c.row(bi));
-            state.hidden.copy_from_slice(new_h.row(bi));
+            if mask.is_active(bi) {
+                state.cell.copy_from_slice(new_c.row(bi));
+                state.hidden.copy_from_slice(new_h.row(bi));
+            } else {
+                // Frozen lane: surface the held hidden state instead of
+                // the skipped (zero) row.
+                new_h.row_mut(bi).copy_from_slice(&state.hidden);
+            }
         }
         new_h
     }
@@ -251,6 +290,50 @@ mod tests {
             let h = l.step(&[(t as f32 * 0.37).sin(), 1.0]);
             assert!(h.iter().all(|x| x.abs() <= 1.0), "tanh-bounded output");
         }
+    }
+
+    #[test]
+    fn masked_step_freezes_inactive_lanes_and_matches_scalar_stepping() {
+        let lstm = Lstm::new(3, 5, 11);
+        let lens = [3usize, 1, 2];
+        let mut states = vec![LstmState::zeros(5); 3];
+        // Scalar reference: each lane steps alone, only while its
+        // sequence lasts.
+        let mut reference = vec![LstmState::zeros(5); 3];
+        for t in 0..3 {
+            let mask = LaneMask::for_step(&lens, t);
+            let inputs = Matrix::from_fn(3, 3, |b, i| ((b * 7 + t * 3 + i) as f32 * 0.31).sin());
+            let h = lstm.step_batch_masked(&mut states, &inputs, &mask);
+            for b in 0..3 {
+                if t < lens[b] {
+                    let want = lstm.step_with_state(&mut reference[b], inputs.row(b));
+                    assert_eq!(h.row(b), &want[..], "lane {b} t {t}");
+                } else {
+                    assert_eq!(h.row(b), &reference[b].hidden[..], "frozen lane {b} t {t}");
+                }
+                assert_eq!(states[b], reference[b], "lane {b} state after t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_mask_is_bit_identical_to_step_batch() {
+        let lstm = Lstm::new(4, 6, 5);
+        let inputs = Matrix::from_fn(2, 4, |b, i| (b as f32 - 0.5) * 0.3 + i as f32 * 0.1);
+        let mut a = vec![LstmState::zeros(6); 2];
+        let mut b = vec![LstmState::zeros(6); 2];
+        let ha = lstm.step_batch(&mut a, &inputs);
+        let hb = lstm.step_batch_masked(&mut b, &inputs, &LaneMask::full(2));
+        assert_eq!(ha, hb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane mask size mismatch")]
+    fn masked_step_rejects_wrong_mask_length() {
+        let lstm = Lstm::new(2, 3, 0);
+        let mut states = vec![LstmState::zeros(3); 2];
+        lstm.step_batch_masked(&mut states, &Matrix::zeros(2, 2), &LaneMask::full(3));
     }
 
     #[test]

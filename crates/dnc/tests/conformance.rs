@@ -282,3 +282,150 @@ fn step_convenience_rejects_multi_lane_engines() {
     let mut engine = builder(EngineSpec::monolithic()).lanes(2).build();
     engine.step(&[0.0; 5]);
 }
+
+// ---------------------------------------------------------------------
+// Masked (ragged) stepping conformance at the engine level, reusing the
+// shared ragged-episode strategies from hima-tasks. The workspace-level
+// `tests/ragged_conformance.rs` extends this across the full topology ×
+// datapath × B grid; here we pin the trait contract per spec on
+// property-generated ragged lane sets.
+// ---------------------------------------------------------------------
+
+mod ragged {
+    use super::*;
+    use hima_tasks::strategies::ragged_episodes;
+    use hima_tasks::{masked_step_block, Episode};
+    use hima_tensor::LaneMask;
+    use proptest::prelude::*;
+
+    /// Task-token geometry: the strategy module emits TOKEN_WIDTH rows.
+    fn token_params() -> DncParams {
+        DncParams::new(16, 4, 2)
+            .with_hidden(16)
+            .with_io(hima_tasks::tasks::TOKEN_WIDTH, hima_tasks::tasks::TOKEN_WIDTH)
+    }
+
+    fn token_builder(spec: EngineSpec) -> EngineBuilder {
+        EngineBuilder::new(token_params()).with_spec(spec).seed(SEED)
+    }
+
+    /// Drives a ragged episode set through one masked lane grid and
+    /// through per-episode single-lane engines; asserts outputs and read
+    /// vectors agree bit for bit at every live step, and that ended
+    /// lanes hold (frozen read row, zero output row).
+    fn assert_masked_matches_sequential(spec: EngineSpec, episodes: &[Episode]) {
+        let lanes = episodes.len();
+        let steps = episodes.iter().map(Episode::len).max().unwrap();
+        let mut grid = token_builder(spec).lanes(lanes).build();
+        let mut solo: Vec<_> = (0..lanes).map(|_| token_builder(spec).lanes(1).build()).collect();
+        for t in 0..steps {
+            let (block, mask) = masked_step_block(episodes, t);
+            let y = grid.step_batch_masked(&block, &mask);
+            let reads = grid.last_read_rows();
+            for (b, lane) in solo.iter_mut().enumerate() {
+                if mask.is_active(b) {
+                    let want = lane.step(&episodes[b].inputs[t]);
+                    assert_eq!(y.row(b), &want[..], "{} lane {b} t {t}", spec.label());
+                }
+                // Live or frozen, the read row equals the lane's own
+                // engine at its last real step.
+                assert_eq!(
+                    reads.row(b),
+                    lane.last_read_rows().row(0),
+                    "{} lane {b} t {t}: read rows diverged",
+                    spec.label()
+                );
+                if !mask.is_active(b) {
+                    assert!(
+                        y.row(b).iter().all(|&v| v == 0.0),
+                        "{} lane {b} t {t}: ended lane must output zeros",
+                        spec.label()
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn masked_grid_matches_solo_engines_on_ragged_sets(
+            episodes in ragged_episodes(2..=5, 2..=7)
+        ) {
+            for spec in [
+                EngineSpec::monolithic(),
+                EngineSpec::sharded(4),
+                EngineSpec::monolithic()
+                    .with_datapath(Datapath::Quantized(QFormat::q16_16())),
+            ] {
+                assert_masked_matches_sequential(spec, &episodes);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_step_keeps_only_the_longest_lane_live() {
+        // The tail-step case: by the last step every lane but the
+        // longest has ended; the mask carries exactly one live lane and
+        // the grid still matches that lane's solo engine.
+        let episodes = ragged_episodes(4..=4, 2..=9)
+            .generate(&mut proptest::test_runner::rng_for("tail"));
+        let steps = episodes.iter().map(Episode::len).max().unwrap();
+        let longest_lanes: Vec<usize> = episodes
+            .iter()
+            .enumerate()
+            .filter_map(|(b, e)| (e.len() == steps).then_some(b))
+            .collect();
+        let (_, tail_mask) = masked_step_block(&episodes, steps - 1);
+        assert_eq!(
+            tail_mask.active_lanes().collect::<Vec<_>>(),
+            longest_lanes,
+            "only the longest lanes survive to the tail step"
+        );
+        assert_masked_matches_sequential(EngineSpec::sharded(2), &episodes);
+    }
+
+    #[test]
+    fn masked_thread_count_determinism() {
+        let episodes = ragged_episodes(6..=6, 2..=8)
+            .generate(&mut proptest::test_runner::rng_for("threads"));
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(|| {
+                let steps = episodes.iter().map(Episode::len).max().unwrap();
+                let mut grid = token_builder(EngineSpec::sharded(4)).lanes(6).build();
+                (0..steps)
+                    .map(|t| {
+                        let (block, mask) = masked_step_block(&episodes, t);
+                        grid.step_batch_masked(&block, &mask)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(1), run(4), "masked fan-out must not perturb results");
+    }
+
+    #[test]
+    fn interleaved_masks_freeze_and_resume_exactly() {
+        // Masks are more general than suffix raggedness: a lane frozen
+        // mid-episode must resume exactly where it left off.
+        let width = token_params().input_size;
+        let x =
+            |t: usize| hima_tensor::Matrix::from_fn(2, width, |b, i| {
+                (((b * 13 + t * 7 + i) as f32) * 0.21).sin()
+            });
+        let mut grid = token_builder(EngineSpec::monolithic()).lanes(2).build();
+        let mut solo = token_builder(EngineSpec::monolithic()).lanes(1).build();
+        // Lane 1 steps at t = 0 and 2 only; the solo engine steps on
+        // exactly those inputs back to back.
+        let schedule = [true, false, true];
+        for (t, &lane1_active) in schedule.iter().enumerate() {
+            let mask = LaneMask::from(vec![true, lane1_active]);
+            let y = grid.step_batch_masked(&x(t), &mask);
+            if lane1_active {
+                let want = solo.step(x(t).row(1));
+                assert_eq!(y.row(1), &want[..], "t {t}");
+            }
+        }
+    }
+}

@@ -12,10 +12,10 @@
 //!  generation (G threads)      batcher (1)           engine (E threads)       reduction
 //!  ┌───────────────────┐   ┌────────────────┐   ┌─────────────────────┐   ┌─────────────┐
 //!  │ TaskSpec::episode_at │→│ group by (job, │→│ EngineBuilder-built │→│ fold per-    │
-//!  │ per-episode RNG    │   │ length) into   │   │ engines, cached &   │   │ episode      │
-//!  │ streams            │   │ batch_size     │   │ reset; step_batch   │   │ partials in  │
-//!  │                    │   │ units          │   │ lock-step, collect  │   │ episode-index│
-//!  │                    │   │                │   │ read vectors        │   │ order        │
+//!  │ per-episode RNG    │   │ length bucket) │   │ engines, cached &   │   │ episode      │
+//!  │ streams            │   │ into batch_size│   │ reset; pad + mask:  │   │ partials in  │
+//!  │ (ragged lengths    │   │ units, spread ≤ │   │ step_batch_masked,  │   │ episode-index│
+//!  │  welcome)          │   │ length_spread  │   │ collect read vecs   │   │ order        │
 //!  └───────────────────┘   └────────────────┘   └─────────────────────┘   └─────────────┘
 //!        └──────── bounded channels: backpressure keeps memory flat ────────┘
 //! ```

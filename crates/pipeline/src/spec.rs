@@ -26,10 +26,21 @@ pub struct PipelineSpec {
     /// favours batch-level parallelism across workers over per-step
     /// fork/join.
     pub engine_threads: usize,
-    /// Episodes per batch unit. The batcher groups episodes by
-    /// `(job, episode length)` and emits a unit whenever a group reaches
-    /// this size (remainders flush when generation finishes).
+    /// Episodes per batch unit. The batcher groups episodes into
+    /// per-job **length buckets** (see
+    /// [`length_spread`](PipelineSpec::length_spread)) and emits a unit
+    /// whenever a bucket reaches this size (remainders flush when
+    /// generation finishes).
     pub batch_size: usize,
+    /// Maximum episode-length difference within one batch unit. `0`
+    /// groups by exact length (every unit is uniform — the historical
+    /// behaviour); a positive spread buckets lengths into
+    /// `spread + 1`-wide bands, so ragged episodes share a unit: the
+    /// engine stage pads them to the unit's longest episode and masks
+    /// the tail lanes as their episodes end. Like every other field
+    /// this trades overlap/occupancy only — masked stepping keeps the
+    /// results bit-identical at any spread.
+    pub length_spread: usize,
     /// Bound of the inter-stage channels, in batch units (the episode
     /// and result channels are bounded at `channel_depth × batch_size`
     /// items). `0` is a rendezvous channel: every hand-off blocks until
@@ -50,6 +61,7 @@ impl Default for PipelineSpec {
             engine_workers: threads,
             engine_threads: 1,
             batch_size: 8,
+            length_spread: 0,
             channel_depth: 4,
         }
     }
@@ -64,6 +76,7 @@ impl PipelineSpec {
             engine_workers: 1,
             engine_threads: 1,
             batch_size: 1,
+            length_spread: 0,
             channel_depth: 0,
         }
     }
@@ -85,6 +98,19 @@ impl PipelineSpec {
     pub fn with_channel_depth(mut self, channel_depth: usize) -> Self {
         self.channel_depth = channel_depth;
         self
+    }
+
+    /// Overrides the length spread of the batcher's buckets (`0` =
+    /// exact-length grouping).
+    pub fn with_length_spread(mut self, length_spread: usize) -> Self {
+        self.length_spread = length_spread;
+        self
+    }
+
+    /// The bucket id of an episode of `len` steps: lengths within one
+    /// bucket differ by at most [`length_spread`](PipelineSpec::length_spread).
+    pub fn length_bucket(&self, len: usize) -> usize {
+        len / (self.length_spread + 1)
     }
 
     /// Bound of the per-episode channels (generation → batcher and
@@ -114,14 +140,15 @@ impl PipelineSpec {
         Ok(())
     }
 
-    /// Human-readable label, e.g. `"gen2·eng4×1·B8·depth4"`.
+    /// Human-readable label, e.g. `"gen2·eng4×1·B8·spread0·depth4"`.
     pub fn label(&self) -> String {
         format!(
-            "gen{}·eng{}×{}·B{}·depth{}",
+            "gen{}·eng{}×{}·B{}·spread{}·depth{}",
             self.gen_workers,
             self.engine_workers,
             self.engine_threads,
             self.batch_size,
+            self.length_spread,
             self.channel_depth
         )
     }
@@ -144,7 +171,7 @@ mod tests {
         let spec = PipelineSpec::serial();
         assert!(spec.validate().is_ok());
         assert_eq!(spec.episode_channel_bound(), 0);
-        assert_eq!(spec.label(), "gen1·eng1×1·B1·depth0");
+        assert_eq!(spec.label(), "gen1·eng1×1·B1·spread0·depth0");
     }
 
     #[test]
@@ -162,10 +189,31 @@ mod tests {
         let spec = PipelineSpec::default()
             .with_batch_size(16)
             .with_workers(3, 5)
-            .with_channel_depth(2);
+            .with_channel_depth(2)
+            .with_length_spread(4);
         assert_eq!(spec.batch_size, 16);
         assert_eq!(spec.gen_workers, 3);
         assert_eq!(spec.engine_workers, 5);
         assert_eq!(spec.episode_channel_bound(), 32);
+        assert_eq!(spec.length_spread, 4);
+    }
+
+    #[test]
+    fn length_buckets_bound_the_spread() {
+        // spread 0: every distinct length is its own bucket.
+        let exact = PipelineSpec::serial();
+        assert_ne!(exact.length_bucket(7), exact.length_bucket(8));
+        // spread s: two lengths share a bucket only if they differ by ≤ s,
+        // and each bucket spans exactly s + 1 consecutive lengths.
+        let spec = PipelineSpec::serial().with_length_spread(3);
+        for a in 1usize..40 {
+            for b in 1usize..40 {
+                if spec.length_bucket(a) == spec.length_bucket(b) {
+                    assert!(a.abs_diff(b) <= 3, "{a} vs {b} share a bucket");
+                }
+            }
+        }
+        assert_eq!(spec.length_bucket(8), spec.length_bucket(11));
+        assert_ne!(spec.length_bucket(7), spec.length_bucket(8));
     }
 }

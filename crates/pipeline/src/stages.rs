@@ -6,7 +6,7 @@
 
 use crate::spec::PipelineSpec;
 use hima_dnc::{BoxedEngine, EngineBuilder};
-use hima_tasks::episode::step_block;
+use hima_tasks::episode::masked_step_block;
 use hima_tasks::{Episode, TaskSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -95,9 +95,11 @@ struct GenItem {
     episode: Episode,
 }
 
-/// A uniform-length batch unit travelling from the batcher to the
-/// engine stage. All episodes share one job (hence one builder list)
-/// and one length, so the engine steps them in lock step.
+/// A batch unit travelling from the batcher to the engine stage. All
+/// episodes share one job (hence one builder list) and one *length
+/// bucket* — lengths within the unit differ by at most the spec's
+/// `length_spread` — so the engine steps them as one padded, masked
+/// lane grid (a spread of 0 recovers uniform lock-step units).
 struct BatchUnit {
     job: usize,
     indices: Vec<usize>,
@@ -115,15 +117,21 @@ struct BatchUnit {
 ///    from a shared counter and synthesize them via
 ///    [`TaskSpec::episode_at`] (per-episode RNG streams: the episode is
 ///    bit-identical whoever generates it),
-/// 2. **batcher** — groups arriving episodes by `(job, length)` and
-///    emits [`EpisodeBatch`](hima_tasks::EpisodeBatch)-sized units of
-///    `spec.batch_size` (remainders flush at end of input) — the
-///    grouping hook where ragged-batching buckets will slot in,
+/// 2. **batcher** — groups arriving episodes into per-job **length
+///    buckets** of bounded spread (`spec.length_spread`; `0` = exact
+///    length) and emits [`EpisodeBatch`](hima_tasks::EpisodeBatch)-sized
+///    units of `spec.batch_size` (remainders flush at end of input) —
+///    ragged bAbI-style traffic fills lanes instead of fragmenting into
+///    per-length puddles,
 /// 3. **engine** — `spec.engine_workers` threads step each unit through
 ///    one engine per job builder (engines are cached per
 ///    `(job, builder, lanes)` and [`reset`](hima_dnc::MemoryEngine::reset)
-///    between units — no per-batch rebuild), collecting per-step read
-///    vectors, then apply `map` to every episode,
+///    between units — no per-batch rebuild) as a padded lane grid with a
+///    per-step [`LaneMask`](hima_dnc::LaneMask) (shorter episodes drop
+///    out as they end;
+///    [`step_batch_masked`](hima_dnc::MemoryEngine::step_batch_masked)
+///    freezes their lanes), collecting per-step read vectors, then apply
+///    `map` to every episode,
 /// 4. **reduction** — the calling thread collects `(job, index, P)`
 ///    triples into the index-ordered result.
 ///
@@ -167,10 +175,9 @@ where
             }
             drop(gen_tx);
 
-            let batch_size = spec.batch_size;
             {
                 let unit_tx = unit_tx.clone();
-                s.spawn(move || batcher(gen_rx, batch_size, &unit_tx));
+                s.spawn(move || batcher(gen_rx, spec, &unit_tx));
             }
             drop(unit_tx);
 
@@ -218,17 +225,18 @@ fn generation_worker(
     }
 }
 
-/// Batcher stage: groups episodes by `(job, length)` — the invariant the
-/// engine stage's lock-step `step_block` loop needs — and emits
+/// Batcher stage: groups episodes by `(job, length bucket)` — buckets
+/// bound the length spread within a unit to `spec.length_spread`, which
+/// the engine stage's padded masked stepping absorbs — and emits
 /// `batch_size`-episode units, flushing remainders when generation ends.
-fn batcher(gen_rx: Receiver<GenItem>, batch_size: usize, unit_tx: &SyncSender<BatchUnit>) {
+fn batcher(gen_rx: Receiver<GenItem>, spec: &PipelineSpec, unit_tx: &SyncSender<BatchUnit>) {
     let mut groups: HashMap<(usize, usize), (Vec<usize>, Vec<Episode>)> = HashMap::new();
     for item in gen_rx {
-        let key = (item.job, item.episode.len());
+        let key = (item.job, spec.length_bucket(item.episode.len()));
         let (indices, episodes) = groups.entry(key).or_default();
         indices.push(item.index);
         episodes.push(item.episode);
-        if indices.len() == batch_size {
+        if indices.len() == spec.batch_size {
             let (indices, episodes) = groups.remove(&key).expect("group just filled");
             if unit_tx.send(BatchUnit { job: key.0, indices, episodes }).is_err() {
                 return;
@@ -237,7 +245,7 @@ fn batcher(gen_rx: Receiver<GenItem>, batch_size: usize, unit_tx: &SyncSender<Ba
     }
     let mut rest: Vec<_> = groups.into_iter().collect();
     rest.sort_by_key(|(key, _)| *key);
-    for ((job, _len), (indices, episodes)) in rest {
+    for ((job, _bucket), (indices, episodes)) in rest {
         if unit_tx.send(BatchUnit { job, indices, episodes }).is_err() {
             return;
         }
@@ -275,8 +283,8 @@ fn engine_worker<P, F>(
     });
 }
 
-/// Steps one uniform-length unit through every builder's engine and
-/// emits the mapped per-episode results.
+/// Steps one (possibly ragged) unit through every builder's engine as a
+/// padded, masked lane grid and emits the mapped per-episode results.
 fn process_unit<P, F>(
     jobs: &[EpisodeJob],
     engines: &mut HashMap<(usize, usize, usize), BoxedEngine>,
@@ -289,8 +297,11 @@ where
 {
     let job = &jobs[unit.job];
     let lanes = unit.episodes.len();
-    let steps = unit.episodes[0].len();
-    // features[lane][builder][step]
+    // The grid runs to the unit's longest episode; shorter lanes drop
+    // out of the mask as their episodes end (state frozen, rows skipped).
+    let steps = unit.episodes.iter().map(Episode::len).max().expect("non-empty unit");
+    // features[lane][builder][step] — each lane collects exactly its own
+    // episode's step count, ragged or not.
     let mut per_lane: Vec<Vec<Vec<Vec<f32>>>> =
         (0..lanes).map(|_| Vec::with_capacity(job.builders.len())).collect();
     for (builder_idx, builder) in job.builders.iter().enumerate() {
@@ -298,15 +309,17 @@ where
             .entry((unit.job, builder_idx, lanes))
             .or_insert_with(|| builder.clone().lanes(lanes).build());
         engine.reset();
-        let mut by_lane: Vec<Vec<Vec<f32>>> = vec![Vec::with_capacity(steps); lanes];
+        let mut by_lane: Vec<Vec<Vec<f32>>> =
+            unit.episodes.iter().map(|e| Vec::with_capacity(e.len())).collect();
         for t in 0..steps {
-            engine.step_batch(&step_block(&unit.episodes, t));
-            for (lane, lane_features) in by_lane.iter_mut().enumerate() {
+            let (block, mask) = masked_step_block(&unit.episodes, t);
+            engine.step_batch_masked(&block, &mask);
+            for lane in mask.active_lanes() {
                 let wanted = match job.feature_steps {
                     FeatureSteps::All => true,
                     FeatureSteps::Queries => unit.episodes[lane].query_steps.contains(&t),
                 };
-                lane_features
+                by_lane[lane]
                     .push(if wanted { engine.last_read_row(lane).to_vec() } else { Vec::new() });
             }
         }
@@ -397,6 +410,43 @@ mod tests {
                     assert!(!all[0][i][t].is_empty(), "All materializes step {t}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ragged_jobs_batch_into_buckets_and_keep_per_episode_feature_counts() {
+        // A jittered task produces ragged episodes; with a nonzero
+        // spread they share units, padded and masked — every episode
+        // still sees exactly its own step count of features.
+        let task = TASKS[0].with_jitter(5);
+        let jobs = [EpisodeJob::new(task, 9, 3, vec![builder()])];
+        let want: Vec<usize> =
+            (0..9).map(|i| task.episode_at(3, i).len()).collect();
+        for spread in [0usize, 2, 8] {
+            let spec =
+                PipelineSpec::default().with_batch_size(4).with_length_spread(spread);
+            let out = run_pipeline(&spec, &jobs, |ctx| {
+                assert_eq!(ctx.features[0].len(), ctx.episode.len(), "one read per real step");
+                ctx.episode.len()
+            });
+            assert_eq!(out[0], want, "spread {spread}");
+        }
+    }
+
+    #[test]
+    fn length_spread_does_not_change_results() {
+        // The spread knob trades occupancy only: any value yields
+        // bit-identical features (masked stepping freezes tail lanes).
+        let task = TASKS[4].with_jitter(4);
+        let jobs = [EpisodeJob::new(task, 7, 11, vec![builder()])];
+        let run = |spread: usize| {
+            let spec =
+                PipelineSpec::default().with_batch_size(3).with_length_spread(spread);
+            run_pipeline(&spec, &jobs, |ctx| ctx.features[0].clone())
+        };
+        let exact = run(0);
+        for spread in [1usize, 3, 16] {
+            assert_eq!(exact, run(spread), "spread {spread}");
         }
     }
 

@@ -2,18 +2,24 @@
 //!
 //! The contract under test: every pipelined harness entry point is
 //! **bit-identical** to its synchronous `hima-tasks` counterpart for the
-//! same seed, across worker counts, batch sizes and channel depths — the
-//! pipeline shape trades memory and overlap, never results.
+//! same seed, across worker counts, batch sizes, channel depths and
+//! length spreads — the pipeline shape trades memory and overlap, never
+//! results. Four fixed specs pin the structural corners (serial,
+//! oversubscribed, rendezvous, multi-threaded engines); the
+//! property-driven specs below sample the whole shape space over
+//! **ragged** jittered workloads on the masked path.
 
 use hima_dnc::{DncParams, EngineBuilder};
 use hima_pipeline::{
     collect_query_samples_pipelined, readout_accuracy_pipelined, relative_error_pipelined,
     run_pipeline, EpisodeJob, PipelineSpec,
 };
+use hima_tasks::strategies::task_choice;
 use hima_tasks::tasks::TOKEN_WIDTH;
 use hima_tasks::{
     collect_query_samples, readout_accuracy, relative_error, EvalConfig, TrainedReadout, TASKS,
 };
+use proptest::prelude::*;
 
 /// The ≥ 3 worker/thread configurations the acceptance criteria pin,
 /// spanning serial execution, oversubscribed stages, rendezvous
@@ -21,9 +27,9 @@ use hima_tasks::{
 fn pinned_specs() -> [PipelineSpec; 4] {
     [
         PipelineSpec::serial(),
-        PipelineSpec { gen_workers: 2, engine_workers: 3, engine_threads: 1, batch_size: 3, channel_depth: 2 },
-        PipelineSpec { gen_workers: 4, engine_workers: 2, engine_threads: 2, batch_size: 8, channel_depth: 0 },
-        PipelineSpec { gen_workers: 1, engine_workers: 4, engine_threads: 1, batch_size: 2, channel_depth: 8 },
+        PipelineSpec { gen_workers: 2, engine_workers: 3, engine_threads: 1, batch_size: 3, length_spread: 0, channel_depth: 2 },
+        PipelineSpec { gen_workers: 4, engine_workers: 2, engine_threads: 2, batch_size: 8, length_spread: 0, channel_depth: 0 },
+        PipelineSpec { gen_workers: 1, engine_workers: 4, engine_threads: 1, batch_size: 2, length_spread: 0, channel_depth: 8 },
     ]
 }
 
@@ -53,7 +59,7 @@ fn relative_error_matches_on_quantized_and_skimmed_specs() {
         .with_skim(SkimRate::new(0.4))
         .with_datapath(Datapath::Quantized(QFormat::q16_16()));
     let sync = relative_error(&config);
-    let spec = PipelineSpec { gen_workers: 2, engine_workers: 2, engine_threads: 1, batch_size: 3, channel_depth: 1 };
+    let spec = PipelineSpec { gen_workers: 2, engine_workers: 2, engine_threads: 1, batch_size: 3, length_spread: 0, channel_depth: 1 };
     assert_eq!(sync, relative_error_pipelined(&config, &spec));
 }
 
@@ -130,4 +136,72 @@ fn pipeline_runs_are_deterministic() {
     let a = collect_query_samples_pipelined(&builder, task, 6, 41, &spec);
     let b = collect_query_samples_pipelined(&builder, task, 6, 41, &spec);
     assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Property-driven specs over ragged inputs: random worker counts, batch
+// sizes, channel depths and length spreads, each run against a jittered
+// (ragged) task on the masked path. The pipelined result must equal the
+// synchronous harness bit for bit — for ANY sampled shape.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_specs_on_ragged_inputs_match_sync_query_samples(
+        task in task_choice(),
+        jitter in 1usize..=5,
+        gen_workers in 1usize..=4,
+        engine_workers in 1usize..=4,
+        engine_threads in 1usize..=2,
+        batch_size in 1usize..=8,
+        channel_depth in 0usize..=6,
+        length_spread in 0usize..=8,
+        episodes in 3usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let task = task.with_jitter(jitter);
+        let spec = PipelineSpec {
+            gen_workers,
+            engine_workers,
+            engine_threads,
+            batch_size,
+            length_spread,
+            channel_depth,
+        };
+        let builder = EngineBuilder::new(params()).seed(5);
+        let sync = collect_query_samples(&builder, &task.generate(episodes, seed).episodes);
+        let pipelined =
+            collect_query_samples_pipelined(&builder, &task, episodes, seed, &spec);
+        prop_assert_eq!(&sync, &pipelined, "spec {}", spec.label());
+    }
+
+    #[test]
+    fn random_specs_on_ragged_inputs_match_sync_readout_accuracy(
+        gen_workers in 1usize..=3,
+        engine_workers in 1usize..=3,
+        batch_size in 1usize..=6,
+        channel_depth in 0usize..=4,
+        length_spread in 1usize..=6,
+    ) {
+        let task = TASKS[0].with_jitter(4);
+        let builder = EngineBuilder::new(params()).sharded(2).seed(11);
+        let train = task.generate(8, 31).episodes;
+        let (x, y) = collect_query_samples(&builder, &train);
+        let readout = TrainedReadout::fit(&x, &y, 1e-2);
+        let sync =
+            readout_accuracy(&builder, &readout, &task.generate(5, 32).episodes);
+        let spec = PipelineSpec {
+            gen_workers,
+            engine_workers,
+            engine_threads: 1,
+            batch_size,
+            length_spread,
+            channel_depth,
+        };
+        let pipelined =
+            readout_accuracy_pipelined(&builder, &readout, &task, 5, 32, &spec);
+        prop_assert_eq!(sync, pipelined, "spec {}", spec.label());
+    }
 }

@@ -1,6 +1,6 @@
 //! Episodic QA sequences: token streams with designated query steps.
 
-use hima_tensor::Matrix;
+use hima_tensor::{LaneMask, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// One episodic sequence: a stream of token vectors with query positions.
@@ -80,6 +80,12 @@ pub fn uniform_len(episodes: &[Episode]) -> Option<usize> {
     episodes.iter().all(|e| e.len() == len).then_some(len)
 }
 
+/// The longest episode length in the slice — the number of masked steps
+/// a padded ragged batch runs — or `None` for an empty slice.
+pub fn max_len(episodes: &[Episode]) -> Option<usize> {
+    episodes.iter().map(Episode::len).max()
+}
+
 /// Why a step block cannot be assembled from an episode slice — see
 /// [`try_step_block`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,12 +96,24 @@ pub enum StepBlockError {
     /// An episode is too short for the requested step — the slice is
     /// non-uniform in length (or `t` is beyond even the longest episode).
     /// Uniformity is the precondition for lock-step batched execution;
-    /// check it up front with [`uniform_len`].
+    /// check it up front with [`uniform_len`], or pad and mask with
+    /// [`try_masked_step_block`].
     StepOutOfRange {
         /// Index (within the slice) of the offending episode.
         episode: usize,
         /// That episode's length.
         len: usize,
+        /// The requested time step.
+        t: usize,
+    },
+    /// The requested step lies beyond even the longest episode of the
+    /// slice, so not a single lane would be active — a masked ragged
+    /// batch has nothing left to step. Raised only by
+    /// [`try_masked_step_block`] (the uniform [`try_step_block`] reports
+    /// the first too-short episode instead).
+    StepBeyondLongest {
+        /// Length of the longest episode in the slice.
+        max_len: usize,
         /// The requested time step.
         t: usize,
     },
@@ -111,6 +129,11 @@ impl std::fmt::Display for StepBlockError {
                 f,
                 "episode {episode} has {len} steps but step {t} was requested \
                  (non-uniform episode slice? check uniform_len() first)"
+            ),
+            StepBlockError::StepBeyondLongest { max_len, t } => write!(
+                f,
+                "step {t} is beyond every episode (longest has {max_len} steps); \
+                 no lane would be active"
             ),
         }
     }
@@ -153,6 +176,54 @@ pub fn step_block(episodes: &[Episode], t: usize) -> Matrix {
     match try_step_block(episodes, t) {
         Ok(block) => block,
         Err(e) => panic!("step_block: {e}"),
+    }
+}
+
+/// Stacks time step `t` of a **ragged** episode slice into a padded
+/// `B × width` block plus the step's [`LaneMask`]: lane `b` carries
+/// episode `b`'s token while `t < episodes[b].len()` and a zero padding
+/// row (inactive in the mask, never read by the masked engines) once its
+/// episode has ended — the bridge between a ragged [`EpisodeBatch`] and
+/// `step_batch_masked`.
+///
+/// # Errors
+///
+/// [`StepBlockError::Empty`] for an empty slice, and
+/// [`StepBlockError::StepBeyondLongest`] when `t` is past every episode
+/// (the mask would have no active lane).
+pub fn try_masked_step_block(
+    episodes: &[Episode],
+    t: usize,
+) -> Result<(Matrix, LaneMask), StepBlockError> {
+    if episodes.is_empty() {
+        return Err(StepBlockError::Empty);
+    }
+    let max_len = max_len(episodes).expect("non-empty slice");
+    if t >= max_len {
+        return Err(StepBlockError::StepBeyondLongest { max_len, t });
+    }
+    let width = episodes[0].width();
+    let zero = vec![0.0f32; width];
+    let rows: Vec<&[f32]> = episodes
+        .iter()
+        .map(|e| e.inputs.get(t).map_or(zero.as_slice(), Vec::as_slice))
+        .collect();
+    let lens: Vec<usize> = episodes.iter().map(Episode::len).collect();
+    Ok((Matrix::from_rows(&rows), LaneMask::for_step(&lens, t)))
+}
+
+/// Stacks time step `t` of a ragged episode slice into a padded block
+/// plus its [`LaneMask`] — the panicking form of
+/// [`try_masked_step_block`].
+///
+/// # Panics
+///
+/// Panics if `episodes` is empty or `t` is beyond even the longest
+/// episode; the panic message carries the longest length.
+pub fn masked_step_block(episodes: &[Episode], t: usize) -> (Matrix, LaneMask) {
+    match try_masked_step_block(episodes, t) {
+        Ok(pair) => pair,
+        Err(e) => panic!("masked_step_block: {e}"),
     }
 }
 
@@ -249,5 +320,56 @@ mod tests {
     #[should_panic(expected = "zero episodes")]
     fn step_block_panics_on_empty_slice() {
         step_block(&[], 0);
+    }
+
+    #[test]
+    fn max_len_tracks_longest_episode() {
+        assert_eq!(max_len(&[]), None);
+        assert_eq!(max_len(&[ep(2, vec![]), ep(5, vec![]), ep(3, vec![])]), Some(5));
+    }
+
+    #[test]
+    fn masked_step_block_pads_and_masks_the_tail() {
+        let eps = [ep(4, vec![]), ep(2, vec![1]), ep(3, vec![2])];
+        // All lanes live: identical to the uniform block.
+        let (b0, m0) = masked_step_block(&eps, 1);
+        assert_eq!(b0, step_block(&eps, 1));
+        assert!(m0.is_full());
+        // Tail step: episode 1 has ended — its row is zero padding and
+        // its lane inactive.
+        let (b2, m2) = masked_step_block(&eps, 2);
+        assert_eq!(m2.as_bools(), &[true, false, true]);
+        assert_eq!(b2.row(0), eps[0].inputs[2].as_slice());
+        assert!(b2.row(1).iter().all(|&x| x == 0.0), "ended lane padded with zeros");
+        assert_eq!(b2.row(2), eps[2].inputs[2].as_slice());
+        // Last step: only the longest episode remains.
+        let (_, m3) = masked_step_block(&eps, 3);
+        assert_eq!(m3.active_lanes().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn try_masked_step_block_error_contracts() {
+        assert_eq!(try_masked_step_block(&[], 0), Err(StepBlockError::Empty));
+        let eps = [ep(2, vec![]), ep(4, vec![])];
+        assert!(try_masked_step_block(&eps, 3).is_ok(), "last live step of the longest");
+        assert_eq!(
+            try_masked_step_block(&eps, 4),
+            Err(StepBlockError::StepBeyondLongest { max_len: 4, t: 4 })
+        );
+        let msg = StepBlockError::StepBeyondLongest { max_len: 4, t: 4 }.to_string();
+        assert!(msg.contains("longest has 4 steps"), "{msg}");
+        assert!(msg.contains("step 4"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "step 5 is beyond every episode (longest has 4 steps)")]
+    fn masked_step_block_panics_past_the_longest_episode() {
+        masked_step_block(&[ep(4, vec![]), ep(2, vec![])], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero episodes")]
+    fn masked_step_block_panics_on_empty_slice() {
+        masked_step_block(&[], 0);
     }
 }

@@ -287,8 +287,9 @@ fn normalized_l2(a: &[f32], b: &[f32]) -> f64 {
 /// [`hima_dnc::MemoryEngine`] API, collecting the *read vectors* (the
 /// retrieved memory content) at every step of every episode:
 /// `result[episode][step]`. One shared implementation with the trained
-/// harness: [`crate::train::episode_features`] (batched one-lane-per-
-/// episode for uniform lengths, single-lane fallback for ragged lists).
+/// harness: [`crate::train::episode_features`] — batched one lane per
+/// episode for uniform *and* ragged lists alike (ragged lists pad to the
+/// longest episode and mask the tail; there is no single-lane fallback).
 fn collect_reads(builder: &EngineBuilder, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
     crate::train::episode_features(builder, episodes)
 }
@@ -425,6 +426,34 @@ mod tests {
         let differ = episode_query_stats(&episode, &reference, &flipped);
         assert_eq!((differ.queries, differ.disagreements), (2, 2));
         assert!(differ.divergence_sum > 0.0);
+    }
+
+    #[test]
+    fn ragged_eval_reads_match_sequential_reference() {
+        // The eval harness's read collection routes ragged lists through
+        // the masked batched grid (no single-lane fallback): reference
+        // and engine-under-test reads — and the QueryStats computed from
+        // them — are bit-identical to per-episode sequential stepping.
+        let task = TASKS[0].with_jitter(3);
+        let eval = task.generate(5, 21).episodes;
+        assert!(crate::episode::uniform_len(&eval).is_none(), "workload must be ragged");
+        let cfg = EvalConfig::small(2);
+        for builder in [cfg.reference_builder(), cfg.engine_builder()] {
+            let batched = crate::train::episode_features(&builder, &eval);
+            let mut single = builder.clone().lanes(1).build();
+            let sequential = crate::train::sequential_episode_features(&mut *single, &eval);
+            assert_eq!(batched, sequential);
+        }
+        let ref_reads = crate::train::episode_features(&cfg.reference_builder(), &eval);
+        let dut_reads = crate::train::episode_features(&cfg.engine_builder(), &eval);
+        let stats: Vec<QueryStats> = eval
+            .iter()
+            .enumerate()
+            .map(|(b, e)| episode_query_stats(e, &ref_reads[b], &dut_reads[b]))
+            .collect();
+        let err = task_error_from_stats(&task, &stats);
+        assert!((0.0..=1.0).contains(&err.error));
+        assert!(stats.iter().map(|s| s.queries).sum::<usize>() > 0);
     }
 
     #[test]

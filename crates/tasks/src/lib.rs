@@ -26,11 +26,15 @@
 pub mod babi_format;
 pub mod episode;
 pub mod eval;
+pub mod strategies;
 pub mod tasks;
 pub mod train;
 
 pub use babi_format::{encode_story, parse_stories, EncodedStory, Story, Vocabulary};
-pub use episode::{step_block, try_step_block, Episode, EpisodeBatch, StepBlockError};
+pub use episode::{
+    masked_step_block, step_block, try_masked_step_block, try_step_block, Episode,
+    EpisodeBatch, StepBlockError,
+};
 pub use eval::{
     episode_query_stats, relative_error, task_error_from_stats, EvalConfig, QueryStats,
     TaskError,
@@ -38,5 +42,6 @@ pub use eval::{
 pub use tasks::{TaskSpec, TASKS};
 pub use train::{
     collect_query_samples, episode_features, episode_query_rows, episode_readout_counts,
-    readout_accuracy, trained_accuracy, TaskAccuracy, TrainedReadout,
+    readout_accuracy, sequential_episode_features, trained_accuracy, TaskAccuracy,
+    TrainedReadout,
 };

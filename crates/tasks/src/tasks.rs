@@ -46,30 +46,37 @@ pub struct TaskSpec {
     pub distractors: usize,
     /// Query style.
     pub style: QueryStyle,
+    /// Episode-length jitter: each episode appends `0..=length_jitter`
+    /// extra distractor tokens (drawn from its own RNG stream) between
+    /// the store and query phases, so a batch of episodes is **ragged**
+    /// — the real-bAbI-story shape the masked batched path serves. `0`
+    /// (the whole built-in [`TASKS`] suite) draws nothing from the RNG
+    /// and generates the historical episodes bit-for-bit.
+    pub length_jitter: usize,
 }
 
 /// The 20-task suite (names mirror bAbI's task list).
 pub const TASKS: [TaskSpec; 20] = [
-    TaskSpec { id: 1, name: "single-supporting-fact", facts: 4, queries: 2, distractors: 2, style: QueryStyle::Recall },
-    TaskSpec { id: 2, name: "two-supporting-facts", facts: 6, queries: 2, distractors: 2, style: QueryStyle::Chained },
-    TaskSpec { id: 3, name: "three-supporting-facts", facts: 8, queries: 2, distractors: 3, style: QueryStyle::Chained },
-    TaskSpec { id: 4, name: "two-arg-relations", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Recall },
-    TaskSpec { id: 5, name: "three-arg-relations", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Recall },
-    TaskSpec { id: 6, name: "yes-no-questions", facts: 5, queries: 3, distractors: 2, style: QueryStyle::Recall },
-    TaskSpec { id: 7, name: "counting", facts: 7, queries: 2, distractors: 0, style: QueryStyle::Chained },
-    TaskSpec { id: 8, name: "lists-sets", facts: 7, queries: 2, distractors: 1, style: QueryStyle::Chained },
-    TaskSpec { id: 9, name: "simple-negation", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall },
-    TaskSpec { id: 10, name: "indefinite-knowledge", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall },
-    TaskSpec { id: 11, name: "basic-coreference", facts: 5, queries: 2, distractors: 1, style: QueryStyle::Successor },
-    TaskSpec { id: 12, name: "conjunction", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Recall },
-    TaskSpec { id: 13, name: "compound-coreference", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Successor },
-    TaskSpec { id: 14, name: "time-reasoning", facts: 6, queries: 2, distractors: 2, style: QueryStyle::Predecessor },
-    TaskSpec { id: 15, name: "basic-deduction", facts: 5, queries: 2, distractors: 1, style: QueryStyle::Chained },
-    TaskSpec { id: 16, name: "basic-induction", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Chained },
-    TaskSpec { id: 17, name: "positional-reasoning", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Successor },
-    TaskSpec { id: 18, name: "size-reasoning", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Predecessor },
-    TaskSpec { id: 19, name: "path-finding", facts: 8, queries: 2, distractors: 0, style: QueryStyle::Chained },
-    TaskSpec { id: 20, name: "agents-motivations", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall },
+    TaskSpec { id: 1, name: "single-supporting-fact", facts: 4, queries: 2, distractors: 2, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 2, name: "two-supporting-facts", facts: 6, queries: 2, distractors: 2, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 3, name: "three-supporting-facts", facts: 8, queries: 2, distractors: 3, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 4, name: "two-arg-relations", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 5, name: "three-arg-relations", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 6, name: "yes-no-questions", facts: 5, queries: 3, distractors: 2, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 7, name: "counting", facts: 7, queries: 2, distractors: 0, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 8, name: "lists-sets", facts: 7, queries: 2, distractors: 1, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 9, name: "simple-negation", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 10, name: "indefinite-knowledge", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 11, name: "basic-coreference", facts: 5, queries: 2, distractors: 1, style: QueryStyle::Successor, length_jitter: 0 },
+    TaskSpec { id: 12, name: "conjunction", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Recall, length_jitter: 0 },
+    TaskSpec { id: 13, name: "compound-coreference", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Successor, length_jitter: 0 },
+    TaskSpec { id: 14, name: "time-reasoning", facts: 6, queries: 2, distractors: 2, style: QueryStyle::Predecessor, length_jitter: 0 },
+    TaskSpec { id: 15, name: "basic-deduction", facts: 5, queries: 2, distractors: 1, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 16, name: "basic-induction", facts: 6, queries: 2, distractors: 1, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 17, name: "positional-reasoning", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Successor, length_jitter: 0 },
+    TaskSpec { id: 18, name: "size-reasoning", facts: 4, queries: 2, distractors: 1, style: QueryStyle::Predecessor, length_jitter: 0 },
+    TaskSpec { id: 19, name: "path-finding", facts: 8, queries: 2, distractors: 0, style: QueryStyle::Chained, length_jitter: 0 },
+    TaskSpec { id: 20, name: "agents-motivations", facts: 5, queries: 2, distractors: 2, style: QueryStyle::Recall, length_jitter: 0 },
 ];
 
 impl TaskSpec {
@@ -78,9 +85,26 @@ impl TaskSpec {
         TASKS.iter().find(|t| t.id == id)
     }
 
-    /// Episode length: store steps + distractors + query steps.
+    /// Base episode length: store steps + distractors + query steps.
+    /// With [`length_jitter`](TaskSpec::length_jitter) this is the
+    /// *minimum* length; see [`TaskSpec::max_episode_len`].
     pub fn episode_len(&self) -> usize {
         self.facts + self.distractors + self.queries
+    }
+
+    /// The longest episode this task can generate:
+    /// [`TaskSpec::episode_len`] plus the length jitter.
+    pub fn max_episode_len(&self) -> usize {
+        self.episode_len() + self.length_jitter
+    }
+
+    /// A copy of this task generating **ragged** episodes: each episode
+    /// appends `0..=jitter` extra distractors between its store and
+    /// query phases (per-episode RNG stream, so episode `i`'s length is
+    /// as scheduling-independent as its content).
+    pub fn with_jitter(mut self, jitter: usize) -> Self {
+        self.length_jitter = jitter;
+        self
     }
 
     /// Generates a batch of `count` episodes from a seed.
@@ -133,6 +157,16 @@ impl TaskSpec {
         }
         for _ in 0..distractors_left {
             inputs.push(encode(rng.gen_range(0..VOCAB), false, false));
+        }
+
+        // Length jitter: extra distractors make the batch ragged. A
+        // jitter of zero draws nothing, keeping jitter-free episodes
+        // bit-identical to the historical streams.
+        if self.length_jitter > 0 {
+            let extra = rng.gen_range(0..self.length_jitter + 1);
+            for _ in 0..extra {
+                inputs.push(encode(rng.gen_range(0..VOCAB), false, false));
+            }
         }
 
         // Query phase: probe keys chosen per the task's style.
@@ -201,6 +235,47 @@ mod tests {
                     assert!(q >= task.facts, "task {}: query at {q}", task.id);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn jittered_tasks_generate_ragged_batches_with_bounded_spread() {
+        let task = TASKS[0].with_jitter(4);
+        assert_eq!(task.max_episode_len(), task.episode_len() + 4);
+        let batch = task.generate(12, 33);
+        let lens: Vec<usize> = batch.episodes.iter().map(|e| e.len()).collect();
+        assert!(lens.iter().all(|&l| (task.episode_len()..=task.max_episode_len()).contains(&l)));
+        assert!(
+            lens.iter().any(|&l| l != lens[0]),
+            "12 episodes at jitter 4 should spread: {lens:?}"
+        );
+        assert_eq!(batch.uniform_len(), None, "jittered batches are ragged");
+        // Extra tokens are distractors: query count and placement rules
+        // are untouched.
+        for e in &batch.episodes {
+            assert_eq!(e.query_steps.len(), task.queries);
+            for &q in &e.query_steps {
+                assert_eq!(e.inputs[q][VOCAB + 1], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_episodes_are_bit_identical_to_the_historical_streams() {
+        // `with_jitter(0)` must not consume RNG draws: the episodes are
+        // the same bits the suite has always generated.
+        for task in &TASKS {
+            assert_eq!(task.length_jitter, 0);
+            assert_eq!(task.generate(3, 9), task.with_jitter(0).generate(3, 9));
+        }
+    }
+
+    #[test]
+    fn jittered_episode_streams_stay_index_independent() {
+        let task = TASKS[2].with_jitter(5);
+        let batch = task.generate(6, 51).episodes;
+        for (i, want) in batch.iter().enumerate() {
+            assert_eq!(&task.episode_at(51, i), want, "episode {i}");
         }
     }
 

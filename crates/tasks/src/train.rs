@@ -15,7 +15,7 @@
 //! pass an [`EngineBuilder`] naming the variant, and the episode runner
 //! builds one batch lane per episode.
 
-use crate::episode::{step_block, uniform_len, Episode};
+use crate::episode::{masked_step_block, max_len, Episode};
 use crate::tasks::{TaskSpec, TASKS, VOCAB};
 use hima_dnc::{DncParams, EngineBuilder, MemoryEngine};
 use hima_tensor::linalg::ridge_regression;
@@ -99,9 +99,10 @@ impl<E: MemoryEngine + ?Sized> FeatureModel for E {
 }
 
 /// The one-episode-at-a-time feature runner: resets the model before each
-/// episode and collects the feature vector at every step. Used by the
-/// ragged-episode fallback of [`episode_features`] and available for any
-/// custom [`FeatureModel`].
+/// episode and collects the feature vector at every step. This is the
+/// sequential *reference* the batched [`episode_features`] is
+/// conformance-tested against (workspace `tests/ragged_conformance.rs`),
+/// and is available for any custom [`FeatureModel`].
 pub fn sequential_episode_features<M: FeatureModel + ?Sized>(
     model: &mut M,
     episodes: &[Episode],
@@ -117,32 +118,35 @@ pub fn sequential_episode_features<M: FeatureModel + ?Sized>(
 
 /// Runs every episode from blank state through an engine built from
 /// `builder` and returns the read-vector features at every step of every
-/// episode: `result[episode][step]`.
+/// episode: `result[episode][step]` (so `result[b].len() ==
+/// episodes[b].len()` even for ragged lists).
 ///
-/// Uniform-length episode lists run batched (one lane per episode, shared
-/// weights) — bit-compatible with the sequential loop (conformance
-/// tested); ragged lists fall back to a single-lane engine.
+/// Every episode list — uniform or ragged — runs **batched**, one lane
+/// per episode through shared weights: the lane grid steps to the
+/// longest episode, shorter lanes dropping out of the per-step
+/// [`LaneMask`](hima_dnc::LaneMask) as their episodes end
+/// ([`masked_step_block`]), their state frozen by
+/// [`step_batch_masked`](MemoryEngine::step_batch_masked). Bit-identical
+/// to [`sequential_episode_features`] on a single-lane engine
+/// (workspace ragged conformance suite); a uniform list degenerates to
+/// fully-active masks, i.e. exactly the old lock-step fast path. The
+/// previous single-lane ragged fallback is gone.
 pub fn episode_features(builder: &EngineBuilder, episodes: &[Episode]) -> Vec<Vec<Vec<f32>>> {
     if episodes.is_empty() {
         return Vec::new();
     }
-    match uniform_len(episodes) {
-        Some(steps) => {
-            let mut engine = builder.clone().lanes(episodes.len()).build();
-            let mut features = vec![Vec::with_capacity(steps); episodes.len()];
-            for t in 0..steps {
-                engine.step_batch(&step_block(episodes, t));
-                for (lane, lane_features) in features.iter_mut().enumerate() {
-                    lane_features.push(engine.last_read_row(lane).to_vec());
-                }
-            }
-            features
-        }
-        None => {
-            let mut engine = builder.clone().lanes(1).build();
-            sequential_episode_features(&mut *engine, episodes)
+    let steps = max_len(episodes).expect("non-empty list");
+    let mut engine = builder.clone().lanes(episodes.len()).build();
+    let mut features: Vec<Vec<Vec<f32>>> =
+        episodes.iter().map(|e| Vec::with_capacity(e.len())).collect();
+    for t in 0..steps {
+        let (block, mask) = masked_step_block(episodes, t);
+        engine.step_batch_masked(&block, &mask);
+        for lane in mask.active_lanes() {
+            features[lane].push(engine.last_read_row(lane).to_vec());
         }
     }
+    features
 }
 
 /// Collects `(features, one-hot targets)` at the query steps of episodes
@@ -357,6 +361,62 @@ mod tests {
             let sequential = sequential_episode_features(&mut *single, &episodes);
             assert_eq!(batched, sequential);
         }
+    }
+
+    #[test]
+    fn ragged_features_match_sequential_featuremodel_path() {
+        // Ragged lists no longer fall back to a single lane — they pad
+        // to the longest episode and mask the tail, still bit-identical
+        // to the one-episode-at-a-time reference.
+        let task = TASKS[2].with_jitter(5);
+        let episodes = task.generate(5, 13).episodes;
+        assert!(crate::episode::uniform_len(&episodes).is_none(), "workload must be ragged");
+        for builder in [
+            EngineBuilder::new(params()).seed(5),
+            EngineBuilder::new(params()).sharded(4).seed(5),
+        ] {
+            let batched = episode_features(&builder, &episodes);
+            for (b, e) in episodes.iter().enumerate() {
+                assert_eq!(batched[b].len(), e.len(), "one feature row per real step");
+            }
+            let mut single = builder.clone().lanes(1).build();
+            let sequential = sequential_episode_features(&mut *single, &episodes);
+            assert_eq!(batched, sequential);
+        }
+    }
+
+    #[test]
+    fn ragged_query_samples_and_readout_accuracy_match_sequential() {
+        // The full train harness path over a ragged workload: samples
+        // collected through the masked batched grid equal samples built
+        // from the sequential per-episode features.
+        let task = TASKS[0].with_jitter(4);
+        let train = task.generate(8, 3).episodes;
+        let eval = task.generate(4, 4).episodes;
+        let builder = EngineBuilder::new(params()).seed(17);
+        let (x, y) = collect_query_samples(&builder, &train);
+        let mut single = builder.clone().lanes(1).build();
+        let seq_features = sequential_episode_features(&mut *single, &train);
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for (e, f) in train.iter().zip(&seq_features) {
+            let (fr, yr) = episode_query_rows(e, f);
+            xs.extend(fr);
+            ys.extend(yr);
+        }
+        assert_eq!(x, Matrix::from_rows(&xs));
+        assert_eq!(y, Matrix::from_rows(&ys));
+
+        let readout = TrainedReadout::fit(&x, &y, 1e-2);
+        let batched_acc = readout_accuracy(&builder, &readout, &eval);
+        let mut single = builder.clone().lanes(1).build();
+        let eval_features = sequential_episode_features(&mut *single, &eval);
+        let (mut correct, mut total) = (0usize, 0usize);
+        for (e, f) in eval.iter().zip(&eval_features) {
+            let (c, n) = episode_readout_counts(&readout, e, f);
+            correct += c;
+            total += n;
+        }
+        assert_eq!(batched_acc, correct as f64 / total as f64);
     }
 
     #[test]

@@ -63,6 +63,35 @@ pub fn tanh_block(block: &mut crate::Matrix) {
     block.map_inplace(tanh);
 }
 
+/// Masked form of [`sigmoid_block`]: activates only the rows of active
+/// lanes, skipping — not zeroing — the rows of lanes whose sequences have
+/// ended. Active rows are bit-identical to the unmasked form.
+///
+/// # Panics
+///
+/// Panics if `mask.lanes() != block.rows()`.
+pub fn sigmoid_block_masked(block: &mut crate::Matrix, mask: &crate::LaneMask) {
+    map_rows_masked(block, mask, sigmoid);
+}
+
+/// Masked form of [`tanh_block`] (see [`sigmoid_block_masked`]).
+///
+/// # Panics
+///
+/// Panics if `mask.lanes() != block.rows()`.
+pub fn tanh_block_masked(block: &mut crate::Matrix, mask: &crate::LaneMask) {
+    map_rows_masked(block, mask, tanh);
+}
+
+fn map_rows_masked(block: &mut crate::Matrix, mask: &crate::LaneMask, f: impl Fn(f32) -> f32) {
+    assert_eq!(mask.lanes(), block.rows(), "lane mask size mismatch");
+    for b in mask.active_lanes() {
+        for x in block.row_mut(b) {
+            *x = f(*x);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +133,33 @@ mod tests {
         let xs = [-1.0, 0.0, 2.0];
         assert_eq!(sigmoid_vec(&xs), xs.iter().copied().map(sigmoid).collect::<Vec<_>>());
         assert_eq!(tanh_vec(&xs), xs.iter().copied().map(tanh).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn masked_blocks_skip_inactive_rows_bit_exactly() {
+        let src = crate::Matrix::from_fn(3, 4, |i, j| (i as f32 - 1.0) * 0.7 + j as f32 * 0.3);
+        let mask = crate::LaneMask::from(vec![true, false, true]);
+
+        let mut masked = src.clone();
+        sigmoid_block_masked(&mut masked, &mask);
+        let mut full = src.clone();
+        sigmoid_block(&mut full);
+        assert_eq!(masked.row(0), full.row(0), "active rows identical to unmasked");
+        assert_eq!(masked.row(1), src.row(1), "inactive row untouched");
+        assert_eq!(masked.row(2), full.row(2));
+
+        let mut masked = src.clone();
+        tanh_block_masked(&mut masked, &mask);
+        let mut full = src.clone();
+        tanh_block(&mut full);
+        assert_eq!(masked.row(0), full.row(0));
+        assert_eq!(masked.row(1), src.row(1));
+        assert_eq!(masked.row(2), full.row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane mask size mismatch")]
+    fn masked_block_rejects_wrong_mask_length() {
+        sigmoid_block_masked(&mut crate::Matrix::zeros(2, 2), &crate::LaneMask::full(3));
     }
 }

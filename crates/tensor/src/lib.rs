@@ -13,7 +13,11 @@
 //! * exact and hardware-approximated softmax in [`mod@softmax`] — the
 //!   piece-wise-linear + LUT approximation of Section 5.2 of the paper,
 //! * Q-format fixed-point arithmetic in [`fixed`] used to model HiMA's
-//!   32-bit datapath.
+//!   32-bit datapath,
+//! * [`LaneMask`] and the masked row-block kernels (`matmul_nt_masked`,
+//!   the `*_block_masked` activations, [`softmax_rows_masked`]) that let
+//!   ragged batches skip — not zero-and-recompute — the rows of lanes
+//!   whose sequences have ended.
 //!
 //! # Example
 //!
@@ -30,14 +34,16 @@
 
 pub mod activation;
 pub mod fixed;
+pub mod lane_mask;
 pub mod linalg;
 pub mod matrix;
 pub mod softmax;
 pub mod vector;
 
 pub use fixed::{Fixed, QFormat};
+pub use lane_mask::LaneMask;
 pub use matrix::Matrix;
-pub use softmax::{softmax, softmax_approx, softmax_rows, PlaSoftmax};
+pub use softmax::{softmax, softmax_approx, softmax_rows, softmax_rows_masked, PlaSoftmax};
 
 /// Numerical tolerance used across the workspace when comparing floats
 /// produced by mathematically equivalent but differently ordered

@@ -233,19 +233,43 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        // The fully-active special case of the masked kernel — one loop
+        // body, so unmasked and masked products are bit-identical by
+        // construction.
+        self.matmul_nt_masked(other, &crate::LaneMask::full(self.rows))
+    }
+
+    /// Masked form of [`Matrix::matmul_nt`] for ragged batches: row `i`
+    /// of the result is computed iff `mask.is_active(i)`; inactive rows
+    /// are **skipped** (left zero), not zeroed-and-recomputed — a lane
+    /// whose sequence has ended costs nothing in the shared-weight
+    /// projection.
+    ///
+    /// Active rows are bit-identical to [`Matrix::matmul_nt`] (same
+    /// per-row accumulation order), so a fully-active mask reproduces
+    /// the unmasked product exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` or `mask.lanes() != self.rows`.
+    pub fn matmul_nt_masked(&self, other: &Matrix, mask: &crate::LaneMask) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} vs {}x{}ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(mask.lanes(), self.rows, "lane mask size mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
+            if !mask.is_active(i) {
+                continue;
+            }
             let lhs = self.row(i);
             let dst = out.row_mut(i);
             for (j, d) in dst.iter_mut().enumerate() {
-                // Same accumulation order as `matvec` (sequential zip-sum
-                // over K) — the batched path must be bit-compatible with
-                // the per-lane path.
+                // Same accumulation order as `matvec`/`matmul_nt`: the
+                // masked path must stay bit-compatible with per-lane
+                // stepping.
                 *d = lhs.iter().zip(other.row(j)).map(|(a, b)| a * b).sum();
             }
         }
@@ -279,8 +303,22 @@ impl Matrix {
     ///
     /// Panics if `bias.len() != cols`.
     pub fn add_row_inplace(&mut self, bias: &[f32]) {
+        self.add_row_inplace_masked(bias, &crate::LaneMask::full(self.rows));
+    }
+
+    /// Masked form of [`Matrix::add_row_inplace`]: adds `bias` only to
+    /// the rows of active lanes, leaving inactive rows untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols` or `mask.lanes() != rows`.
+    pub fn add_row_inplace_masked(&mut self, bias: &[f32], mask: &crate::LaneMask) {
         assert_eq!(bias.len(), self.cols, "row-broadcast shape mismatch");
+        assert_eq!(mask.lanes(), self.rows, "lane mask size mismatch");
         for i in 0..self.rows {
+            if !mask.is_active(i) {
+                continue;
+            }
             for (x, b) in self.row_mut(i).iter_mut().zip(bias) {
                 *x += b;
             }
@@ -502,6 +540,39 @@ mod tests {
     #[should_panic(expected = "ragged rows")]
     fn from_rows_rejects_ragged() {
         Matrix::from_rows(&[&[1.0, 2.0][..], &[1.0][..]]);
+    }
+
+    #[test]
+    fn masked_matmul_nt_skips_inactive_rows_and_matches_active_ones() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f32 * 0.5 - 1.0);
+        let w = Matrix::from_fn(5, 3, |i, j| ((i + 2 * j) as f32).sin());
+        let full = a.matmul_nt(&w);
+        let mask = crate::LaneMask::from(vec![true, false, true, false]);
+        let masked = a.matmul_nt_masked(&w, &mask);
+        for i in 0..4 {
+            if mask.is_active(i) {
+                assert_eq!(masked.row(i), full.row(i), "active row {i} must be bit-equal");
+            } else {
+                assert!(masked.row(i).iter().all(|&x| x == 0.0), "inactive row {i} skipped");
+            }
+        }
+        // A full mask reproduces the unmasked product exactly.
+        assert_eq!(a.matmul_nt_masked(&w, &crate::LaneMask::full(4)), full);
+    }
+
+    #[test]
+    fn masked_add_row_inplace_leaves_inactive_rows() {
+        let mut m = Matrix::filled(3, 2, 1.0);
+        m.add_row_inplace_masked(&[0.5, -0.5], &crate::LaneMask::from(vec![true, false, true]));
+        assert_eq!(m.row(0), &[1.5, 0.5]);
+        assert_eq!(m.row(1), &[1.0, 1.0]);
+        assert_eq!(m.row(2), &[1.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane mask size mismatch")]
+    fn masked_matmul_nt_rejects_wrong_mask_length() {
+        Matrix::zeros(2, 3).matmul_nt_masked(&Matrix::zeros(4, 3), &crate::LaneMask::full(3));
     }
 
     #[test]

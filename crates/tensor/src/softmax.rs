@@ -160,7 +160,24 @@ impl Default for PlaSoftmax {
 /// (`B` lanes' logits stacked as rows), row-for-row equivalent to the
 /// scalar function (property-tested).
 pub fn softmax_rows(m: &mut crate::Matrix) {
-    for i in 0..m.rows() {
+    // The fully-active special case of the masked kernel — one loop
+    // body, so masked and unmasked rows are bit-identical by
+    // construction.
+    let mask = crate::LaneMask::full(m.rows());
+    softmax_rows_masked(m, &mask);
+}
+
+/// Masked form of [`softmax_rows`] for ragged batches: normalizes only
+/// the rows of active lanes, skipping inactive rows entirely (their
+/// contents are left untouched). Active rows are bit-identical to
+/// [`softmax_rows`].
+///
+/// # Panics
+///
+/// Panics if `mask.lanes() != m.rows()`.
+pub fn softmax_rows_masked(m: &mut crate::Matrix, mask: &crate::LaneMask) {
+    assert_eq!(mask.lanes(), m.rows(), "lane mask size mismatch");
+    for i in mask.active_lanes() {
         let row = m.row_mut(i);
         if row.is_empty() {
             continue;
@@ -205,6 +222,23 @@ mod tests {
     fn softmax_uniform_inputs() {
         let p = softmax(&[5.0; 4]);
         assert_close(&p, &[0.25; 4], 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_masked_normalizes_active_rows_only() {
+        let src = crate::Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.25);
+        let mask = crate::LaneMask::from(vec![true, false, true]);
+        let mut masked = src.clone();
+        softmax_rows_masked(&mut masked, &mask);
+        let mut full = src.clone();
+        softmax_rows(&mut full);
+        assert_eq!(masked.row(0), full.row(0), "active rows bit-equal to unmasked");
+        assert_eq!(masked.row(1), src.row(1), "inactive row untouched");
+        assert_eq!(masked.row(2), full.row(2));
+        // A full mask reproduces the unmasked row-block form.
+        let mut all = src.clone();
+        softmax_rows_masked(&mut all, &crate::LaneMask::full(3));
+        assert_eq!(all, full);
     }
 
     #[test]
