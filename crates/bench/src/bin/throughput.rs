@@ -38,14 +38,25 @@
 //! HiMA's throughput argument rests on. No wall-clock gate is attached:
 //! the two rates are a paired best-of measurement on the same work.
 //!
-//! JSON schema (`schema_version` 2): `{ bench, schema_version,
+//! A sixth section covers the **workspace stepping path**: the
+//! allocating `step_batch` entry point (which now allocates only the
+//! returned output block) against the zero-allocation
+//! `step_batch_into` workspace path, as a paired best-of measurement on
+//! the same engine — the same pattern the ragged section uses. The
+//! structural guarantee (0 heap allocations per steady-state step) is
+//! enforced by the `zero_alloc` test target, not by a wall-clock gate
+//! here; these rates track the trajectory across PRs.
+//!
+//! JSON schema (`schema_version` 3): `{ bench, schema_version,
 //! machine_threads, smoke, params: {memory_size, word_size, read_heads,
 //! hidden_size}, batched: [{batch, seq_steps_per_sec, batched_1t,
 //! batched_nt}], sweep: [{engine, one_thread, all_threads}],
 //! pipeline: [{batch, episodes, lane_steps, sync_lane_steps_per_sec,
 //! pipelined_lane_steps_per_sec, speedup}],
 //! ragged: [{batch, max_len, active_lane_steps, occupancy,
-//! seq_lane_steps_per_sec, masked_lane_steps_per_sec, speedup}] }`.
+//! seq_lane_steps_per_sec, masked_lane_steps_per_sec, speedup}],
+//! workspace: [{batch, alloc_steps_per_sec, workspace_steps_per_sec,
+//! speedup}] }`.
 
 use hima::pipeline::{run_pipeline, EpisodeJob, PipelineSpec};
 use hima::prelude::*;
@@ -66,6 +77,8 @@ const PIPELINE_TASK: usize = 2;
 const PIPELINE_SEED: u64 = 2021;
 /// Batch sizes of the ragged-workload section.
 const RAGGED_BATCHES: [usize; 2] = [8, 32];
+/// Batch sizes of the workspace-vs-allocating stepping comparison.
+const WORKSPACE_BATCHES: [usize; 2] = [8, 32];
 /// Length jitter of the ragged workload (episode lengths spread over
 /// `episode_len ..= episode_len + RAGGED_JITTER`).
 const RAGGED_JITTER: usize = 8;
@@ -213,6 +226,41 @@ fn ragged_masked_rate(base: &EngineBuilder, episodes: &[Episode]) -> f64 {
     active as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Lane-steps/sec of the allocating `step_batch` entry point at one
+/// worker thread (the "before" side of the workspace pairing: one output
+/// block allocated per step).
+fn alloc_entry_rate(base: &EngineBuilder, batch: usize, measure: Duration) -> f64 {
+    batched_rate(base, batch, 1, measure)
+}
+
+/// Lane-steps/sec of the zero-allocation `step_batch_into` workspace
+/// path at one worker thread: the output block is reused across steps,
+/// so the steady state performs no heap allocation at all (pinned by the
+/// `zero_alloc` test target).
+fn workspace_rate(base: &EngineBuilder, batch: usize, measure: Duration) -> f64 {
+    let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let mut model = base.clone().lanes(batch).build();
+    let width = params().input_size;
+    let mut y = Matrix::zeros(batch, params().output_size);
+    pool.install(|| {
+        model.step_batch_into(&input_block(batch, width, 0), &mut y);
+        let start = Instant::now();
+        let mut t = 1usize;
+        while start.elapsed() < measure {
+            model.step_batch_into(&input_block(batch, width, t), &mut y);
+            t += 1;
+        }
+        (t - 1) as f64 * batch as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+/// One row of the workspace-vs-allocating stepping comparison.
+struct WorkspaceRow {
+    batch: usize,
+    alloc: f64,
+    workspace: f64,
+}
+
 /// One row of the ragged-workload section.
 struct RaggedRow {
     batch: usize,
@@ -256,6 +304,7 @@ fn json_escape_free(label: &str) -> String {
 }
 
 /// Renders the measurements as the `BENCH_throughput.json` document.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     machine_threads: usize,
     smoke: bool,
@@ -263,11 +312,12 @@ fn render_json(
     sweep: &[(String, f64, f64)],
     pipeline: &[PipelineRow],
     ragged: &[RaggedRow],
+    workspace: &[WorkspaceRow],
 ) -> String {
     let p = params();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"bench\": \"throughput\",\n  \"schema_version\": 2,\n");
+    s.push_str("  \"bench\": \"throughput\",\n  \"schema_version\": 3,\n");
     s.push_str(&format!("  \"machine_threads\": {machine_threads},\n"));
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!(
@@ -314,6 +364,17 @@ fn render_json(
             row.masked,
             row.masked / row.seq,
             if i + 1 < ragged.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"workspace\": [\n");
+    for (i, row) in workspace.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"alloc_steps_per_sec\": {:.1}, \"workspace_steps_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            row.batch,
+            row.alloc,
+            row.workspace,
+            row.workspace / row.alloc,
+            if i + 1 < workspace.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -507,6 +568,37 @@ fn main() {
          *active* lane-steps only — padding steps are not credited."
     );
 
+    hima_bench::header(
+        "Workspace stepping — zero-alloc step_batch_into vs allocating step_batch, 1 thread",
+    );
+    println!(
+        "{:>6} {:>20} {:>20} {:>10}",
+        "batch", "alloc lane-steps/s", "workspace", "speedup"
+    );
+    let mut workspace_rows: Vec<WorkspaceRow> = Vec::new();
+    for &batch in &WORKSPACE_BATCHES {
+        let (alloc, workspace) = best_of_paired(
+            reps,
+            || alloc_entry_rate(&mono, batch, measure),
+            || workspace_rate(&mono, batch, measure),
+        );
+        println!(
+            "{:>6} {:>20.0} {:>20.0} {:>10}",
+            batch,
+            alloc,
+            workspace,
+            hima_bench::times(workspace / alloc)
+        );
+        workspace_rows.push(WorkspaceRow { batch, alloc, workspace });
+    }
+    println!(
+        "\nBoth paths share the engine's StepWorkspace; the allocating entry\n\
+         point's only remaining allocation is the returned output block,\n\
+         which the `_into` path reuses. The structural gate — zero heap\n\
+         allocations per steady-state step across every engine variant —\n\
+         is the `zero_alloc` test target, not a wall-clock ratio."
+    );
+
     if json {
         let doc = render_json(
             machine_threads,
@@ -515,6 +607,7 @@ fn main() {
             &sweep_rows,
             &pipeline_rows,
             &ragged_rows,
+            &workspace_rows,
         );
         let path = "BENCH_throughput.json";
         match std::fs::write(path, &doc) {

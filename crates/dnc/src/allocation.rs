@@ -13,7 +13,6 @@
 //! comes from. Skimmed slots receive zero allocation weight.
 
 use hima_sort::SortEngine;
-use hima_tensor::vector::exclusive_prefix_product;
 use serde::{Deserialize, Serialize};
 
 /// Usage-skimming configuration: the fraction of slots (those with the
@@ -81,21 +80,43 @@ pub fn allocation_weighting(usage: &[f32], sorter: &dyn SortEngine, skim: SkimRa
 /// Panics if `free_list` is not a permutation of the usage indices (debug
 /// builds).
 pub fn allocation_from_free_list(usage: &[f32], free_list: &[usize], skim: SkimRate) -> Vec<f32> {
+    let mut w_a = vec![0.0; usage.len()];
+    allocation_from_free_list_into(usage, free_list, skim, &mut w_a);
+    w_a
+}
+
+/// Output-buffer form of [`allocation_from_free_list`]: writes the
+/// allocation weighting into `w_a` without allocating. The accumulated
+/// product streams left-to-right over the kept free list — the same
+/// multiplication order as
+/// [`exclusive_prefix_product`](hima_tensor::vector::exclusive_prefix_product),
+/// so the result is bit-identical to the allocating form.
+///
+/// # Panics
+///
+/// Panics if `w_a.len() != usage.len()`; debug builds also check that
+/// `free_list` is a permutation of the usage indices.
+pub fn allocation_from_free_list_into(
+    usage: &[f32],
+    free_list: &[usize],
+    skim: SkimRate,
+    w_a: &mut [f32],
+) {
     let n = usage.len();
+    assert_eq!(w_a.len(), n, "allocation output length mismatch");
     if n == 0 {
-        return Vec::new();
+        return;
     }
     debug_assert_eq!(free_list.len(), n, "argsort must be a permutation");
 
     let kept = skim.kept(n);
-    let sorted_usage: Vec<f32> = free_list[..kept].iter().map(|&i| usage[i]).collect();
-    let prefix = exclusive_prefix_product(&sorted_usage);
-
-    let mut w_a = vec![0.0; n];
-    for (j, &slot) in free_list[..kept].iter().enumerate() {
-        w_a[slot] = (1.0 - sorted_usage[j]) * prefix[j];
+    w_a.fill(0.0);
+    let mut acc = 1.0f32; // Π_{k<j} u[φ_k], accumulated in free-list order
+    for &slot in &free_list[..kept] {
+        let u = usage[slot];
+        w_a[slot] = (1.0 - u) * acc;
+        acc *= u;
     }
-    w_a
 }
 
 /// Merges allocation and content write weightings through the write gates —
@@ -110,12 +131,29 @@ pub fn merge_write_weighting(
     write_gate: f32,
     allocation_gate: f32,
 ) -> Vec<f32> {
+    let mut out = vec![0.0; allocation.len()];
+    merge_write_weighting_into(allocation, content, write_gate, allocation_gate, &mut out);
+    out
+}
+
+/// Output-buffer form of [`merge_write_weighting`]: writes the merged
+/// weighting into `out` without allocating.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn merge_write_weighting_into(
+    allocation: &[f32],
+    content: &[f32],
+    write_gate: f32,
+    allocation_gate: f32,
+    out: &mut [f32],
+) {
     assert_eq!(allocation.len(), content.len(), "weighting length mismatch");
-    allocation
-        .iter()
-        .zip(content)
-        .map(|(&a, &c)| write_gate * (allocation_gate * a + (1.0 - allocation_gate) * c))
-        .collect()
+    assert_eq!(out.len(), allocation.len(), "write merge output length mismatch");
+    for ((o, &a), &c) in out.iter_mut().zip(allocation).zip(content) {
+        *o = write_gate * (allocation_gate * a + (1.0 - allocation_gate) * c);
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +260,21 @@ mod tests {
     #[test]
     fn allocation_empty_input() {
         assert!(alloc(&[]).is_empty());
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let usage = [0.3, 0.6, 0.1, 0.8, 0.45];
+        let free_list = CentralizedMergeSorter.argsort(&usage);
+        for skim in [SkimRate::NONE, SkimRate::new(0.4)] {
+            let mut w_a = vec![f32::NAN; 5];
+            allocation_from_free_list_into(&usage, &free_list, skim, &mut w_a);
+            assert_eq!(w_a, allocation_from_free_list(&usage, &free_list, skim));
+        }
+        let a = [0.5, 0.2, 0.0, 0.1, 0.2];
+        let c = [0.1, 0.3, 0.4, 0.0, 0.2];
+        let mut merged = vec![f32::NAN; 5];
+        merge_write_weighting_into(&a, &c, 0.7, 0.4, &mut merged);
+        assert_eq!(merged, merge_write_weighting(&a, &c, 0.7, 0.4));
     }
 }

@@ -49,9 +49,10 @@ use crate::distributed::{DncD, ReadMerge};
 use crate::dnc::Dnc;
 use crate::interface::InterfaceVector;
 use crate::lstm::{Lstm, LstmState};
-use crate::memory::{MemoryConfig, MemoryUnit, ReadResult};
+use crate::memory::{MemoryConfig, MemoryUnit};
 use crate::profile::KernelProfile;
 use crate::quantized::QuantizedMemoryUnit;
+use crate::workspace::StepWorkspace;
 use crate::DncParams;
 use hima_tensor::{LaneMask, Matrix};
 use rayon::prelude::*;
@@ -75,10 +76,12 @@ impl LaneMemory {
         }
     }
 
-    fn step(&mut self, iv: &InterfaceVector) -> ReadResult {
+    /// Steps the unit, writing the flattened read vectors into `out` —
+    /// allocation-free on either datapath.
+    fn step_into(&mut self, iv: &InterfaceVector, out: &mut [f32]) {
         match self {
-            LaneMemory::F32(u) => u.step(iv),
-            LaneMemory::Quantized(q) => q.step(iv),
+            LaneMemory::F32(u) => u.step_into(iv, out),
+            LaneMemory::Quantized(q) => q.step_into(iv, out),
         }
     }
 
@@ -98,12 +101,15 @@ impl LaneMemory {
     }
 }
 
-/// One batch lane of a centralized DNC: the lane-private memory unit plus
-/// the lane's last flattened read vector.
+/// One batch lane of a centralized DNC: the lane-private memory unit, the
+/// lane's last flattened read vector, and the lane's reusable
+/// interface-parse scratch (lanes step in parallel, so per-lane scratch
+/// cannot live in the shared [`StepWorkspace`]).
 #[derive(Debug, Clone)]
 struct Lane {
     memory: LaneMemory,
     read: Vec<f32>,
+    iv: InterfaceVector,
 }
 
 /// `B` independent DNC lanes sharing one set of weights.
@@ -141,6 +147,7 @@ pub struct BatchDnc {
     lanes: Vec<Lane>,
     last_read: Matrix,
     last_hidden: Matrix,
+    ws: StepWorkspace,
 }
 
 impl BatchDnc {
@@ -194,8 +201,11 @@ impl BatchDnc {
             .map(|_| Lane {
                 memory: LaneMemory::new(mem_cfg, datapath),
                 read: vec![0.0; read_width],
+                iv: InterfaceVector::zeroed(params.word_size, params.read_heads),
             })
             .collect();
+        let mut ws = StepWorkspace::new();
+        ws.ensure(&params, batch, 1);
         Self {
             params,
             controller,
@@ -206,6 +216,7 @@ impl BatchDnc {
             lanes,
             last_read: Matrix::zeros(batch, read_width),
             last_hidden: Matrix::zeros(batch, params.hidden_size),
+            ws,
         }
     }
 
@@ -254,18 +265,19 @@ impl BatchDnc {
         p
     }
 
-    /// Resets every lane's memory and recurrent state (weights unchanged).
+    /// Resets every lane's memory and recurrent state (weights unchanged)
+    /// **in place** — no buffer is reallocated, so reuse across episodes
+    /// (harnesses, pipeline engine workers) stays allocation-free.
     pub fn reset(&mut self) {
-        let read_width = self.params.read_heads * self.params.word_size;
         for lane in &mut self.lanes {
             lane.memory.reset();
-            lane.read = vec![0.0; read_width];
+            lane.read.fill(0.0);
         }
         for state in &mut self.lstm_states {
-            *state = LstmState::zeros(self.params.hidden_size);
+            state.clear();
         }
-        self.last_read = Matrix::zeros(self.lanes.len(), read_width);
-        self.last_hidden = Matrix::zeros(self.lanes.len(), self.params.hidden_size);
+        self.last_read.as_mut_slice().fill(0.0);
+        self.last_hidden.as_mut_slice().fill(0.0);
     }
 
     /// Runs one time step for every lane: `inputs` is `B × input_size`
@@ -275,11 +287,37 @@ impl BatchDnc {
     /// batched products; the per-lane memory units step in parallel across
     /// rayon worker threads.
     ///
+    /// Allocating convenience over [`BatchDnc::step_batch_into`] (the one
+    /// allocation is the returned output block).
+    ///
     /// # Panics
     ///
     /// Panics if `inputs` is not `B × input_size`.
     pub fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
-        self.step_batch_masked(inputs, &LaneMask::full(self.lanes.len()))
+        let mut y = Matrix::zeros(self.lanes.len(), self.params.output_size);
+        self.step_batch_into(inputs, &mut y);
+        y
+    }
+
+    /// Output-buffer form of [`BatchDnc::step_batch`]: the uniform
+    /// (fully-active) step writing into `y` — **zero heap allocations**
+    /// in the steady state, using the engine's cached full mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`.
+    pub fn step_batch_into(&mut self, inputs: &Matrix, y: &mut Matrix) {
+        // Validate caller input *before* taking the cached mask, so a
+        // caller-triggered panic cannot strand the workspace with the
+        // 0-lane placeholder.
+        assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
+        assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+        self.ws.ensure(&self.params, self.lanes.len(), 1);
+        // Borrow dance: the cached full mask cannot be borrowed while
+        // `self` is, so take it (a move — no allocation) and put it back.
+        let mask = std::mem::take(&mut self.ws.full_mask);
+        self.step_batch_masked_into(inputs, &mask, y);
+        self.ws.full_mask = mask;
     }
 
     /// Masked form of [`BatchDnc::step_batch`] for ragged batches: only
@@ -295,38 +333,68 @@ impl BatchDnc {
     /// property); a fully-active mask *is* [`BatchDnc::step_batch`].
     /// Inactive rows of the returned output block are zero.
     ///
+    /// Allocating convenience over [`BatchDnc::step_batch_masked_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `inputs` is not `B × input_size` or
     /// `mask.lanes() != B`.
     pub fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
-        assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
+        let mut y = Matrix::zeros(self.lanes.len(), self.params.output_size);
+        self.step_batch_masked_into(inputs, mask, &mut y);
+        y
+    }
+
+    /// Output-buffer form of [`BatchDnc::step_batch_masked`]: writes the
+    /// `B × output_size` block into `y` (resized in place if its shape
+    /// differs). Every transient comes from the engine's
+    /// [`StepWorkspace`] or the per-lane scratch, so the steady state
+    /// performs **zero heap allocations** — and the result is bit-for-bit
+    /// what the allocating form returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size` or
+    /// `mask.lanes() != B`.
+    pub fn step_batch_masked_into(&mut self, inputs: &Matrix, mask: &LaneMask, y: &mut Matrix) {
+        let b = self.lanes.len();
+        assert_eq!(inputs.rows(), b, "batch size mismatch");
         assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
-        assert_eq!(mask.lanes(), self.lanes.len(), "lane mask size mismatch");
+        assert_eq!(mask.lanes(), b, "lane mask size mismatch");
+        self.ws.ensure(&self.params, b, 1);
+        if y.shape() != (b, self.params.output_size) {
+            *y = Matrix::zeros(b, self.params.output_size);
+        }
+        let ws = &mut self.ws;
 
         // Controller on [x_t ; v_r^{t-1}], all active lanes at once
         // (frozen lanes surface their held hidden state).
-        let ctrl_in = Matrix::hcat(inputs, &self.last_read);
-        let hidden = self.controller.step_batch_masked(&mut self.lstm_states, &ctrl_in, mask);
+        Matrix::hcat_into(inputs, &self.last_read, &mut ws.ctrl_in);
+        self.controller.step_batch_masked_into(
+            &mut self.lstm_states,
+            &ws.ctrl_in,
+            mask,
+            &mut ws.lstm,
+            &mut ws.hidden,
+        );
 
         // Interface projection + parse (input skip connection), batched
         // over the active rows.
-        let iface_in = Matrix::hcat(&hidden, inputs);
-        let raw_iface = iface_in.matmul_nt_masked(&self.interface_proj, mask);
+        Matrix::hcat_into(&ws.hidden, inputs, &mut ws.iface_in);
+        ws.iface_in.matmul_nt_masked_into(&self.interface_proj, mask, &mut ws.raw_shards[0]);
 
         // Memory unit step: active lanes are independent — fan out
-        // across threads; frozen lanes hold their memory state.
+        // across threads; frozen lanes hold their memory state. Each
+        // lane parses into and steps through its own scratch, so the
+        // loop is allocation-free on every worker.
         let (w, r) = (self.params.word_size, self.params.read_heads);
-        let raw = &raw_iface;
-        let mut active: Vec<(usize, &mut Lane)> = self
-            .lanes
-            .iter_mut()
-            .enumerate()
-            .filter(|(b, _)| mask.is_active(*b))
-            .collect();
-        active.par_iter_mut().for_each(|(b, lane)| {
-            let iv = InterfaceVector::parse(raw.row(*b), w, r);
-            lane.read = lane.memory.step(&iv).flattened();
+        let raw = &ws.raw_shards[0];
+        self.lanes.par_iter_mut().enumerate().for_each(|(b, lane)| {
+            if !mask.is_active(b) {
+                return;
+            }
+            lane.iv.parse_into(raw.row(b), w, r);
+            lane.memory.step_into(&lane.iv, &mut lane.read);
         });
         for (b, lane) in self.lanes.iter().enumerate() {
             if mask.is_active(b) {
@@ -336,10 +404,9 @@ impl BatchDnc {
 
         // Output projection over [h ; v_r], batched over the active rows
         // (inactive output rows stay zero).
-        let out_in = Matrix::hcat(&hidden, &self.last_read);
-        let y = out_in.matmul_nt_masked(&self.output_proj, mask);
-        self.last_hidden = hidden;
-        y
+        Matrix::hcat_into(&ws.hidden, &self.last_read, &mut ws.out_in);
+        ws.out_in.matmul_nt_masked_into(&self.output_proj, mask, y);
+        self.last_hidden.as_mut_slice().copy_from_slice(ws.hidden.as_slice());
     }
 
     /// Runs a whole synchronized sequence: `steps[t]` is the `B ×
@@ -350,21 +417,14 @@ impl BatchDnc {
     }
 }
 
-/// One shard of one DNC-D batch lane: the shard's memory unit plus its
-/// last flattened read vector — the unit of work of the 2-D (lane ×
-/// shard) parallel decomposition.
+/// One shard of one DNC-D batch lane: the shard's memory unit, its last
+/// flattened read vector and its reusable interface-parse scratch — the
+/// unit of work of the 2-D (lane × shard) parallel decomposition.
 #[derive(Debug, Clone)]
 struct ShardLane {
     memory: LaneMemory,
     read: Vec<f32>,
-}
-
-/// One batch lane of the distributed DNC-D: the lane-private shard memory
-/// units plus the lane's merged read vector.
-#[derive(Debug, Clone)]
-struct LaneD {
-    shards: Vec<ShardLane>,
-    read: Vec<f32>,
+    iv: InterfaceVector,
 }
 
 /// `B` independent DNC-D lanes sharing one set of weights (controller,
@@ -386,9 +446,15 @@ pub struct BatchDncD {
     merge: ReadMerge,
     datapath: Datapath,
     lstm_states: Vec<LstmState>,
-    lanes: Vec<LaneD>,
+    batch: usize,
+    /// The flat `B × N_t` shard grid, lane-major: lane `b`'s shards are
+    /// `shards[b·N_t .. (b+1)·N_t]`. Flat storage *is* the 2-D parallel
+    /// decomposition — one `par_iter_mut` over this slice is the per-step
+    /// task list, with no per-step collection of task references.
+    shards: Vec<ShardLane>,
     last_read: Matrix,
     last_hidden: Matrix,
+    ws: StepWorkspace,
 }
 
 impl BatchDncD {
@@ -420,18 +486,18 @@ impl BatchDncD {
     ) -> Self {
         assert!(batch > 0, "need at least one batch lane");
         let read_width = params.read_heads * params.word_size;
-        let lanes = (0..batch)
-            .map(|_| LaneD {
-                shards: shard_cfgs
-                    .iter()
-                    .map(|cfg| ShardLane {
-                        memory: LaneMemory::new(*cfg, datapath),
-                        read: Vec::new(),
-                    })
-                    .collect(),
-                read: vec![0.0; read_width],
+        let tiles = interface_projs.len();
+        let shards = (0..batch)
+            .flat_map(|_| {
+                shard_cfgs.iter().map(|cfg| ShardLane {
+                    memory: LaneMemory::new(*cfg, datapath),
+                    read: vec![0.0; read_width],
+                    iv: InterfaceVector::zeroed(params.word_size, params.read_heads),
+                })
             })
             .collect();
+        let mut ws = StepWorkspace::new();
+        ws.ensure(&params, batch, tiles);
         Self {
             params,
             controller,
@@ -440,15 +506,17 @@ impl BatchDncD {
             merge,
             datapath,
             lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
-            lanes,
+            batch,
+            shards,
             last_read: Matrix::zeros(batch, read_width),
             last_hidden: Matrix::zeros(batch, params.hidden_size),
+            ws,
         }
     }
 
     /// Number of batch lanes `B`.
     pub fn batch(&self) -> usize {
-        self.lanes.len()
+        self.batch
     }
 
     /// Number of distributed shards `N_t` per lane.
@@ -480,10 +548,8 @@ impl BatchDncD {
     /// Kernel profile aggregated across every lane's shard memory units.
     pub fn profile(&self) -> KernelProfile {
         let mut p = KernelProfile::new();
-        for lane in &self.lanes {
-            for shard in &lane.shards {
-                p.merge(shard.memory.unit().profile());
-            }
+        for shard in &self.shards {
+            p.merge(shard.memory.unit().profile());
         }
         p
     }
@@ -498,21 +564,18 @@ impl BatchDncD {
         self.merge = merge;
     }
 
-    /// Resets every lane's shard memories and recurrent state.
+    /// Resets every lane's shard memories and recurrent state **in
+    /// place** (no reallocation; weights and merge unchanged).
     pub fn reset(&mut self) {
-        let read_width = self.params.read_heads * self.params.word_size;
-        for lane in &mut self.lanes {
-            for shard in &mut lane.shards {
-                shard.memory.reset();
-                shard.read.clear();
-            }
-            lane.read = vec![0.0; read_width];
+        for shard in &mut self.shards {
+            shard.memory.reset();
+            shard.read.fill(0.0);
         }
         for state in &mut self.lstm_states {
-            *state = LstmState::zeros(self.params.hidden_size);
+            state.clear();
         }
-        self.last_read = Matrix::zeros(self.lanes.len(), read_width);
-        self.last_hidden = Matrix::zeros(self.lanes.len(), self.params.hidden_size);
+        self.last_read.as_mut_slice().fill(0.0);
+        self.last_hidden.as_mut_slice().fill(0.0);
     }
 
     /// Runs one time step for every lane (`inputs` is `B × input_size`),
@@ -530,76 +593,123 @@ impl BatchDncD {
     ///
     /// Panics if `inputs` is not `B × input_size`.
     pub fn step_batch(&mut self, inputs: &Matrix) -> Matrix {
-        self.step_batch_masked(inputs, &LaneMask::full(self.lanes.len()))
+        let mut y = Matrix::zeros(self.batch, self.params.output_size);
+        self.step_batch_into(inputs, &mut y);
+        y
+    }
+
+    /// Output-buffer form of [`BatchDncD::step_batch`]: the uniform
+    /// (fully-active) step writing into `y` — **zero heap allocations**
+    /// in the steady state, using the engine's cached full mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`.
+    pub fn step_batch_into(&mut self, inputs: &Matrix, y: &mut Matrix) {
+        // Validate caller input before taking the cached mask (see
+        // [`BatchDnc::step_batch_into`]).
+        assert_eq!(inputs.rows(), self.batch, "batch size mismatch");
+        assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+        self.ws.ensure(&self.params, self.batch, self.interface_projs.len());
+        let mask = std::mem::take(&mut self.ws.full_mask);
+        self.step_batch_masked_into(inputs, &mask, y);
+        self.ws.full_mask = mask;
     }
 
     /// Masked form of [`BatchDncD::step_batch`] for ragged batches: the
-    /// flattened parallel task grid covers only the shards of **active**
-    /// lanes (`mask.active_count() × N_t` tasks), so a lane whose
-    /// episode has ended costs nothing — its shard memories, merged read
-    /// vector and recurrent state stay frozen while live lanes advance.
+    /// flat parallel shard grid advances only the shards of **active**
+    /// lanes, so a lane whose episode has ended costs (almost) nothing —
+    /// its shard memories, merged read vector and recurrent state stay
+    /// frozen while live lanes advance.
     ///
     /// Active lanes are bit-identical to stepping each lane's episode
     /// alone (ragged conformance suite); a fully-active mask *is*
     /// [`BatchDncD::step_batch`]. Inactive rows of the returned output
     /// block are zero.
     ///
+    /// Allocating convenience over
+    /// [`BatchDncD::step_batch_masked_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `inputs` is not `B × input_size` or
     /// `mask.lanes() != B`.
     pub fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
-        assert_eq!(inputs.rows(), self.lanes.len(), "batch size mismatch");
-        assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
-        assert_eq!(mask.lanes(), self.lanes.len(), "lane mask size mismatch");
+        let mut y = Matrix::zeros(self.batch, self.params.output_size);
+        self.step_batch_masked_into(inputs, mask, &mut y);
+        y
+    }
 
-        let ctrl_in = Matrix::hcat(inputs, &self.last_read);
-        let hidden = self.controller.step_batch_masked(&mut self.lstm_states, &ctrl_in, mask);
+    /// Output-buffer form of [`BatchDncD::step_batch_masked`]: writes the
+    /// `B × output_size` block into `y` (resized in place if its shape
+    /// differs). Transients come from the engine's [`StepWorkspace`]
+    /// (one raw-interface block per shard) and the per-shard scratch, so
+    /// the steady state performs **zero heap allocations**, bit-identical
+    /// to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size` or
+    /// `mask.lanes() != B`.
+    pub fn step_batch_masked_into(&mut self, inputs: &Matrix, mask: &LaneMask, y: &mut Matrix) {
+        let (b, nt) = (self.batch, self.interface_projs.len());
+        assert_eq!(inputs.rows(), b, "batch size mismatch");
+        assert_eq!(inputs.cols(), self.params.input_size, "input width mismatch");
+        assert_eq!(mask.lanes(), b, "lane mask size mismatch");
+        self.ws.ensure(&self.params, b, nt);
+        if y.shape() != (b, self.params.output_size) {
+            *y = Matrix::zeros(b, self.params.output_size);
+        }
+        let ws = &mut self.ws;
+
+        Matrix::hcat_into(inputs, &self.last_read, &mut ws.ctrl_in);
+        self.controller.step_batch_masked_into(
+            &mut self.lstm_states,
+            &ws.ctrl_in,
+            mask,
+            &mut ws.lstm,
+            &mut ws.hidden,
+        );
 
         // One batched projection per shard (each shard has its own
         // interface weights but shares them across lanes), over the
         // active rows only.
-        let iface_in = Matrix::hcat(&hidden, inputs);
-        let raw_per_shard: Vec<Matrix> = self
-            .interface_projs
-            .iter()
-            .map(|proj| iface_in.matmul_nt_masked(proj, mask))
-            .collect();
-
-        // 2-D decomposition: every (active lane, shard) pair is one
-        // task, carrying its own (b, s) coordinates.
-        let (w, r) = (self.params.word_size, self.params.read_heads);
-        let raws = &raw_per_shard;
-        let mut tasks: Vec<(usize, usize, &mut ShardLane)> = self
-            .lanes
-            .iter_mut()
-            .enumerate()
-            .filter(|(b, _)| mask.is_active(*b))
-            .flat_map(|(b, lane)| {
-                lane.shards.iter_mut().enumerate().map(move |(s, shard)| (b, s, shard))
-            })
-            .collect();
-        tasks.par_iter_mut().for_each(|(b, s, shard)| {
-            let iv = InterfaceVector::parse(raws[*s].row(*b), w, r);
-            shard.read = shard.memory.step(&iv).flattened();
-        });
-
-        // Merge shard reads per active lane (Eq. 4) — sequential and
-        // deterministic regardless of task scheduling above.
-        for (b, lane) in self.lanes.iter_mut().enumerate() {
-            if !mask.is_active(b) {
-                continue;
-            }
-            let shard_reads: Vec<&[f32]> =
-                lane.shards.iter().map(|s| s.read.as_slice()).collect();
-            lane.read = self.merge.merge_slices(&shard_reads);
-            self.last_read.row_mut(b).copy_from_slice(&lane.read);
+        Matrix::hcat_into(&ws.hidden, inputs, &mut ws.iface_in);
+        for (proj, raw) in self.interface_projs.iter().zip(ws.raw_shards.iter_mut()) {
+            ws.iface_in.matmul_nt_masked_into(proj, mask, raw);
         }
 
-        let out_in = Matrix::hcat(&hidden, &self.last_read);
-        let y = out_in.matmul_nt_masked(&self.output_proj, mask);
-        self.last_hidden = hidden;
-        y
+        // 2-D decomposition: the flat lane-major shard grid is the task
+        // list; each task recovers its (b, s) coordinates from its index
+        // and inactive lanes' shards return immediately.
+        let (w, r) = (self.params.word_size, self.params.read_heads);
+        let raws = &ws.raw_shards;
+        self.shards.par_iter_mut().enumerate().for_each(|(i, shard)| {
+            let (bi, s) = (i / nt, i % nt);
+            if !mask.is_active(bi) {
+                return;
+            }
+            shard.iv.parse_into(raws[s].row(bi), w, r);
+            shard.memory.step_into(&shard.iv, &mut shard.read);
+        });
+
+        // Merge shard reads per active lane (Eq. 4), straight into the
+        // lane's last-read row — sequential and deterministic regardless
+        // of task scheduling above.
+        for bi in 0..b {
+            if !mask.is_active(bi) {
+                continue;
+            }
+            let lane_shards = &self.shards[bi * nt..(bi + 1) * nt];
+            self.merge.merge_iter_into(
+                lane_shards.iter().map(|s| s.read.as_slice()),
+                self.last_read.row_mut(bi),
+            );
+        }
+
+        Matrix::hcat_into(&ws.hidden, &self.last_read, &mut ws.out_in);
+        ws.out_in.matmul_nt_masked_into(&self.output_proj, mask, y);
+        self.last_hidden.as_mut_slice().copy_from_slice(ws.hidden.as_slice());
     }
 
     /// Runs a whole synchronized sequence (`steps[t]` is `B ×

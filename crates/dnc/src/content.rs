@@ -5,7 +5,7 @@
 //! softmax turns the similarities into a weighting over slots. The softmax
 //! can optionally run through the PLA+LUT hardware approximation (§5.2).
 
-use hima_tensor::softmax::{softmax, PlaSoftmax};
+use hima_tensor::softmax::PlaSoftmax;
 use hima_tensor::vector::{dot, norm};
 use hima_tensor::Matrix;
 
@@ -37,11 +37,43 @@ pub fn content_weighting(
     beta: f32,
     approx: Option<&PlaSoftmax>,
 ) -> Vec<f32> {
-    let sims = similarities(memory, key);
-    let scaled: Vec<f32> = sims.iter().map(|s| s * beta).collect();
+    let row_norms = memory.row_norms();
+    let mut out = vec![0.0; memory.rows()];
+    content_weighting_into(memory, key, beta, approx, &row_norms, &mut out);
+    out
+}
+
+/// Output-buffer form of [`content_weighting`] reading pre-computed row
+/// norms: the steady-state content-addressing kernel. `row_norms` is the
+/// memory's per-row L2 norm vector (see
+/// [`MemoryUnit`](crate::MemoryUnit)'s once-per-step cache) — since memory
+/// changes only once per step, the `R + 1` content lookups share it
+/// instead of recomputing `N · W` norms each. `out` is used as the
+/// similarity scratch and receives the final weighting; no allocation.
+///
+/// Bit-identical to [`content_weighting`]: the cached norms are the same
+/// floats [`Matrix::row_norms`] yields, and scale + softmax run the same
+/// element order in place.
+///
+/// # Panics
+///
+/// Panics if `key.len() != memory.cols()` or `row_norms`/`out` lengths
+/// differ from `memory.rows()`.
+pub fn content_weighting_into(
+    memory: &Matrix,
+    key: &[f32],
+    beta: f32,
+    approx: Option<&PlaSoftmax>,
+    row_norms: &[f32],
+    out: &mut [f32],
+) {
+    similarities_into(memory, key, row_norms, out);
+    for s in out.iter_mut() {
+        *s *= beta;
+    }
     match approx {
-        Some(p) => p.softmax(&scaled),
-        None => softmax(&scaled),
+        Some(p) => p.softmax_inplace(out),
+        None => hima_tensor::softmax::softmax_inplace(out),
     }
 }
 
@@ -52,14 +84,29 @@ pub fn content_weighting(
 ///
 /// Panics if `key.len() != memory.cols()`.
 pub fn similarities(memory: &Matrix, key: &[f32]) -> Vec<f32> {
+    let row_norms = memory.row_norms();
+    let mut out = vec![0.0; memory.rows()];
+    similarities_into(memory, key, &row_norms, &mut out);
+    out
+}
+
+/// Output-buffer form of [`similarities`] reading pre-computed row norms
+/// — allocation-free, and the hook through which the memory unit's
+/// per-step norm cache reaches content addressing.
+///
+/// # Panics
+///
+/// Panics if `key.len() != memory.cols()` or `row_norms`/`out` lengths
+/// differ from `memory.rows()`.
+pub fn similarities_into(memory: &Matrix, key: &[f32], row_norms: &[f32], out: &mut [f32]) {
     assert_eq!(key.len(), memory.cols(), "key width must match memory word size");
+    assert_eq!(row_norms.len(), memory.rows(), "row norm cache length mismatch");
+    assert_eq!(out.len(), memory.rows(), "similarity output length mismatch");
     let key_norm = norm(key);
-    (0..memory.rows())
-        .map(|i| {
-            let row = memory.row(i);
-            dot(row, key) / (norm(row) * key_norm + NORM_EPSILON)
-        })
-        .collect()
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = memory.row(i);
+        *o = dot(row, key) / (row_norms[i] * key_norm + NORM_EPSILON);
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +185,30 @@ mod tests {
     #[should_panic(expected = "key width must match")]
     fn rejects_mismatched_key() {
         similarities(&unit_rows(), &[1.0]);
+    }
+
+    #[test]
+    fn into_forms_with_cached_norms_are_bit_identical() {
+        let m = Matrix::from_fn(12, 5, |i, j| ((i * 5 + j) as f32 * 0.27).sin());
+        let key: Vec<f32> = (0..5).map(|j| (j as f32 * 0.41).cos()).collect();
+        let norms = m.row_norms();
+        let mut out = vec![f32::NAN; 12];
+
+        similarities_into(&m, &key, &norms, &mut out);
+        assert_eq!(out, similarities(&m, &key));
+
+        content_weighting_into(&m, &key, 2.5, None, &norms, &mut out);
+        assert_eq!(out, content_weighting(&m, &key, 2.5, None));
+
+        let pla = PlaSoftmax::default();
+        content_weighting_into(&m, &key, 2.5, Some(&pla), &norms, &mut out);
+        assert_eq!(out, content_weighting(&m, &key, 2.5, Some(&pla)));
+    }
+
+    #[test]
+    #[should_panic(expected = "row norm cache length mismatch")]
+    fn into_form_rejects_stale_norm_cache_length() {
+        let m = unit_rows();
+        similarities_into(&m, &[1.0, 0.0, 0.0], &[1.0; 2], &mut [0.0; 3]);
     }
 }

@@ -82,13 +82,36 @@ impl ReadMerge {
         assert_eq!(shard_reads.len(), self.alphas.len(), "shard count mismatch");
         let width = shard_reads.first().map_or(0, |r| r.len());
         let mut out = vec![0.0; width];
+        self.merge_iter_into(shard_reads.iter().copied(), &mut out);
+        out
+    }
+
+    /// Output-buffer form of [`ReadMerge::merge_slices`] over any slice
+    /// iterator: accumulates `Σ_i α_i v_r,i` into `out` (zeroed first)
+    /// without allocating — the steady-state merge of the batched DNC-D,
+    /// which merges each lane's contiguous shard reads straight into the
+    /// lane's last-read row. Same shard-order accumulation as
+    /// [`ReadMerge::merge`], so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields fewer than `shards()` reads or any
+    /// read's width differs from `out.len()`.
+    pub fn merge_iter_into<'a>(
+        &self,
+        shard_reads: impl Iterator<Item = &'a [f32]>,
+        out: &mut [f32],
+    ) {
+        out.fill(0.0);
+        let mut merged = 0;
         for (alpha, read) in self.alphas.iter().zip(shard_reads) {
-            assert_eq!(read.len(), width, "shard read widths differ");
-            for (o, &v) in out.iter_mut().zip(*read) {
+            assert_eq!(read.len(), out.len(), "shard read widths differ");
+            for (o, &v) in out.iter_mut().zip(read) {
                 *o += alpha * v;
             }
+            merged += 1;
         }
-        out
+        assert_eq!(merged, self.alphas.len(), "shard count mismatch");
     }
 
     /// Fits `α` by least squares: given per-step shard read vectors and the

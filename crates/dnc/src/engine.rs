@@ -84,6 +84,33 @@ pub trait MemoryEngine {
         self.step_batch(inputs)
     }
 
+    /// Output-buffer form of [`MemoryEngine::step_batch`]: writes the
+    /// `B × output_size` block into `out` (resized in place on shape
+    /// mismatch). The batched engines override this with their
+    /// zero-allocation workspace path; the default delegates to
+    /// [`MemoryEngine::step_batch`] and moves the result into `out`, so
+    /// every implementor stays valid. Bit-identical to `step_batch` by
+    /// construction either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`.
+    fn step_batch_into(&mut self, inputs: &Matrix, out: &mut Matrix) {
+        *out = self.step_batch(inputs);
+    }
+
+    /// Output-buffer form of [`MemoryEngine::step_batch_masked`] (see
+    /// [`MemoryEngine::step_batch_into`] for the override/default
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `B × input_size`, `mask.lanes() != B`,
+    /// or (default shim only) the mask is not fully active.
+    fn step_batch_masked_into(&mut self, inputs: &Matrix, mask: &LaneMask, out: &mut Matrix) {
+        *out = self.step_batch_masked(inputs, mask);
+    }
+
     /// Number of batch lanes `B`.
     fn batch(&self) -> usize;
 
@@ -221,6 +248,14 @@ impl MemoryEngine for BatchDnc {
         BatchDnc::step_batch_masked(self, inputs, mask)
     }
 
+    fn step_batch_into(&mut self, inputs: &Matrix, out: &mut Matrix) {
+        BatchDnc::step_batch_into(self, inputs, out);
+    }
+
+    fn step_batch_masked_into(&mut self, inputs: &Matrix, mask: &LaneMask, out: &mut Matrix) {
+        BatchDnc::step_batch_masked_into(self, inputs, mask, out);
+    }
+
     fn batch(&self) -> usize {
         BatchDnc::batch(self)
     }
@@ -257,6 +292,14 @@ impl MemoryEngine for BatchDncD {
 
     fn step_batch_masked(&mut self, inputs: &Matrix, mask: &LaneMask) -> Matrix {
         BatchDncD::step_batch_masked(self, inputs, mask)
+    }
+
+    fn step_batch_into(&mut self, inputs: &Matrix, out: &mut Matrix) {
+        BatchDncD::step_batch_into(self, inputs, out);
+    }
+
+    fn step_batch_masked_into(&mut self, inputs: &Matrix, mask: &LaneMask, out: &mut Matrix) {
+        BatchDncD::step_batch_masked_into(self, inputs, mask, out);
     }
 
     fn batch(&self) -> usize {

@@ -7,7 +7,6 @@
 //! per-head `softmax` for the three read modes (backward, content, forward).
 
 use hima_tensor::activation::{oneplus, sigmoid};
-use hima_tensor::softmax::softmax;
 use serde::{Deserialize, Serialize};
 
 /// Parsed, activation-constrained interface vector.
@@ -36,6 +35,23 @@ pub struct InterfaceVector {
 }
 
 impl InterfaceVector {
+    /// A zero-filled interface vector with the `W`/`R` field shapes — the
+    /// reusable parse target of [`InterfaceVector::parse_into`].
+    pub fn zeroed(word_size: usize, read_heads: usize) -> Self {
+        Self {
+            read_keys: vec![vec![0.0; word_size]; read_heads],
+            read_strengths: vec![0.0; read_heads],
+            write_key: vec![0.0; word_size],
+            write_strength: 0.0,
+            erase: vec![0.0; word_size],
+            write: vec![0.0; word_size],
+            free_gates: vec![0.0; read_heads],
+            allocation_gate: 0.0,
+            write_gate: 0.0,
+            read_modes: vec![[0.0; 3]; read_heads],
+        }
+    }
+
     /// Parses a raw controller emission into a constrained interface
     /// vector.
     ///
@@ -43,6 +59,23 @@ impl InterfaceVector {
     ///
     /// Panics if `raw.len() != W·R + 3W + 5R + 3`.
     pub fn parse(raw: &[f32], word_size: usize, read_heads: usize) -> Self {
+        let mut iv = Self::zeroed(word_size, read_heads);
+        iv.parse_into(raw, word_size, read_heads);
+        iv
+    }
+
+    /// Re-parses a raw controller emission into this vector **in place**
+    /// — the allocation-free form of [`InterfaceVector::parse`] used by
+    /// the steady-state stepping path, where every lane owns one parse
+    /// scratch reused across steps. If the field shapes disagree with
+    /// `W`/`R` (first use with a different geometry), they are resized
+    /// once. Produces exactly the same activations as the allocating
+    /// parse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != W·R + 3W + 5R + 3`.
+    pub fn parse_into(&mut self, raw: &[f32], word_size: usize, read_heads: usize) {
         let (w, r) = (word_size, read_heads);
         let expected = w * r + 3 * w + 5 * r + 3;
         assert_eq!(
@@ -51,6 +84,9 @@ impl InterfaceVector {
             "interface vector of {} does not match layout W={w}, R={r} (expect {expected})",
             raw.len()
         );
+        if self.word_size() != w || self.read_heads() != r {
+            *self = Self::zeroed(w, r);
+        }
 
         let mut pos = 0;
         let mut take = |n: usize| {
@@ -59,35 +95,32 @@ impl InterfaceVector {
             s
         };
 
-        let read_keys: Vec<Vec<f32>> = (0..r).map(|_| take(w).to_vec()).collect();
-        let read_strengths: Vec<f32> = take(r).iter().map(|&x| oneplus(x)).collect();
-        let write_key = take(w).to_vec();
-        let write_strength = oneplus(take(1)[0]);
-        let erase: Vec<f32> = take(w).iter().map(|&x| sigmoid(x)).collect();
-        let write = take(w).to_vec();
-        let free_gates: Vec<f32> = take(r).iter().map(|&x| sigmoid(x)).collect();
-        let allocation_gate = sigmoid(take(1)[0]);
-        let write_gate = sigmoid(take(1)[0]);
-        let read_modes: Vec<[f32; 3]> = (0..r)
-            .map(|_| {
-                let m = softmax(take(3));
-                [m[0], m[1], m[2]]
-            })
-            .collect();
-        debug_assert_eq!(pos, expected);
-
-        Self {
-            read_keys,
-            read_strengths,
-            write_key,
-            write_strength,
-            erase,
-            write,
-            free_gates,
-            allocation_gate,
-            write_gate,
-            read_modes,
+        for key in &mut self.read_keys {
+            key.copy_from_slice(take(w));
         }
+        for (s, &x) in self.read_strengths.iter_mut().zip(take(r)) {
+            *s = oneplus(x);
+        }
+        self.write_key.copy_from_slice(take(w));
+        self.write_strength = oneplus(take(1)[0]);
+        for (e, &x) in self.erase.iter_mut().zip(take(w)) {
+            *e = sigmoid(x);
+        }
+        self.write.copy_from_slice(take(w));
+        for (g, &x) in self.free_gates.iter_mut().zip(take(r)) {
+            *g = sigmoid(x);
+        }
+        self.allocation_gate = sigmoid(take(1)[0]);
+        self.write_gate = sigmoid(take(1)[0]);
+        for modes in &mut self.read_modes {
+            // The three read modes pass through a tiny softmax; a stack
+            // buffer keeps the steady state heap-free.
+            let mut m = [0.0f32; 3];
+            m.copy_from_slice(take(3));
+            hima_tensor::softmax::softmax_inplace(&mut m);
+            *modes = m;
+        }
+        debug_assert_eq!(pos, expected);
     }
 
     /// Parses one interface vector per row of a `B × interface_size`
@@ -193,5 +226,22 @@ mod tests {
     #[should_panic(expected = "does not match layout")]
     fn rejects_wrong_width() {
         InterfaceVector::parse(&[0.0; 10], 8, 2);
+    }
+
+    #[test]
+    fn parse_into_reuse_matches_fresh_parse() {
+        let (w, r) = (6, 2);
+        let len = w * r + 3 * w + 5 * r + 3;
+        let mut scratch = InterfaceVector::zeroed(w, r);
+        for t in 0..4 {
+            let raw: Vec<f32> =
+                (0..len).map(|i| ((t * 13 + i * 7) as f32 * 0.23).sin() * 2.0).collect();
+            scratch.parse_into(&raw, w, r);
+            assert_eq!(scratch, InterfaceVector::parse(&raw, w, r), "t={t}");
+        }
+        // Geometry change resizes the scratch instead of panicking.
+        let raw = vec![0.0; 4 + 3 * 4 + 5 + 3];
+        scratch.parse_into(&raw, 4, 1);
+        assert_eq!(scratch, InterfaceVector::parse(&raw, 4, 1));
     }
 }

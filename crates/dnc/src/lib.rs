@@ -21,6 +21,9 @@
 //!   ([`builder`]) that together expose every variant — monolithic or
 //!   sharded topology × batch lanes × f32 or fixed-point datapath —
 //!   behind one [`MemoryEngine`] trait,
+//! * the per-engine [`StepWorkspace`] ([`workspace`]) of pre-sized scratch
+//!   buffers that makes steady-state stepping zero-heap-allocation (the
+//!   `_into` entry points; the allocating ones are thin wrappers),
 //! * per-kernel instrumentation ([`profile`]) used to regenerate the
 //!   paper's runtime-breakdown figures.
 //!
@@ -66,6 +69,7 @@ pub mod memory;
 pub mod profile;
 pub mod quantized;
 pub mod usage;
+pub mod workspace;
 
 pub use crate::dnc::Dnc;
 pub use batch::{BatchDnc, BatchDncD};
@@ -73,9 +77,11 @@ pub use builder::{BoxedEngine, Datapath, EngineBuilder, EngineSpec, Topology};
 pub use distributed::{DncD, ReadMerge};
 pub use engine::MemoryEngine;
 pub use interface::InterfaceVector;
+pub use lstm::LstmScratch;
 pub use memory::{MemoryConfig, MemoryUnit};
 pub use profile::{KernelCategory, KernelId, KernelProfile};
 pub use quantized::{DatapathStudy, QuantizedMemoryUnit};
+pub use workspace::StepWorkspace;
 // The lane-activity mask consumed by `MemoryEngine::step_batch_masked`,
 // re-exported so engine users need not depend on hima-tensor directly.
 pub use hima_tensor::LaneMask;

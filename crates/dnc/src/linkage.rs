@@ -109,6 +109,16 @@ impl TemporalLinkage {
         self.linkage.matvec(read_weighting)
     }
 
+    /// Output-buffer form of [`TemporalLinkage::forward`] (allocation-free
+    /// steady-state path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_weighting.len() != len()` or `out.len() != len()`.
+    pub fn forward_into(&self, read_weighting: &[f32], out: &mut [f32]) {
+        self.linkage.matvec_into(read_weighting, out);
+    }
+
     /// Backward weighting `b = Lᵀ · w_r`.
     ///
     /// # Panics
@@ -116,6 +126,24 @@ impl TemporalLinkage {
     /// Panics if `read_weighting.len() != len()`.
     pub fn backward(&self, read_weighting: &[f32]) -> Vec<f32> {
         self.linkage.matvec_t(read_weighting)
+    }
+
+    /// Output-buffer form of [`TemporalLinkage::backward`]
+    /// (allocation-free steady-state path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_weighting.len() != len()` or `out.len() != len()`.
+    pub fn backward_into(&self, read_weighting: &[f32], out: &mut [f32]) {
+        self.linkage.matvec_t_into(read_weighting, out);
+    }
+
+    /// Resets linkage and precedence to zero **in place** — the
+    /// steady-state form of replacing the state with
+    /// [`TemporalLinkage::new`].
+    pub fn clear(&mut self) {
+        self.linkage.as_mut_slice().fill(0.0);
+        self.precedence.fill(0.0);
     }
 
     /// Applies `f` to every linkage entry and precedence element in place
@@ -172,14 +200,30 @@ pub fn merge_read_weighting(
     forward: &[f32],
     modes: [f32; 3],
 ) -> Vec<f32> {
+    let mut out = vec![0.0; backward.len()];
+    merge_read_weighting_into(backward, content, forward, modes, &mut out);
+    out
+}
+
+/// Output-buffer form of [`merge_read_weighting`]: writes the merged
+/// weighting into `out` without allocating.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn merge_read_weighting_into(
+    backward: &[f32],
+    content: &[f32],
+    forward: &[f32],
+    modes: [f32; 3],
+    out: &mut [f32],
+) {
     assert_eq!(backward.len(), content.len(), "weighting length mismatch");
     assert_eq!(backward.len(), forward.len(), "weighting length mismatch");
-    backward
-        .iter()
-        .zip(content)
-        .zip(forward)
-        .map(|((&b, &c), &f)| modes[0] * b + modes[1] * c + modes[2] * f)
-        .collect()
+    assert_eq!(out.len(), backward.len(), "read merge output length mismatch");
+    for (((o, &b), &c), &f) in out.iter_mut().zip(backward).zip(content).zip(forward) {
+        *o = modes[0] * b + modes[1] * c + modes[2] * f;
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +341,34 @@ mod tests {
     #[should_panic(expected = "write weighting length mismatch")]
     fn update_validates_length() {
         TemporalLinkage::new(3).update(&[0.1, 0.2]);
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let mut l = TemporalLinkage::new(4);
+        for slot in [0, 2, 1] {
+            l.update(&one_hot(4, slot));
+        }
+        let w_r = [0.4, 0.1, 0.3, 0.2];
+        let mut out = vec![f32::NAN; 4];
+        l.forward_into(&w_r, &mut out);
+        assert_eq!(out, l.forward(&w_r));
+        l.backward_into(&w_r, &mut out);
+        assert_eq!(out, l.backward(&w_r));
+
+        let b = [1.0, 0.0];
+        let c = [0.0, 1.0];
+        let f = [0.5, 0.5];
+        let mut merged = vec![f32::NAN; 2];
+        merge_read_weighting_into(&b, &c, &f, [0.25, 0.25, 0.5], &mut merged);
+        assert_eq!(merged, merge_read_weighting(&b, &c, &f, [0.25, 0.25, 0.5]));
+    }
+
+    #[test]
+    fn clear_matches_fresh_state() {
+        let mut l = TemporalLinkage::new(4);
+        l.update(&one_hot(4, 1));
+        l.clear();
+        assert_eq!(l, TemporalLinkage::new(4));
     }
 }

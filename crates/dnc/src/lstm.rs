@@ -27,6 +27,42 @@ impl LstmState {
     pub fn zeros(hidden: usize) -> Self {
         Self { hidden: vec![0.0; hidden], cell: vec![0.0; hidden] }
     }
+
+    /// Zeroes the state in place — the allocation-free form of replacing
+    /// it with [`LstmState::zeros`].
+    pub fn clear(&mut self) {
+        self.hidden.fill(0.0);
+        self.cell.fill(0.0);
+    }
+}
+
+/// Reusable scratch of the batched controller step: the `[X ; H]`
+/// concatenation block and the pre-activation block, pre-sized so
+/// [`Lstm::step_batch_masked_into`] allocates nothing. Owned by the
+/// engine's [`StepWorkspace`](crate::StepWorkspace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmScratch {
+    /// `[X ; H^{t-1}]`, `B × (I + H)`.
+    x_cat: Matrix,
+    /// Pre-activations `[i f g o]`, `B × 4H`.
+    pre: Matrix,
+}
+
+impl LstmScratch {
+    /// Scratch sized for `batch` lanes of an `input → hidden` LSTM.
+    pub fn sized(batch: usize, input: usize, hidden: usize) -> Self {
+        Self { x_cat: Matrix::zeros(batch, input + hidden), pre: Matrix::zeros(batch, 4 * hidden) }
+    }
+
+    /// Resizes on geometry change; a no-op in the steady state.
+    fn ensure(&mut self, batch: usize, input: usize, hidden: usize) {
+        if self.x_cat.shape() != (batch, input + hidden) {
+            self.x_cat = Matrix::zeros(batch, input + hidden);
+        }
+        if self.pre.shape() != (batch, 4 * hidden) {
+            self.pre = Matrix::zeros(batch, 4 * hidden);
+        }
+    }
 }
 
 /// A single-layer LSTM with input width `input` and hidden width `hidden`.
@@ -183,59 +219,87 @@ impl Lstm {
         inputs: &Matrix,
         mask: &LaneMask,
     ) -> Matrix {
+        let (b, h) = (states.len(), self.hidden_size);
+        let mut scratch = LstmScratch::sized(b, self.input_size, h);
+        let mut hidden = Matrix::zeros(b, h);
+        self.step_batch_masked_into(states, inputs, mask, &mut scratch, &mut hidden);
+        hidden
+    }
+
+    /// Workspace form of [`Lstm::step_batch_masked`]: the `[X ; H]`
+    /// concatenation and pre-activation blocks come from `scratch` and
+    /// the new hidden block lands in `hidden_out` — zero heap allocations
+    /// once both match the geometry (they are resized in place when not).
+    ///
+    /// The gate math runs as one fused pass per active lane over the
+    /// pre-activation row — the same per-element expressions
+    /// (`σ`/`tanh` of `pre + bias`, `c' = f·c + i·g`, `h' = o·tanh c'`)
+    /// the row-block kernels apply, so the result is bit-identical to
+    /// [`Lstm::step_batch_masked`] and to `B` scalar
+    /// [`Lstm::step_with_state`] calls. Frozen lanes surface their held
+    /// hidden state in `hidden_out` exactly as before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != states.len()`,
+    /// `mask.lanes() != states.len()`, the input width is wrong, or any
+    /// state width disagrees with `hidden_size`.
+    pub fn step_batch_masked_into(
+        &self,
+        states: &mut [LstmState],
+        inputs: &Matrix,
+        mask: &LaneMask,
+        scratch: &mut LstmScratch,
+        hidden_out: &mut Matrix,
+    ) {
         assert_eq!(inputs.rows(), states.len(), "LSTM batch size mismatch");
         assert_eq!(inputs.cols(), self.input_size, "LSTM input width mismatch");
         assert_eq!(mask.lanes(), states.len(), "LSTM lane mask size mismatch");
         let (b, h) = (states.len(), self.hidden_size);
+        scratch.ensure(b, self.input_size, h);
+        if hidden_out.shape() != (b, h) {
+            *hidden_out = Matrix::zeros(b, h);
+        }
 
-        // [X ; H^{t-1}] as one B × (I+H) row-block; inactive lanes keep
-        // their rows zero — the masked product skips them anyway.
-        let mut x_cat = Matrix::zeros(b, self.input_size + h);
+        // [X ; H^{t-1}] as one B × (I+H) row-block; inactive lanes' rows
+        // are stale scratch — the masked product skips them.
         for (bi, state) in states.iter().enumerate() {
             assert_eq!(state.hidden.len(), h, "LSTM state width mismatch");
+            assert_eq!(state.cell.len(), h, "LSTM state width mismatch");
             if !mask.is_active(bi) {
                 continue;
             }
-            let row = x_cat.row_mut(bi);
+            let row = scratch.x_cat.row_mut(bi);
             row[..self.input_size].copy_from_slice(inputs.row(bi));
             row[self.input_size..].copy_from_slice(&state.hidden);
         }
 
         // One shared-weight product for the active lanes, plus the bias
         // broadcast.
-        let mut pre = x_cat.matmul_nt_masked(&self.weights, mask);
-        pre.add_row_inplace_masked(&self.bias, mask);
+        scratch.x_cat.matmul_nt_masked_into(&self.weights, mask, &mut scratch.pre);
+        scratch.pre.add_row_inplace_masked(&self.bias, mask);
 
-        // Gate blocks (B × H each), activated as whole row-blocks.
-        let mut i_g = pre.submatrix(0, 0, b, h);
-        let mut f_g = pre.submatrix(0, h, b, h);
-        let mut g = pre.submatrix(0, 2 * h, b, h);
-        let mut o_g = pre.submatrix(0, 3 * h, b, h);
-        hima_tensor::activation::sigmoid_block_masked(&mut i_g, mask);
-        hima_tensor::activation::sigmoid_block_masked(&mut f_g, mask);
-        hima_tensor::activation::tanh_block_masked(&mut g, mask);
-        hima_tensor::activation::sigmoid_block_masked(&mut o_g, mask);
-
-        let mut cells = Matrix::zeros(b, h);
-        for bi in mask.active_lanes() {
-            cells.row_mut(bi).copy_from_slice(&states[bi].cell);
-        }
-        let new_c = f_g.hadamard(&cells).add(&i_g.hadamard(&g));
-        let mut tanh_c = new_c.clone();
-        hima_tensor::activation::tanh_block_masked(&mut tanh_c, mask);
-        let mut new_h = o_g.hadamard(&tanh_c);
-
+        // Gates, cell and hidden update fused per active lane.
         for (bi, state) in states.iter_mut().enumerate() {
-            if mask.is_active(bi) {
-                state.cell.copy_from_slice(new_c.row(bi));
-                state.hidden.copy_from_slice(new_h.row(bi));
-            } else {
+            if !mask.is_active(bi) {
                 // Frozen lane: surface the held hidden state instead of
-                // the skipped (zero) row.
-                new_h.row_mut(bi).copy_from_slice(&state.hidden);
+                // the skipped row.
+                hidden_out.row_mut(bi).copy_from_slice(&state.hidden);
+                continue;
             }
+            let pre = scratch.pre.row(bi);
+            let out_row = hidden_out.row_mut(bi);
+            for (j, (o, c)) in out_row.iter_mut().zip(&mut state.cell).enumerate() {
+                let i_g = sigmoid(pre[j]);
+                let f_g = sigmoid(pre[h + j]);
+                let g = tanh(pre[2 * h + j]);
+                let o_g = sigmoid(pre[3 * h + j]);
+                let new_c = f_g * *c + i_g * g;
+                *c = new_c;
+                *o = o_g * tanh(new_c);
+            }
+            state.hidden.copy_from_slice(out_row);
         }
-        new_h
     }
 
     /// Approximate multiply-accumulate count of one step (used by runtime
@@ -334,6 +398,25 @@ mod tests {
         let lstm = Lstm::new(2, 3, 0);
         let mut states = vec![LstmState::zeros(3); 2];
         lstm.step_batch_masked(&mut states, &Matrix::zeros(2, 2), &LaneMask::full(3));
+    }
+
+    #[test]
+    fn reused_scratch_stays_bit_identical_across_steps() {
+        let lstm = Lstm::new(3, 5, 21);
+        let mut scratch = LstmScratch::sized(2, 3, 5);
+        let mut hidden = Matrix::zeros(2, 5);
+        let mut states = vec![LstmState::zeros(5); 2];
+        let mut reference = vec![LstmState::zeros(5); 2];
+        for t in 0..4 {
+            // Lane 1 freezes on odd steps: stale scratch rows must never
+            // leak into active results.
+            let mask = LaneMask::from(vec![true, t % 2 == 0]);
+            let inputs = Matrix::from_fn(2, 3, |b, i| ((b * 5 + t * 3 + i) as f32 * 0.27).sin());
+            lstm.step_batch_masked_into(&mut states, &inputs, &mask, &mut scratch, &mut hidden);
+            let want = lstm.step_batch_masked(&mut reference, &inputs, &mask);
+            assert_eq!(hidden, want, "t={t}");
+            assert_eq!(states, reference, "t={t}");
+        }
     }
 
     #[test]

@@ -7,12 +7,11 @@
 //! content read weighting → read merge → memory read. Every stage is timed
 //! into a [`KernelProfile`] so runtime-breakdown figures can be regenerated.
 
-use crate::allocation::{merge_write_weighting, SkimRate};
-use crate::content::content_weighting;
+use crate::allocation::{merge_write_weighting_into, SkimRate};
+use crate::content::content_weighting_into;
 use crate::interface::InterfaceVector;
-use crate::linkage::{merge_read_weighting, TemporalLinkage};
+use crate::linkage::{merge_read_weighting_into, TemporalLinkage};
 use crate::profile::{KernelId, KernelProfile};
-use crate::usage::{retention, update_usage};
 use hima_sort::{CentralizedMergeSorter, SortEngine, TwoStageSorter};
 use hima_tensor::softmax::PlaSoftmax;
 use hima_tensor::Matrix;
@@ -95,6 +94,49 @@ impl ReadResult {
     }
 }
 
+/// Per-step scratch buffers of one memory unit — every transient `N`-sized
+/// vector [`MemoryUnit::step_into`] needs, pre-sized at construction and
+/// reused across steps so the steady state performs **zero** heap
+/// allocations. Each unit owns its scratch (lanes and shards step in
+/// parallel on worker threads, so the scratch cannot be shared).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    /// Content write weighting (CW output for the write head).
+    content_w: Vec<f32>,
+    /// Retention vector `ψ`.
+    psi: Vec<f32>,
+    /// Sorted free list `φ` (reused argsort index buffer).
+    free_list: Vec<usize>,
+    /// Allocation weighting `w_a`.
+    w_a: Vec<f32>,
+    /// Merged write weighting `w_w`.
+    w_w: Vec<f32>,
+    /// Forward weighting `f` of the current read head.
+    fwd: Vec<f32>,
+    /// Backward weighting `b` of the current read head.
+    bwd: Vec<f32>,
+    /// Content read weighting `c` of the current read head.
+    content_r: Vec<f32>,
+    /// Merged read weighting `w_r` of the current read head.
+    w_r: Vec<f32>,
+}
+
+impl StepScratch {
+    fn sized(n: usize) -> Self {
+        Self {
+            content_w: vec![0.0; n],
+            psi: vec![0.0; n],
+            free_list: Vec::with_capacity(n),
+            w_a: vec![0.0; n],
+            w_w: vec![0.0; n],
+            fwd: vec![0.0; n],
+            bwd: vec![0.0; n],
+            content_r: vec![0.0; n],
+            w_r: vec![0.0; n],
+        }
+    }
+}
+
 /// Concrete usage-sorter dispatcher (keeps [`MemoryUnit`] `Clone`/`Debug`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum UsageSorter {
@@ -124,6 +166,13 @@ pub struct MemoryUnit {
     sorter: UsageSorter,
     pla: PlaSoftmax,
     profile: KernelProfile,
+    /// Per-row L2 norms of `memory`, cached once per step: memory changes
+    /// only at the MW stage, so the `R + 1` content lookups share one
+    /// norm pass each side of the write instead of recomputing `N · W`
+    /// norms per lookup. Invalidated whenever memory mutates.
+    row_norms: Vec<f32>,
+    norms_valid: bool,
+    scratch: StepScratch,
 }
 
 impl MemoryUnit {
@@ -153,6 +202,9 @@ impl MemoryUnit {
             sorter,
             pla: PlaSoftmax::default(),
             profile: KernelProfile::new(),
+            row_norms: vec![0.0; config.memory_size],
+            norms_valid: false,
+            scratch: StepScratch::sized(config.memory_size),
         }
     }
 
@@ -214,122 +266,220 @@ impl MemoryUnit {
                 *w = f(*w);
             }
         }
+        // Memory contents changed (e.g. datapath rounding): the cached row
+        // norms no longer describe them.
+        self.norms_valid = false;
     }
 
-    /// Resets all memory and state (weights/config unchanged).
+    /// Resets all memory and state (weights/config unchanged) in place —
+    /// no buffer is reallocated, so engine reuse across episodes stays
+    /// allocation-free.
     pub fn reset(&mut self) {
-        self.memory = Matrix::zeros(self.config.memory_size, self.config.word_size);
-        self.usage = vec![0.0; self.config.memory_size];
-        self.linkage = TemporalLinkage::new(self.config.memory_size);
-        self.write_weighting = vec![0.0; self.config.memory_size];
-        self.read_weightings =
-            vec![vec![0.0; self.config.memory_size]; self.config.read_heads];
+        self.memory.as_mut_slice().fill(0.0);
+        self.usage.fill(0.0);
+        self.linkage.clear();
+        self.write_weighting.fill(0.0);
+        for head in &mut self.read_weightings {
+            head.fill(0.0);
+        }
+        self.norms_valid = false;
     }
 
     /// Runs one full soft-write + soft-read step.
+    ///
+    /// Allocating convenience over [`MemoryUnit::step_into`] — the two are
+    /// bit-identical; hot loops should pass a reused output buffer to
+    /// `step_into` instead.
     ///
     /// # Panics
     ///
     /// Panics if the interface vector's geometry disagrees with the
     /// configuration.
     pub fn step(&mut self, iv: &InterfaceVector) -> ReadResult {
+        let (w, r) = (self.config.word_size, self.config.read_heads);
+        let mut flat = vec![0.0; w * r];
+        self.step_into(iv, &mut flat);
+        ReadResult { read_vectors: flat.chunks(w).map(<[f32]>::to_vec).collect() }
+    }
+
+    /// Runs one full soft-write + soft-read step, writing the flattened
+    /// read vectors (head-major, `R·W` wide — the layout
+    /// [`ReadResult::flattened`] produces) into `out`.
+    ///
+    /// This is the allocation-free steady-state kernel: every transient
+    /// lives in the unit's pre-sized step scratch, the usage argsort
+    /// reuses its index buffer, and content addressing reads the
+    /// once-per-step row-norm cache — after the first step the call
+    /// performs **zero** heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface vector's geometry disagrees with the
+    /// configuration or `out.len() != R·W`.
+    pub fn step_into(&mut self, iv: &InterfaceVector, out: &mut [f32]) {
         assert_eq!(iv.word_size(), self.config.word_size, "interface word size mismatch");
         assert_eq!(iv.read_heads(), self.config.read_heads, "interface read heads mismatch");
+        assert_eq!(
+            out.len(),
+            self.config.read_heads * self.config.word_size,
+            "read output length mismatch"
+        );
 
         // --- Soft write -------------------------------------------------
-        // CW.(1)+(2): content-based write weighting.
+        // CW.(1)+(2): content-based write weighting (norms cached from the
+        // previous step's read phase when memory is unchanged).
         let pla_on = self.config.approx_softmax;
-        let (content_w, memory, pla) = (&iv.write_key, &self.memory, &self.pla);
-        let content_write = self.profile.time(KernelId::Similarity, || {
-            content_weighting(memory, content_w, iv.write_strength, if pla_on { Some(pla) } else { None })
-        });
+        {
+            let (memory, pla) = (&self.memory, &self.pla);
+            let (norms, valid) = (&mut self.row_norms, &mut self.norms_valid);
+            let content_w = &mut self.scratch.content_w;
+            self.profile.time(KernelId::Similarity, || {
+                if !*valid {
+                    memory.row_norms_into(norms);
+                    *valid = true;
+                }
+                content_weighting_into(
+                    memory,
+                    &iv.write_key,
+                    iv.write_strength,
+                    if pla_on { Some(pla) } else { None },
+                    norms,
+                    content_w,
+                );
+            });
+        }
 
         // HW.(1): retention.
-        let (free_gates, read_ws) = (&iv.free_gates, &self.read_weightings);
-        let psi = self.profile.time(KernelId::Retention, || retention(free_gates, read_ws));
+        {
+            let (free_gates, read_ws) = (&iv.free_gates, &self.read_weightings);
+            let psi = &mut self.scratch.psi;
+            self.profile
+                .time(KernelId::Retention, || crate::usage::retention_into(free_gates, read_ws, psi));
+        }
 
-        // HW.(2): usage update.
-        let (usage, write_w) = (&self.usage, &self.write_weighting);
-        let new_usage = self.profile.time(KernelId::Usage, || update_usage(usage, write_w, &psi));
-        self.usage = new_usage;
+        // HW.(2): usage update (each slot reads only itself: in place).
+        {
+            let (usage, write_w, psi) = (&mut self.usage, &self.write_weighting, &self.scratch.psi);
+            self.profile
+                .time(KernelId::Usage, || crate::usage::update_usage_inplace(usage, write_w, psi));
+        }
 
-        // HW.(2b): usage sort (free-list construction).
-        let (usage, sorter) = (&self.usage, self.sorter.as_engine());
-        let free_list = self.profile.time(KernelId::UsageSort, || sorter.argsort(usage));
+        // HW.(2b): usage sort (free-list construction, reused buffer).
+        {
+            let (usage, sorter) = (&self.usage, self.sorter.as_engine());
+            let free_list = &mut self.scratch.free_list;
+            self.profile.time(KernelId::UsageSort, || sorter.argsort_into(usage, free_list));
+        }
 
         // HW.(3): allocation from the sorted free list.
-        let (usage, skim) = (&self.usage, self.config.skim);
-        let w_a = self.profile.time(KernelId::Allocation, || {
-            crate::allocation::allocation_from_free_list(usage, &free_list, skim)
-        });
+        {
+            let (usage, skim) = (&self.usage, self.config.skim);
+            let (free_list, w_a) = (&self.scratch.free_list, &mut self.scratch.w_a);
+            self.profile.time(KernelId::Allocation, || {
+                crate::allocation::allocation_from_free_list_into(usage, free_list, skim, w_a)
+            });
+        }
 
         // WM: write weight merge.
-        let w_w = self.profile.time(KernelId::WriteMerge, || {
-            merge_write_weighting(&w_a, &content_write, iv.write_gate, iv.allocation_gate)
-        });
+        {
+            let (w_a, content_w, w_w) =
+                (&self.scratch.w_a, &self.scratch.content_w, &mut self.scratch.w_w);
+            self.profile.time(KernelId::WriteMerge, || {
+                merge_write_weighting_into(w_a, content_w, iv.write_gate, iv.allocation_gate, w_w)
+            });
+        }
 
         // MW: memory write  M ← M ∘ (E − w_w eᵀ) + w_w vᵀ.
         {
             let memory = &mut self.memory;
+            let w_w = &self.scratch.w_w;
             let (erase, write) = (&iv.erase, &iv.write);
-            self.profile.time(KernelId::MemoryWrite, || {
+            let wrote = self.profile.time(KernelId::MemoryWrite, || {
+                let mut wrote = false;
                 for (i, &w) in w_w.iter().enumerate() {
                     if w == 0.0 {
                         continue;
                     }
+                    wrote = true;
                     let row = memory.row_mut(i);
                     for ((m, &e), &v) in row.iter_mut().zip(erase).zip(write) {
                         *m = *m * (1.0 - w * e) + w * v;
                     }
                 }
+                wrote
             });
+            if wrote {
+                self.norms_valid = false;
+            }
         }
 
         // HR.(1): linkage (uses the previous precedence).
         {
-            let linkage = &mut self.linkage;
-            self.profile.time(KernelId::Linkage, || linkage.update_linkage(&w_w));
+            let (linkage, w_w) = (&mut self.linkage, &self.scratch.w_w);
+            self.profile.time(KernelId::Linkage, || linkage.update_linkage(w_w));
         }
         // HR.(2): precedence.
         {
-            let linkage = &mut self.linkage;
-            self.profile.time(KernelId::Precedence, || linkage.update_precedence(&w_w));
+            let (linkage, w_w) = (&mut self.linkage, &self.scratch.w_w);
+            self.profile.time(KernelId::Precedence, || linkage.update_precedence(w_w));
         }
-        self.write_weighting = w_w;
+        self.write_weighting.copy_from_slice(&self.scratch.w_w);
 
         // --- Soft read ---------------------------------------------------
-        let mut read_vectors = Vec::with_capacity(self.config.read_heads);
-        let mut new_read_weightings = Vec::with_capacity(self.config.read_heads);
+        let word = self.config.word_size;
         for head in 0..self.config.read_heads {
             // HR.(3): forward/backward through the linkage.
-            let (linkage, prev_w) = (&self.linkage, &self.read_weightings[head]);
-            let (f, b) = self.profile.time(KernelId::ForwardBackward, || {
-                (linkage.forward(prev_w), linkage.backward(prev_w))
-            });
+            {
+                let (linkage, prev_w) = (&self.linkage, &self.read_weightings[head]);
+                let (fwd, bwd) = (&mut self.scratch.fwd, &mut self.scratch.bwd);
+                self.profile.time(KernelId::ForwardBackward, || {
+                    linkage.forward_into(prev_w, fwd);
+                    linkage.backward_into(prev_w, bwd);
+                });
+            }
 
-            // CR.(1)+(2): content-based read weighting.
-            let (memory, key, beta, pla) =
-                (&self.memory, &iv.read_keys[head], iv.read_strengths[head], &self.pla);
-            let c = self.profile.time(KernelId::Normalize, || {
-                content_weighting(memory, key, beta, if pla_on { Some(pla) } else { None })
-            });
+            // CR.(1)+(2): content-based read weighting — all R heads share
+            // the post-write norm pass.
+            {
+                let (memory, key, beta, pla) =
+                    (&self.memory, &iv.read_keys[head], iv.read_strengths[head], &self.pla);
+                let (norms, valid) = (&mut self.row_norms, &mut self.norms_valid);
+                let content_r = &mut self.scratch.content_r;
+                self.profile.time(KernelId::Normalize, || {
+                    if !*valid {
+                        memory.row_norms_into(norms);
+                        *valid = true;
+                    }
+                    content_weighting_into(
+                        memory,
+                        key,
+                        beta,
+                        if pla_on { Some(pla) } else { None },
+                        norms,
+                        content_r,
+                    );
+                });
+            }
 
             // RM: read weight merge.
-            let modes = iv.read_modes[head];
-            let w_r = self
-                .profile
-                .time(KernelId::ReadMerge, || merge_read_weighting(&b, &c, &f, modes));
+            {
+                let (bwd, content_r, fwd) =
+                    (&self.scratch.bwd, &self.scratch.content_r, &self.scratch.fwd);
+                let w_r = &mut self.scratch.w_r;
+                let modes = iv.read_modes[head];
+                self.profile.time(KernelId::ReadMerge, || {
+                    merge_read_weighting_into(bwd, content_r, fwd, modes, w_r)
+                });
+            }
 
             // MR: memory read  v_r = Mᵀ w_r.
-            let memory = &self.memory;
-            let v_r = self.profile.time(KernelId::MemoryRead, || memory.matvec_t(&w_r));
-
-            new_read_weightings.push(w_r);
-            read_vectors.push(v_r);
+            {
+                let (memory, w_r) = (&self.memory, &self.scratch.w_r);
+                let v_r = &mut out[head * word..(head + 1) * word];
+                self.profile.time(KernelId::MemoryRead, || memory.matvec_t_into(w_r, v_r));
+            }
+            self.read_weightings[head].copy_from_slice(&self.scratch.w_r);
         }
-        self.read_weightings = new_read_weightings;
-
-        ReadResult { read_vectors }
     }
 
     /// Checks all state invariants: usage in `[0,1]`, weightings
@@ -527,5 +677,67 @@ mod tests {
         let mut mu = unit(8, 4, 1);
         let iv = iface(6, 1, |_| 0.0);
         mu.step(&iv);
+    }
+
+    #[test]
+    fn step_into_is_bit_identical_to_step_across_features() {
+        // The scratch-reusing kernel and the allocating wrapper must agree
+        // bit-for-bit across every approximation feature, including the
+        // norm cache surviving (and being invalidated) across steps.
+        let configs = [
+            MemoryConfig::new(16, 4, 2),
+            MemoryConfig::new(16, 4, 2).with_skim(SkimRate::new(0.25)),
+            MemoryConfig::new(16, 4, 2).with_approx_softmax(true),
+            MemoryConfig::new(16, 4, 2).with_sorter(SorterKind::TwoStage { tiles: 4 }),
+        ];
+        for cfg in configs {
+            let mut a = MemoryUnit::new(cfg);
+            let mut b = MemoryUnit::new(cfg);
+            let mut flat = vec![0.0; 2 * 4];
+            for t in 0..12 {
+                let iv = iface(4, 2, |i| ((t * 31 + i * 17) as f32 * 0.13).sin());
+                let want = a.step(&iv).flattened();
+                b.step_into(&iv, &mut flat);
+                assert_eq!(flat, want, "t={t} cfg={cfg:?}");
+                assert_eq!(a.memory(), b.memory(), "t={t} cfg={cfg:?}");
+                assert_eq!(a.usage(), b.usage());
+                assert_eq!(a.read_weightings(), b.read_weightings());
+            }
+        }
+    }
+
+    #[test]
+    fn row_norm_cache_tracks_memory_mutations() {
+        // After a step the cache holds the post-write norms; map_state
+        // (datapath rounding) and reset must invalidate it so the next
+        // content lookup sees fresh values.
+        let mut mu = unit(8, 4, 1);
+        let write = write_iface(&[3.0, -2.0, 1.0, 0.5]);
+        mu.step(&write);
+        let direct = mu.memory().row_norms();
+        assert_eq!(mu.row_norms, direct, "cache equals a fresh norm pass");
+        assert!(mu.norms_valid);
+
+        mu.map_state(|x| x * 0.5);
+        assert!(!mu.norms_valid, "map_state must invalidate the cache");
+        mu.reset();
+        assert!(!mu.norms_valid, "reset must invalidate the cache");
+        // Any step's read phase leaves a valid post-write cache behind.
+        mu.step(&read_iface(&[1.0, 0.0, 0.0, 0.0]));
+        assert!(mu.norms_valid);
+        assert_eq!(mu.row_norms, mu.memory().row_norms());
+    }
+
+    #[test]
+    fn in_place_reset_is_a_fresh_unit() {
+        let cfg = MemoryConfig::new(12, 4, 2).with_skim(SkimRate::new(0.2));
+        let mut used = MemoryUnit::new(cfg);
+        for t in 0..5 {
+            used.step(&iface(4, 2, |i| ((t * 7 + i) as f32 * 0.19).sin()));
+        }
+        used.reset();
+        let mut fresh = MemoryUnit::new(cfg);
+        let iv = iface(4, 2, |i| (i as f32 * 0.3).cos());
+        assert_eq!(used.step(&iv), fresh.step(&iv));
     }
 }

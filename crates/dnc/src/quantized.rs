@@ -21,6 +21,9 @@ use serde::{Deserialize, Serialize};
 pub struct QuantizedMemoryUnit {
     inner: MemoryUnit,
     format: QFormat,
+    /// Reused quantized-interface scratch: re-rounding into it each step
+    /// keeps the quantized datapath allocation-free in the steady state.
+    q_iv: InterfaceVector,
 }
 
 impl QuantizedMemoryUnit {
@@ -33,7 +36,11 @@ impl QuantizedMemoryUnit {
     /// the datapath axis of
     /// [`EngineBuilder::quantized`](crate::EngineBuilder::quantized).
     pub fn with_format(config: MemoryConfig, format: QFormat) -> Self {
-        Self { inner: MemoryUnit::new(config), format }
+        Self {
+            inner: MemoryUnit::new(config),
+            format,
+            q_iv: InterfaceVector::zeroed(config.word_size, config.read_heads),
+        }
     }
 
     /// The wrapped (quantized-state) memory unit.
@@ -48,18 +55,34 @@ impl QuantizedMemoryUnit {
 
     /// Runs one step: quantizes the interface vector, steps the unit,
     /// quantizes all state and the read vectors.
+    ///
+    /// Allocating convenience over [`QuantizedMemoryUnit::step_into`].
     pub fn step(&mut self, iv: &InterfaceVector) -> ReadResult {
-        let fmt = self.format;
-        let q_iv = quantize_interface_with(iv, fmt);
-        let mut out = self.inner.step(&q_iv);
-        self.inner.map_state(|x| fmt.quantize(x));
-        for v in &mut out.read_vectors {
-            fmt.quantize_slice_inplace(v);
-        }
-        out
+        let cfg = *self.inner.config();
+        let mut flat = vec![0.0; cfg.read_heads * cfg.word_size];
+        self.step_into(iv, &mut flat);
+        ReadResult { read_vectors: flat.chunks(cfg.word_size).map(<[f32]>::to_vec).collect() }
     }
 
-    /// Resets all state.
+    /// Output-buffer form of [`QuantizedMemoryUnit::step`]: rounds the
+    /// interface into the unit's reused scratch, steps the inner unit
+    /// allocation-free, rounds all state and the flattened read vectors
+    /// in place — zero heap allocations in the steady state, bit-identical
+    /// to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface geometry disagrees with the configuration
+    /// or `out.len() != R·W`.
+    pub fn step_into(&mut self, iv: &InterfaceVector, out: &mut [f32]) {
+        let fmt = self.format;
+        quantize_interface_into(iv, fmt, &mut self.q_iv);
+        self.inner.step_into(&self.q_iv, out);
+        self.inner.map_state(|x| fmt.quantize(x));
+        fmt.quantize_slice_inplace(out);
+    }
+
+    /// Resets all state (in place — no reallocation).
     pub fn reset(&mut self) {
         self.inner.reset();
     }
@@ -72,19 +95,37 @@ pub fn quantize_interface(iv: &InterfaceVector) -> InterfaceVector {
 
 /// Rounds every interface-vector field to the given format.
 pub fn quantize_interface_with(iv: &InterfaceVector, format: QFormat) -> InterfaceVector {
+    let mut out = InterfaceVector::zeroed(iv.word_size(), iv.read_heads());
+    quantize_interface_into(iv, format, &mut out);
+    out
+}
+
+/// Output-buffer form of [`quantize_interface_with`]: rounds every field
+/// of `iv` into `out` without allocating (after `out` first matches the
+/// `W`/`R` geometry — it is resized once if not).
+pub fn quantize_interface_into(iv: &InterfaceVector, format: QFormat, out: &mut InterfaceVector) {
+    if out.word_size() != iv.word_size() || out.read_heads() != iv.read_heads() {
+        *out = InterfaceVector::zeroed(iv.word_size(), iv.read_heads());
+    }
     let q = |x: f32| format.quantize(x);
-    let qv = |v: &[f32]| v.iter().map(|&x| q(x)).collect::<Vec<f32>>();
-    InterfaceVector {
-        read_keys: iv.read_keys.iter().map(|k| qv(k)).collect(),
-        read_strengths: qv(&iv.read_strengths),
-        write_key: qv(&iv.write_key),
-        write_strength: q(iv.write_strength),
-        erase: qv(&iv.erase),
-        write: qv(&iv.write),
-        free_gates: qv(&iv.free_gates),
-        allocation_gate: q(iv.allocation_gate),
-        write_gate: q(iv.write_gate),
-        read_modes: iv.read_modes.iter().map(|m| [q(m[0]), q(m[1]), q(m[2])]).collect(),
+    let qv = |dst: &mut [f32], src: &[f32]| {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = q(s);
+        }
+    };
+    for (dst, src) in out.read_keys.iter_mut().zip(&iv.read_keys) {
+        qv(dst, src);
+    }
+    qv(&mut out.read_strengths, &iv.read_strengths);
+    qv(&mut out.write_key, &iv.write_key);
+    out.write_strength = q(iv.write_strength);
+    qv(&mut out.erase, &iv.erase);
+    qv(&mut out.write, &iv.write);
+    qv(&mut out.free_gates, &iv.free_gates);
+    out.allocation_gate = q(iv.allocation_gate);
+    out.write_gate = q(iv.write_gate);
+    for (dst, src) in out.read_modes.iter_mut().zip(&iv.read_modes) {
+        *dst = [q(src[0]), q(src[1]), q(src[2])];
     }
 }
 

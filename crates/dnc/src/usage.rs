@@ -15,16 +15,30 @@
 /// Panics if `free_gates.len() != read_weights.len()` or heads disagree on
 /// slot count.
 pub fn retention(free_gates: &[f32], read_weights: &[Vec<f32>]) -> Vec<f32> {
+    let n = read_weights.first().map_or(0, Vec::len);
+    let mut psi = vec![0.0f32; n];
+    retention_into(free_gates, read_weights, &mut psi);
+    psi
+}
+
+/// Output-buffer form of [`retention`]: writes `ψ` into `psi` without
+/// allocating (the steady-state path).
+///
+/// # Panics
+///
+/// Panics if `free_gates.len() != read_weights.len()`, heads disagree on
+/// slot count, or `psi.len()` differs from the slot count.
+pub fn retention_into(free_gates: &[f32], read_weights: &[Vec<f32>], psi: &mut [f32]) {
     assert_eq!(free_gates.len(), read_weights.len(), "one free gate per read head");
     let n = read_weights.first().map_or(0, Vec::len);
-    let mut psi = vec![1.0f32; n];
+    assert_eq!(psi.len(), n, "retention output length mismatch");
+    psi.fill(1.0);
     for (gate, w_r) in free_gates.iter().zip(read_weights) {
         assert_eq!(w_r.len(), n, "read heads must agree on slot count");
         for (p, &w) in psi.iter_mut().zip(w_r) {
             *p *= 1.0 - gate * w;
         }
     }
-    psi
 }
 
 /// Usage update `u ← (u + w_w − u ∘ w_w) ∘ ψ`.
@@ -33,14 +47,24 @@ pub fn retention(free_gates: &[f32], read_weights: &[Vec<f32>]) -> Vec<f32> {
 ///
 /// Panics on length mismatch.
 pub fn update_usage(usage: &[f32], write_weighting: &[f32], psi: &[f32]) -> Vec<f32> {
+    let mut out = usage.to_vec();
+    update_usage_inplace(&mut out, write_weighting, psi);
+    out
+}
+
+/// In-place form of [`update_usage`]: each slot's update reads only its
+/// own previous value, so the steady-state path rewrites the carried
+/// usage vector directly — same per-element expression, no allocation.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn update_usage_inplace(usage: &mut [f32], write_weighting: &[f32], psi: &[f32]) {
     assert_eq!(usage.len(), write_weighting.len(), "usage/write length mismatch");
     assert_eq!(usage.len(), psi.len(), "usage/retention length mismatch");
-    usage
-        .iter()
-        .zip(write_weighting)
-        .zip(psi)
-        .map(|((&u, &w), &p)| (u + w - u * w) * p)
-        .collect()
+    for ((u, &w), &p) in usage.iter_mut().zip(write_weighting).zip(psi) {
+        *u = (*u + w - *u * w) * p;
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +121,20 @@ mod tests {
         let u0 = vec![0.2, 0.7, 0.4];
         let u = update_usage(&u0, &[0.0; 3], &[1.0; 3]);
         assert_eq!(u, u0);
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let heads = vec![vec![0.3, 0.9, 0.0], vec![0.7, 0.1, 1.0]];
+        let gates = [0.8, 0.6];
+        let mut psi = vec![f32::NAN; 3];
+        retention_into(&gates, &heads, &mut psi);
+        assert_eq!(psi, retention(&gates, &heads));
+
+        let mut usage = vec![0.2, 0.7, 0.4];
+        let expect = update_usage(&usage, &[0.5, 0.0, 0.25], &psi);
+        update_usage_inplace(&mut usage, &[0.5, 0.0, 0.25], &psi);
+        assert_eq!(usage, expect);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use crate::spec::PipelineSpec;
 use hima_dnc::{BoxedEngine, EngineBuilder};
 use hima_tasks::episode::masked_step_block;
+use hima_tensor::Matrix;
 use hima_tasks::{Episode, TaskSpec};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -311,9 +312,13 @@ where
         engine.reset();
         let mut by_lane: Vec<Vec<Vec<f32>>> =
             unit.episodes.iter().map(|e| Vec::with_capacity(e.len())).collect();
+        // Engines are cached across units and own their step workspace;
+        // reusing the output block keeps the stepping loop allocation-free
+        // apart from the collected feature rows.
+        let mut y = Matrix::zeros(lanes, job.builders[builder_idx].params().output_size);
         for t in 0..steps {
             let (block, mask) = masked_step_block(&unit.episodes, t);
-            engine.step_batch_masked(&block, &mask);
+            engine.step_batch_masked_into(&block, &mask, &mut y);
             for lane in mask.active_lanes() {
                 let wanted = match job.feature_steps {
                     FeatureSteps::All => true,

@@ -70,6 +70,23 @@ pub trait SortEngine {
         let pairs: Vec<Keyed> = keys.iter().copied().zip(0..).collect();
         self.sort_pairs(&pairs).into_iter().map(|(_, i)| i).collect()
     }
+
+    /// Allocation-free argsort into a reused index buffer — the
+    /// steady-state usage-sort path of the DNC memory unit.
+    ///
+    /// Every `SortEngine` sorts ascending by key with ties broken by
+    /// original index, a *strict* total order with exactly one sorted
+    /// permutation — so this default, which sorts the index buffer
+    /// in place (no hardware dataflow modeled), returns bit-for-bit the
+    /// permutation [`SortEngine::argsort`] produces through
+    /// [`SortEngine::sort_pairs`]. `out` is cleared and refilled; after
+    /// its capacity first reaches `keys.len()` the call performs no heap
+    /// allocation (`sort_unstable_by` is in-place).
+    fn argsort_into(&self, keys: &[f32], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..keys.len());
+        out.sort_unstable_by(|&i, &j| keys[i].total_cmp(&keys[j]).then(i.cmp(&j)));
+    }
 }
 
 /// Total-order comparison for keyed pairs (ascending key, then index).
@@ -99,5 +116,27 @@ mod tests {
         let keys = [0.5f32, 0.1, 0.9, 0.1];
         let s = CentralizedMergeSorter;
         assert_eq!(s.argsort(&keys), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn argsort_into_matches_argsort_for_every_engine() {
+        // The total order is strict (index tiebreak), so the in-place
+        // fast path must reproduce the hardware-modeled permutation
+        // exactly — ties, duplicates and all.
+        let keys: Vec<f32> = (0..97).map(|i| ((i * 37) % 13) as f32 / 13.0).collect();
+        let engines: [&dyn SortEngine; 2] =
+            [&CentralizedMergeSorter, &TwoStageSorter::new(4, keys.len())];
+        for engine in engines {
+            let mut out = Vec::new();
+            engine.argsort_into(&keys, &mut out);
+            assert_eq!(out, engine.argsort(&keys), "{}", engine.name());
+            // Reuse clears and refills.
+            let shifted: Vec<f32> = keys.iter().map(|k| 1.0 - k).collect();
+            engine.argsort_into(&shifted, &mut out);
+            assert_eq!(out, engine.argsort(&shifted), "{}", engine.name());
+        }
+        let mut empty = vec![7usize];
+        CentralizedMergeSorter.argsort_into(&[], &mut empty);
+        assert!(empty.is_empty());
     }
 }

@@ -139,9 +139,13 @@ pub fn episode_features(builder: &EngineBuilder, episodes: &[Episode]) -> Vec<Ve
     let mut engine = builder.clone().lanes(episodes.len()).build();
     let mut features: Vec<Vec<Vec<f32>>> =
         episodes.iter().map(|e| Vec::with_capacity(e.len())).collect();
+    // One reused output block: the engine's workspace makes the step
+    // itself allocation-free, and `_into` keeps the discarded outputs
+    // from allocating either.
+    let mut y = Matrix::zeros(episodes.len(), builder.params().output_size);
     for t in 0..steps {
         let (block, mask) = masked_step_block(episodes, t);
-        engine.step_batch_masked(&block, &mask);
+        engine.step_batch_masked_into(&block, &mask, &mut y);
         for lane in mask.active_lanes() {
             features[lane].push(engine.last_read_row(lane).to_vec());
         }

@@ -29,7 +29,9 @@ use serde::{Deserialize, Serialize};
 /// Row `b` of a masked kernel is computed iff `is_active(b)`; inactive
 /// rows are left untouched (outputs zero, state frozen) — never zeroed
 /// and recomputed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// `Default` (zero lanes) exists so engines can `mem::take` a cached full
+// mask around a `&mut self` call without allocating a replacement.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LaneMask {
     // The flags are the single source of truth; counts are derived on
     // demand (B is small and callers are per-step), so no cached field

@@ -170,10 +170,23 @@ impl Matrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Output-buffer form of [`Matrix::matvec`]: writes `self · v` into
+    /// `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut [f32]) {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Transposed matrix-vector product `selfᵀ · v` without materializing the
@@ -183,8 +196,21 @@ impl Matrix {
     ///
     /// Panics if `v.len() != rows`.
     pub fn matvec_t(&self, v: &[f32]) -> Vec<f32> {
-        assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_t_into(v, &mut out);
+        out
+    }
+
+    /// Output-buffer form of [`Matrix::matvec_t`]: writes `selfᵀ · v` into
+    /// `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
+        assert_eq!(out.len(), self.cols, "matvec_t output length mismatch");
+        out.fill(0.0);
         for (i, &w) in v.iter().enumerate() {
             if w == 0.0 {
                 continue;
@@ -193,7 +219,6 @@ impl Matrix {
                 *o += w * m;
             }
         }
-        out
     }
 
     /// Matrix-matrix product `self · other`.
@@ -239,6 +264,39 @@ impl Matrix {
         self.matmul_nt_masked(other, &crate::LaneMask::full(self.rows))
     }
 
+    /// Output-buffer form of [`Matrix::matmul_nt`]: writes `self · otherᵀ`
+    /// into `out` without allocating. `out` must already be
+    /// `self.rows × other.rows` — pre-size it once and reuse it across
+    /// steps (the steady-state stepping path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` or `out` has the wrong shape.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_nt_shapes(other, out);
+        for i in 0..self.rows {
+            nt_row_into(self.row(i), other, out.row_mut(i));
+        }
+    }
+
+    /// Shape checks shared by the `matmul_nt*_into` kernels.
+    fn assert_nt_shapes(&self, other: &Matrix, out: &Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} vs {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_nt output shape mismatch: {}x{} for a {}x{} product",
+            out.rows,
+            out.cols,
+            self.rows,
+            other.rows
+        );
+    }
+
     /// Masked form of [`Matrix::matmul_nt`] for ragged batches: row `i`
     /// of the result is computed iff `mask.is_active(i)`; inactive rows
     /// are **skipped** (left zero), not zeroed-and-recomputed — a lane
@@ -253,27 +311,38 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols` or `mask.lanes() != self.rows`.
     pub fn matmul_nt_masked(&self, other: &Matrix, mask: &crate::LaneMask) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt shape mismatch: {}x{} vs {}x{}ᵀ",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        assert_eq!(mask.lanes(), self.rows, "lane mask size mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_masked_into(other, mask, &mut out);
+        out
+    }
+
+    /// Output-buffer form of [`Matrix::matmul_nt_masked`]: `out` receives
+    /// exactly what the allocating form returns — active rows computed,
+    /// inactive rows zero — without allocating. `out` must already be
+    /// `self.rows × other.rows`.
+    ///
+    /// The inner loop computes four output columns per pass so `lhs`
+    /// stays hot in registers; each column's dot product keeps the exact
+    /// `k`-order accumulation of [`Matrix::matvec`], so the kernel stays
+    /// bit-compatible with per-lane stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`, `mask.lanes() != self.rows`,
+    /// or `out` has the wrong shape.
+    pub fn matmul_nt_masked_into(&self, other: &Matrix, mask: &crate::LaneMask, out: &mut Matrix) {
+        self.assert_nt_shapes(other, out);
+        assert_eq!(mask.lanes(), self.rows, "lane mask size mismatch");
         for i in 0..self.rows {
-            if !mask.is_active(i) {
-                continue;
-            }
-            let lhs = self.row(i);
             let dst = out.row_mut(i);
-            for (j, d) in dst.iter_mut().enumerate() {
-                // Same accumulation order as `matvec`/`matmul_nt`: the
-                // masked path must stay bit-compatible with per-lane
-                // stepping.
-                *d = lhs.iter().zip(other.row(j)).map(|(a, b)| a * b).sum();
+            if mask.is_active(i) {
+                nt_row_into(self.row(i), other, dst);
+            } else {
+                // Inactive rows are zero, matching the allocating form
+                // (stale scratch contents must not leak through).
+                dst.fill(0.0);
             }
         }
-        out
     }
 
     /// Row-wise concatenation `[self | other]`: both operands must have
@@ -288,12 +357,33 @@ impl Matrix {
     pub fn hcat(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.rows, b.rows, "hcat row mismatch: {} vs {}", a.rows, b.rows);
         let mut out = Matrix::zeros(a.rows, a.cols + b.cols);
+        Self::hcat_into(a, b, &mut out);
+        out
+    }
+
+    /// Output-buffer form of [`Matrix::hcat`]: writes `[a | b]` into
+    /// `out` without allocating. `out` must already be
+    /// `a.rows × (a.cols + b.cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or `out` has the wrong shape.
+    pub fn hcat_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.rows, b.rows, "hcat row mismatch: {} vs {}", a.rows, b.rows);
+        assert_eq!(
+            out.shape(),
+            (a.rows, a.cols + b.cols),
+            "hcat output shape mismatch: {}x{} for {}x{}",
+            out.rows,
+            out.cols,
+            a.rows,
+            a.cols + b.cols
+        );
         for i in 0..a.rows {
             let dst = out.row_mut(i);
             dst[..a.cols].copy_from_slice(a.row(i));
             dst[a.cols..].copy_from_slice(b.row(i));
         }
-        out
     }
 
     /// Adds `bias` to every row in place (row-broadcast add) — the batched
@@ -379,9 +469,23 @@ impl Matrix {
     /// L2 norm of each row — the `‖M[i,·]‖` normalization step of
     /// content-based addressing.
     pub fn row_norms(&self) -> Vec<f32> {
-        (0..self.rows)
-            .map(|i| self.row(i).iter().map(|x| x * x).sum::<f32>().sqrt())
-            .collect()
+        let mut out = vec![0.0; self.rows];
+        self.row_norms_into(&mut out);
+        out
+    }
+
+    /// Output-buffer form of [`Matrix::row_norms`]: writes the per-row L2
+    /// norms into `out` without allocating — the once-per-step norm cache
+    /// refill of content addressing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows`.
+    pub fn row_norms_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.rows, "row_norms output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+        }
     }
 
     /// Extracts the `rows × cols` submatrix whose top-left corner is
@@ -421,6 +525,40 @@ impl Matrix {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
+    }
+}
+
+/// One output row of `lhs · otherᵀ`: `dst[j] = lhs · other.row(j)`.
+///
+/// Four output columns per pass so `lhs` stays hot in registers; each
+/// column's dot product keeps the exact `k`-order accumulation of
+/// [`Matrix::matvec`], so the kernel stays bit-compatible with per-lane
+/// stepping.
+fn nt_row_into(lhs: &[f32], other: &Matrix, dst: &mut [f32]) {
+    let n = other.rows;
+    let mut j = 0;
+    while j + 4 <= n {
+        let r0 = other.row(j);
+        let r1 = other.row(j + 1);
+        let r2 = other.row(j + 2);
+        let r3 = other.row(j + 3);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (k, &l) in lhs.iter().enumerate() {
+            // Per-element k-order accumulation identical to `matvec`;
+            // only the j-traversal is widened.
+            a0 += l * r0[k];
+            a1 += l * r1[k];
+            a2 += l * r2[k];
+            a3 += l * r3[k];
+        }
+        dst[j] = a0;
+        dst[j + 1] = a1;
+        dst[j + 2] = a2;
+        dst[j + 3] = a3;
+        j += 4;
+    }
+    for (d, jr) in dst[j..].iter_mut().zip(j..n) {
+        *d = lhs.iter().zip(other.row(jr)).map(|(a, b)| a * b).sum();
     }
 }
 
@@ -573,6 +711,65 @@ mod tests {
     #[should_panic(expected = "lane mask size mismatch")]
     fn masked_matmul_nt_rejects_wrong_mask_length() {
         Matrix::zeros(2, 3).matmul_nt_masked(&Matrix::zeros(4, 3), &crate::LaneMask::full(3));
+    }
+
+    #[test]
+    fn into_kernels_are_bit_identical_to_allocating_forms() {
+        // The `_into` variants are the steady-state hot path; the
+        // allocating forms wrap them, so equality here pins both the
+        // wrappers and stale-scratch clearing.
+        let a = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f32 * 0.23).sin());
+        let w = Matrix::from_fn(11, 7, |i, j| ((i + 3 * j) as f32 * 0.31).cos());
+        let mask = crate::LaneMask::from(vec![true, false, true, true, false]);
+
+        let mut out = Matrix::filled(5, 11, f32::NAN); // stale scratch
+        a.matmul_nt_masked_into(&w, &mask, &mut out);
+        assert_eq!(out, a.matmul_nt_masked(&w, &mask));
+
+        let mut out = Matrix::filled(5, 11, f32::NAN);
+        a.matmul_nt_into(&w, &mut out);
+        assert_eq!(out, a.matmul_nt(&w));
+
+        let b = Matrix::from_fn(5, 3, |i, j| (i + j) as f32);
+        let mut cat = Matrix::filled(5, 10, f32::NAN);
+        Matrix::hcat_into(&a, &b, &mut cat);
+        assert_eq!(cat, Matrix::hcat(&a, &b));
+
+        let v7: Vec<f32> = (0..7).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut mv = vec![f32::NAN; 5];
+        a.matvec_into(&v7, &mut mv);
+        assert_eq!(mv, a.matvec(&v7));
+
+        let v5: Vec<f32> = (0..5).map(|i| (i as f32 * 0.9).cos()).collect();
+        let mut mvt = vec![f32::NAN; 7];
+        a.matvec_t_into(&v5, &mut mvt);
+        assert_eq!(mvt, a.matvec_t(&v5));
+
+        let mut norms = vec![f32::NAN; 5];
+        a.row_norms_into(&mut norms);
+        assert_eq!(norms, a.row_norms());
+    }
+
+    #[test]
+    fn unrolled_matmul_nt_handles_non_multiple_of_four_widths() {
+        // Exercise the 4-wide unroll remainder: output widths 1..=9
+        // against the matvec reference, element for element.
+        for n in 1..=9usize {
+            let a = Matrix::from_fn(3, 5, |i, j| ((i * 5 + j) as f32 * 0.17).sin());
+            let w = Matrix::from_fn(n, 5, |i, j| ((i * 2 + j) as f32 * 0.29).cos());
+            let got = a.matmul_nt(&w);
+            for i in 0..3 {
+                assert_eq!(got.row(i), &w.matvec(a.row(i))[..], "rows={n} lane={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt output shape mismatch")]
+    fn matmul_nt_into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let w = Matrix::zeros(4, 3);
+        a.matmul_nt_masked_into(&w, &crate::LaneMask::full(2), &mut Matrix::zeros(2, 3));
     }
 
     #[test]

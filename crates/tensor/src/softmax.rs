@@ -21,13 +21,30 @@ use serde::{Deserialize, Serialize};
 /// assert!((p[0] - 0.5).abs() < 1e-6);
 /// ```
 pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    let mut out = xs.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// In-place form of [`softmax`]: replaces `xs` by its softmax without
+/// allocating — the steady-state content-addressing path runs the scaled
+/// similarities through this on a reused scratch buffer.
+///
+/// Bit-identical to [`softmax`] (same max-shift, same left-to-right
+/// exponential sum, same division).
+pub fn softmax_inplace(xs: &mut [f32]) {
     if xs.is_empty() {
-        return Vec::new();
+        return;
     }
     let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = xs.iter().map(|x| (x - max).exp()).collect();
-    let total: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / total).collect()
+    let mut total = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        total += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= total;
+    }
 }
 
 /// Softmax computed with the default hardware PLA+LUT exponential
@@ -112,27 +129,43 @@ impl PlaSoftmax {
 
     /// Softmax over `xs` using the approximate exponential.
     pub fn softmax(&self, xs: &[f32]) -> Vec<f32> {
+        let mut out = xs.to_vec();
+        self.softmax_inplace(&mut out);
+        out
+    }
+
+    /// In-place form of [`PlaSoftmax::softmax`]: replaces `xs` by its
+    /// approximate softmax without allocating. Bit-identical to the
+    /// allocating form (same approximate exponentials, same left-to-right
+    /// sum, same division; `exp_approx` is monotone, so the total-safe
+    /// fallback picks the same argmax either way).
+    pub fn softmax_inplace(&self, xs: &mut [f32]) {
         if xs.is_empty() {
-            return Vec::new();
+            return;
         }
         let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = xs.iter().map(|x| self.exp_approx(x - max)).collect();
-        let total: f32 = exps.iter().sum();
+        let mut total = 0.0f32;
+        for x in xs.iter_mut() {
+            *x = self.exp_approx(*x - max);
+            total += *x;
+        }
         if total <= 0.0 {
             // All inputs fell outside the table range except the max, which
             // always maps to exp(0)=1; this branch is unreachable for a
             // well-formed table but keeps the unit total-safe.
-            let mut out = vec![0.0; xs.len()];
             let argmax = xs
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            out[argmax] = 1.0;
-            return out;
+            xs.fill(0.0);
+            xs[argmax] = 1.0;
+            return;
         }
-        exps.into_iter().map(|e| e / total).collect()
+        for x in xs.iter_mut() {
+            *x /= total;
+        }
     }
 
     /// Maximum absolute error of the exponential approximation over a dense
@@ -239,6 +272,22 @@ mod tests {
         let mut all = src.clone();
         softmax_rows_masked(&mut all, &crate::LaneMask::full(3));
         assert_eq!(all, full);
+    }
+
+    #[test]
+    fn inplace_softmax_is_bit_identical_to_allocating() {
+        let xs = [0.3f32, -1.2, 2.5, 0.0, 1.1, -7.9];
+        let mut got = xs;
+        softmax_inplace(&mut got);
+        assert_eq!(&got[..], &softmax(&xs)[..]);
+
+        let pla = PlaSoftmax::default();
+        let mut got = xs;
+        pla.softmax_inplace(&mut got);
+        assert_eq!(&got[..], &pla.softmax(&xs)[..]);
+
+        softmax_inplace(&mut []); // empty is a no-op
+        pla.softmax_inplace(&mut []);
     }
 
     #[test]
