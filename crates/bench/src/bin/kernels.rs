@@ -1,0 +1,216 @@
+//! Kernel-level backend microbenchmark: per-call time of each hot kernel
+//! on the scalar reference tier vs the blocked + vectorized tier, at the
+//! engine shapes the throughput bench runs (N = 128, W = 16, H = 64,
+//! B ∈ {1, 8, 32}).
+//!
+//! Where the engine-level `throughput` bench answers "how much faster is
+//! a blocked *engine*", this bench answers "which *kernel* moved": the
+//! LSTM gate projection (`matmul_nt_masked_into` at `B × 112 · 256 ×
+//! 112ᵀ`), the temporal-link mat-vecs over the `N × N` linkage
+//! (`matvec_into` / `matvec_t_into`), the content-lookup row norms
+//! (`row_norms_into` over `N × W`) and the `N`-slot `softmax_inplace`.
+//! Each row is a paired best-of measurement (scalar and blocked
+//! interleaved over the same buffers), so a regression in one tier is
+//! visible against the other.
+//!
+//! Flags:
+//!
+//! * `--json` — additionally write `BENCH_kernels.json`:
+//!   `{ bench: "kernels", schema_version: 1, params: {memory_size,
+//!   word_size, hidden_size}, kernels: [{kernel, batch,
+//!   scalar_ns_per_call, blocked_ns_per_call, speedup}] }`
+//!   (`batch` is 0 for kernels without a batch axis),
+//! * `--smoke` — short measurement windows for CI.
+
+use hima::tensor::{Backend, LaneMask, Matrix};
+use std::time::{Duration, Instant};
+
+const N: usize = 128;
+const W: usize = 16;
+const HIDDEN: usize = 64;
+/// Controller input width: tokens (16) + R·W read vectors (32).
+const X_WIDTH: usize = 16 + 2 * W;
+const BATCHES: [usize; 3] = [1, 8, 32];
+
+/// One measured kernel pairing.
+struct Row {
+    kernel: &'static str,
+    batch: usize,
+    scalar_ns: f64,
+    blocked_ns: f64,
+}
+
+/// Nanoseconds per call of `f`, measured over a fixed wall-clock window.
+fn ns_per_call(measure: Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < measure {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_nanos() as f64 / calls as f64
+}
+
+/// Paired best-of: interleaved reps, each tier keeping its best (lowest)
+/// per-call time.
+fn best_of_paired(
+    reps: usize,
+    measure: Duration,
+    mut scalar: impl FnMut(),
+    mut blocked: impl FnMut(),
+) -> (f64, f64) {
+    let mut best = (f64::MAX, f64::MAX);
+    for _ in 0..reps {
+        best.0 = best.0.min(ns_per_call(measure, &mut scalar));
+        best.1 = best.1.min(ns_per_call(measure, &mut blocked));
+    }
+    best
+}
+
+fn test_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| (((i * 31 + j * 7 + salt) as f32) * 0.13).sin())
+}
+
+fn main() {
+    let mut json = false;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown flag {other:?} (expected --json and/or --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let measure = if smoke { Duration::from_millis(20) } else { Duration::from_millis(200) };
+    let reps = if smoke { 1 } else { 5 };
+
+    hima_bench::header(&format!(
+        "Backend kernel microbench — N={N} W={W} H={HIDDEN}, engine shapes, per-call ns{}",
+        if smoke { " (smoke mode)" } else { "" }
+    ));
+    println!(
+        "{:<26} {:>6} {:>14} {:>14} {:>9}",
+        "kernel", "batch", "scalar ns", "blocked ns", "speedup"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut report = |kernel: &'static str, batch: usize, scalar_ns: f64, blocked_ns: f64| {
+        println!(
+            "{:<26} {:>6} {:>14.0} {:>14.0} {:>8}",
+            kernel,
+            batch,
+            scalar_ns,
+            blocked_ns,
+            hima_bench::times(scalar_ns / blocked_ns)
+        );
+        rows.push(Row { kernel, batch, scalar_ns, blocked_ns });
+    };
+
+    // LSTM gate projection shape: [X ; H] (B × 112) · weights (4H × 112)ᵀ.
+    for &b in &BATCHES {
+        let x = test_matrix(b, X_WIDTH + HIDDEN, 1);
+        let w = test_matrix(4 * HIDDEN, X_WIDTH + HIDDEN, 2);
+        let mask = LaneMask::full(b);
+        let mut out_s = Matrix::zeros(b, 4 * HIDDEN);
+        let mut out_b = Matrix::zeros(b, 4 * HIDDEN);
+        let (s, v) = best_of_paired(
+            reps,
+            measure,
+            || Backend::Scalar.matmul_nt_masked_into(&x, &w, &mask, &mut out_s),
+            || Backend::Blocked.matmul_nt_masked_into(&x, &w, &mask, &mut out_b),
+        );
+        report("matmul_nt_masked_into", b, s, v);
+    }
+
+    // Temporal-link kernels: forward/backward weighting over the N × N
+    // linkage — the per-lane hot spot of the memory unit.
+    let linkage = test_matrix(N, N, 3);
+    let wv: Vec<f32> = (0..N).map(|i| ((i * 13) as f32 * 0.21).sin().abs() / N as f32).collect();
+    let mut out_ns = vec![0.0f32; N];
+    let mut out_nb = vec![0.0f32; N];
+    let (s, v) = best_of_paired(
+        reps,
+        measure,
+        || Backend::Scalar.matvec_into(&linkage, &wv, &mut out_ns),
+        || Backend::Blocked.matvec_into(&linkage, &wv, &mut out_nb),
+    );
+    report("matvec_into (NxN)", 0, s, v);
+    let (s, v) = best_of_paired(
+        reps,
+        measure,
+        || Backend::Scalar.matvec_t_into(&linkage, &wv, &mut out_ns),
+        || Backend::Blocked.matvec_t_into(&linkage, &wv, &mut out_nb),
+    );
+    report("matvec_t_into (NxN)", 0, s, v);
+
+    // Content-lookup row norms over the N × W memory block.
+    let memory = test_matrix(N, W, 4);
+    let mut norms_s = vec![0.0f32; N];
+    let mut norms_b = vec![0.0f32; N];
+    let (s, v) = best_of_paired(
+        reps,
+        measure,
+        || Backend::Scalar.row_norms_into(&memory, &mut norms_s),
+        || Backend::Blocked.row_norms_into(&memory, &mut norms_b),
+    );
+    report("row_norms_into (NxW)", 0, s, v);
+
+    // N-slot content softmax (fresh logits per call so the in-place
+    // kernel sees realistic, non-saturated inputs).
+    let logits: Vec<f32> = (0..N).map(|i| ((i * 7) as f32 * 0.17).sin() * 4.0).collect();
+    let mut buf_s = logits.clone();
+    let mut buf_b = logits.clone();
+    let (s, v) = best_of_paired(
+        reps,
+        measure,
+        || {
+            buf_s.copy_from_slice(&logits);
+            Backend::Scalar.softmax_inplace(&mut buf_s);
+        },
+        || {
+            buf_b.copy_from_slice(&logits);
+            Backend::Blocked.softmax_inplace(&mut buf_b);
+        },
+    );
+    report("softmax_inplace (N)", 0, s, v);
+
+    println!(
+        "\nPer-call wall time, best of {reps} interleaved reps per tier. The\n\
+         engine-level consequence of these kernels is the `backend` section\n\
+         of the throughput bench; numerical agreement is pinned by the\n\
+         backend conformance suite."
+    );
+
+    if json {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"kernels\",\n  \"schema_version\": 1,\n");
+        s.push_str(&format!(
+            "  \"params\": {{\"memory_size\": {N}, \"word_size\": {W}, \"hidden_size\": {HIDDEN}}},\n"
+        ));
+        s.push_str("  \"kernels\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"batch\": {}, \"scalar_ns_per_call\": {:.1}, \"blocked_ns_per_call\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                r.kernel,
+                r.batch,
+                r.scalar_ns,
+                r.blocked_ns,
+                r.scalar_ns / r.blocked_ns,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        let path = "BENCH_kernels.json";
+        match std::fs::write(path, &s) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

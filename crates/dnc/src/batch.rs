@@ -54,7 +54,7 @@ use crate::profile::KernelProfile;
 use crate::quantized::QuantizedMemoryUnit;
 use crate::workspace::StepWorkspace;
 use crate::DncParams;
-use hima_tensor::{LaneMask, Matrix};
+use hima_tensor::{Backend, LaneMask, Matrix};
 use rayon::prelude::*;
 
 /// A lane's memory unit on either datapath.
@@ -143,6 +143,10 @@ pub struct BatchDnc {
     interface_proj: Matrix,
     output_proj: Matrix,
     datapath: Datapath,
+    /// Kernel tier of the shared-weight projections and the controller
+    /// product — the same tier the lane memory units read from their
+    /// [`MemoryConfig`], so one engine runs one tier end to end.
+    backend: Backend,
     lstm_states: Vec<LstmState>,
     lanes: Vec<Lane>,
     last_read: Matrix,
@@ -212,6 +216,7 @@ impl BatchDnc {
             interface_proj,
             output_proj,
             datapath,
+            backend: mem_cfg.backend,
             lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
             lanes,
             last_read: Matrix::zeros(batch, read_width),
@@ -233,6 +238,11 @@ impl BatchDnc {
     /// The numeric datapath of the lane memory units.
     pub fn datapath(&self) -> Datapath {
         self.datapath
+    }
+
+    /// The kernel execution tier this engine runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Lane `b`'s memory unit (for state inspection).
@@ -370,18 +380,24 @@ impl BatchDnc {
         // Controller on [x_t ; v_r^{t-1}], all active lanes at once
         // (frozen lanes surface their held hidden state).
         Matrix::hcat_into(inputs, &self.last_read, &mut ws.ctrl_in);
-        self.controller.step_batch_masked_into(
+        self.controller.step_batch_masked_into_with(
             &mut self.lstm_states,
             &ws.ctrl_in,
             mask,
             &mut ws.lstm,
             &mut ws.hidden,
+            self.backend,
         );
 
         // Interface projection + parse (input skip connection), batched
         // over the active rows.
         Matrix::hcat_into(&ws.hidden, inputs, &mut ws.iface_in);
-        ws.iface_in.matmul_nt_masked_into(&self.interface_proj, mask, &mut ws.raw_shards[0]);
+        self.backend.matmul_nt_masked_into(
+            &ws.iface_in,
+            &self.interface_proj,
+            mask,
+            &mut ws.raw_shards[0],
+        );
 
         // Memory unit step: active lanes are independent — fan out
         // across threads; frozen lanes hold their memory state. Each
@@ -405,7 +421,7 @@ impl BatchDnc {
         // Output projection over [h ; v_r], batched over the active rows
         // (inactive output rows stay zero).
         Matrix::hcat_into(&ws.hidden, &self.last_read, &mut ws.out_in);
-        ws.out_in.matmul_nt_masked_into(&self.output_proj, mask, y);
+        self.backend.matmul_nt_masked_into(&ws.out_in, &self.output_proj, mask, y);
         self.last_hidden.as_mut_slice().copy_from_slice(ws.hidden.as_slice());
     }
 
@@ -445,6 +461,9 @@ pub struct BatchDncD {
     output_proj: Matrix,
     merge: ReadMerge,
     datapath: Datapath,
+    /// Kernel tier of the shared-weight products (see [`BatchDnc`]);
+    /// derived from the shard memory configs.
+    backend: Backend,
     lstm_states: Vec<LstmState>,
     batch: usize,
     /// The flat `B × N_t` shard grid, lane-major: lane `b`'s shards are
@@ -487,6 +506,7 @@ impl BatchDncD {
         assert!(batch > 0, "need at least one batch lane");
         let read_width = params.read_heads * params.word_size;
         let tiles = interface_projs.len();
+        let backend = shard_cfgs.first().map_or(Backend::Scalar, |cfg| cfg.backend);
         let shards = (0..batch)
             .flat_map(|_| {
                 shard_cfgs.iter().map(|cfg| ShardLane {
@@ -505,6 +525,7 @@ impl BatchDncD {
             output_proj,
             merge,
             datapath,
+            backend,
             lstm_states: vec![LstmState::zeros(params.hidden_size); batch],
             batch,
             shards,
@@ -532,6 +553,11 @@ impl BatchDncD {
     /// The numeric datapath of the shard memory units.
     pub fn datapath(&self) -> Datapath {
         self.datapath
+    }
+
+    /// The kernel execution tier this engine runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The `B × R·W` block of merged read vectors (row `b` is lane `b`).
@@ -663,12 +689,13 @@ impl BatchDncD {
         let ws = &mut self.ws;
 
         Matrix::hcat_into(inputs, &self.last_read, &mut ws.ctrl_in);
-        self.controller.step_batch_masked_into(
+        self.controller.step_batch_masked_into_with(
             &mut self.lstm_states,
             &ws.ctrl_in,
             mask,
             &mut ws.lstm,
             &mut ws.hidden,
+            self.backend,
         );
 
         // One batched projection per shard (each shard has its own
@@ -676,7 +703,7 @@ impl BatchDncD {
         // active rows only.
         Matrix::hcat_into(&ws.hidden, inputs, &mut ws.iface_in);
         for (proj, raw) in self.interface_projs.iter().zip(ws.raw_shards.iter_mut()) {
-            ws.iface_in.matmul_nt_masked_into(proj, mask, raw);
+            self.backend.matmul_nt_masked_into(&ws.iface_in, proj, mask, raw);
         }
 
         // 2-D decomposition: the flat lane-major shard grid is the task
@@ -708,7 +735,7 @@ impl BatchDncD {
         }
 
         Matrix::hcat_into(&ws.hidden, &self.last_read, &mut ws.out_in);
-        ws.out_in.matmul_nt_masked_into(&self.output_proj, mask, y);
+        self.backend.matmul_nt_masked_into(&ws.out_in, &self.output_proj, mask, y);
         self.last_hidden.as_mut_slice().copy_from_slice(ws.hidden.as_slice());
     }
 

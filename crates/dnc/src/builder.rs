@@ -42,7 +42,7 @@ use crate::dnc::Dnc;
 use crate::engine::MemoryEngine;
 use crate::memory::{MemoryConfig, SorterKind};
 use crate::DncParams;
-use hima_tensor::QFormat;
+use hima_tensor::{Backend, QFormat};
 use serde::{Deserialize, Serialize};
 
 /// A built engine, stepped through the [`MemoryEngine`] trait.
@@ -101,6 +101,11 @@ pub struct EngineSpec {
     pub skim: SkimRate,
     /// Whether the PLA+LUT softmax approximation is enabled.
     pub approx_softmax: bool,
+    /// Kernel execution tier: the scalar reference kernels or the
+    /// blocked + vectorized fast tier. Defaults to [`Backend::Scalar`],
+    /// and specs serialized before this axis existed deserialize to it.
+    #[serde(default)]
+    pub backend: Backend,
 }
 
 impl Default for EngineSpec {
@@ -118,6 +123,7 @@ impl EngineSpec {
             datapath: Datapath::F32,
             skim: SkimRate::NONE,
             approx_softmax: false,
+            backend: Backend::Scalar,
         }
     }
 
@@ -138,6 +144,12 @@ impl EngineSpec {
         self
     }
 
+    /// Overrides the kernel execution tier.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The shard count: 1 for monolithic, `N_t` for sharded.
     pub fn tiles(&self) -> usize {
         match self.topology {
@@ -147,13 +159,17 @@ impl EngineSpec {
     }
 
     /// Human-readable label, e.g. `"monolithic/f32"` or
-    /// `"sharded(4)/Q16.16"`.
+    /// `"sharded(4)/Q16.16"`; the non-default blocked tier is suffixed as
+    /// `"monolithic/f32+blocked"` so scalar labels stay unchanged.
     pub fn label(&self) -> String {
         let topo = match self.topology {
             Topology::Monolithic => "monolithic".to_string(),
             Topology::Sharded { tiles } => format!("sharded({tiles})"),
         };
-        format!("{topo}/{}", self.datapath.label())
+        match self.backend {
+            Backend::Scalar => format!("{topo}/{}", self.datapath.label()),
+            Backend::Blocked => format!("{topo}/{}+blocked", self.datapath.label()),
+        }
     }
 }
 
@@ -233,6 +249,13 @@ impl EngineBuilder {
     /// Enables the PLA+LUT softmax approximation.
     pub fn approx_softmax(mut self, on: bool) -> Self {
         self.spec.approx_softmax = on;
+        self
+    }
+
+    /// Selects the kernel execution tier (defaults to
+    /// [`Backend::Scalar`], the bit-exact reference).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.spec.backend = backend;
         self
     }
 
@@ -332,17 +355,19 @@ impl EngineBuilder {
                 )
                 .with_sorter(self.sorter)
                 .with_skim(self.spec.skim)
-                .with_approx_softmax(self.spec.approx_softmax);
+                .with_approx_softmax(self.spec.approx_softmax)
+                .with_backend(self.spec.backend);
                 let model = Dnc::with_memory_config(self.params, mem_cfg, self.seed);
                 Box::new(model.batched_with(self.lanes, self.spec.datapath))
             }
             Topology::Sharded { tiles } => {
-                let mut model = DncD::with_features(
+                let mut model = DncD::with_features_backend(
                     self.params,
                     tiles,
                     self.seed,
                     self.spec.skim,
                     self.spec.approx_softmax,
+                    self.spec.backend,
                 );
                 if let Some(merge) = &self.merge {
                     model.set_merge(merge.clone());
@@ -420,6 +445,35 @@ mod tests {
         assert!((merge.alphas()[0] - 1.0).abs() < 1e-3, "{:?}", merge.alphas());
         assert!(EngineBuilder::new(params()).seed(9).calibrate_merge(&inputs).is_none());
         assert!(sharded.calibrate_merge(&[]).is_none());
+    }
+
+    #[test]
+    fn backend_axis_reaches_every_topology() {
+        use hima_tensor::Backend;
+        assert_eq!(
+            EngineSpec::monolithic().with_backend(Backend::Blocked).label(),
+            "monolithic/f32+blocked"
+        );
+        assert_eq!(EngineSpec::monolithic().backend, Backend::Scalar, "scalar is the default");
+
+        // A blocked engine steps and stays close to the scalar reference
+        // (bit-level conformance lives in tests/backend_conformance.rs).
+        let x = Matrix::from_fn(2, 4, |b, i| ((b * 4 + i) as f32 * 0.31).sin());
+        for spec in [EngineSpec::monolithic(), EngineSpec::sharded(2)] {
+            let mut scalar =
+                EngineBuilder::new(params()).with_spec(spec).lanes(2).seed(5).build();
+            let mut blocked = EngineBuilder::new(params())
+                .with_spec(spec.with_backend(Backend::Blocked))
+                .lanes(2)
+                .seed(5)
+                .build();
+            for t in 0..4 {
+                let ys = scalar.step_batch(&x);
+                let yb = blocked.step_batch(&x);
+                hima_tensor::assert_close(ys.as_slice(), yb.as_slice(), 1e-4);
+                assert!(yb.as_slice().iter().all(|v| v.is_finite()), "t={t}");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! can optionally run through the PLA+LUT hardware approximation (§5.2).
 
 use hima_tensor::softmax::PlaSoftmax;
-use hima_tensor::vector::{dot, norm};
-use hima_tensor::Matrix;
+use hima_tensor::vector::norm;
+use hima_tensor::{Backend, Matrix};
 
 /// Guard added to norms so zero rows/keys produce zero similarity instead of
 /// NaN (same role as the ε in Graves et al.'s cosine distance).
@@ -67,13 +67,36 @@ pub fn content_weighting_into(
     row_norms: &[f32],
     out: &mut [f32],
 ) {
-    similarities_into(memory, key, row_norms, out);
+    content_weighting_into_with(memory, key, beta, approx, row_norms, out, Backend::Scalar);
+}
+
+/// Backend-dispatching form of [`content_weighting_into`]: the similarity
+/// dots and the exact softmax run on the selected kernel tier. The scalar
+/// tier is bit-identical to [`content_weighting_into`]; the blocked tier
+/// re-associates the dot products within the documented tolerance. The
+/// PLA softmax approximation (when selected) models a fixed hardware unit
+/// and runs the same on either tier.
+///
+/// # Panics
+///
+/// Panics if `key.len() != memory.cols()` or `row_norms`/`out` lengths
+/// differ from `memory.rows()`.
+pub fn content_weighting_into_with(
+    memory: &Matrix,
+    key: &[f32],
+    beta: f32,
+    approx: Option<&PlaSoftmax>,
+    row_norms: &[f32],
+    out: &mut [f32],
+    backend: Backend,
+) {
+    similarities_into_with(memory, key, row_norms, out, backend);
     for s in out.iter_mut() {
         *s *= beta;
     }
     match approx {
         Some(p) => p.softmax_inplace(out),
-        None => hima_tensor::softmax::softmax_inplace(out),
+        None => backend.softmax_inplace(out),
     }
 }
 
@@ -99,13 +122,31 @@ pub fn similarities(memory: &Matrix, key: &[f32]) -> Vec<f32> {
 /// Panics if `key.len() != memory.cols()` or `row_norms`/`out` lengths
 /// differ from `memory.rows()`.
 pub fn similarities_into(memory: &Matrix, key: &[f32], row_norms: &[f32], out: &mut [f32]) {
+    similarities_into_with(memory, key, row_norms, out, Backend::Scalar);
+}
+
+/// Backend-dispatching form of [`similarities_into`]: the row · key dot
+/// products run on the selected kernel tier (scalar keeps the reference
+/// bit pattern, blocked re-associates the sums).
+///
+/// # Panics
+///
+/// Panics if `key.len() != memory.cols()` or `row_norms`/`out` lengths
+/// differ from `memory.rows()`.
+pub fn similarities_into_with(
+    memory: &Matrix,
+    key: &[f32],
+    row_norms: &[f32],
+    out: &mut [f32],
+    backend: Backend,
+) {
     assert_eq!(key.len(), memory.cols(), "key width must match memory word size");
     assert_eq!(row_norms.len(), memory.rows(), "row norm cache length mismatch");
     assert_eq!(out.len(), memory.rows(), "similarity output length mismatch");
     let key_norm = norm(key);
     for (i, o) in out.iter_mut().enumerate() {
         let row = memory.row(i);
-        *o = dot(row, key) / (row_norms[i] * key_norm + NORM_EPSILON);
+        *o = backend.dot(row, key) / (row_norms[i] * key_norm + NORM_EPSILON);
     }
 }
 

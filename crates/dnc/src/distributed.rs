@@ -20,7 +20,7 @@ use crate::lstm::Lstm;
 use crate::memory::{MemoryConfig, MemoryUnit, SorterKind};
 use crate::profile::{KernelId, KernelProfile};
 use crate::DncParams;
-use hima_tensor::Matrix;
+use hima_tensor::{Backend, Matrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -239,6 +239,25 @@ impl DncD {
         skim: SkimRate,
         approx_softmax: bool,
     ) -> Self {
+        Self::with_features_backend(params, tiles, seed, skim, approx_softmax, Backend::Scalar)
+    }
+
+    /// [`DncD::with_features`] plus the kernel execution tier: every
+    /// shard's memory config carries `backend`, so both the sequential
+    /// stepping here and the batched engines derived from it
+    /// ([`DncD::batched`]) run their hot kernels on the selected tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles == 0` or `tiles > params.memory_size`.
+    pub fn with_features_backend(
+        params: DncParams,
+        tiles: usize,
+        seed: u64,
+        skim: SkimRate,
+        approx_softmax: bool,
+        backend: Backend,
+    ) -> Self {
         assert!(tiles > 0, "need at least one tile");
         assert!(tiles <= params.memory_size, "more tiles than memory rows");
 
@@ -254,7 +273,8 @@ impl DncD {
             let cfg = MemoryConfig::new(rows, params.word_size, params.read_heads)
                 .with_skim(skim)
                 .with_approx_softmax(approx_softmax)
-                .with_sorter(SorterKind::Centralized);
+                .with_sorter(SorterKind::Centralized)
+                .with_backend(backend);
             shards.push(MemoryUnit::new(cfg));
             // Shard 0 draws the same stream as the centralized model. The
             // interface projects from [h ; x] (input skip connection),

@@ -14,7 +14,7 @@
 //! Forward/backward read weightings are `f^r = L w_r` and `b^r = Lᵀ w_r`.
 //! Invariants: zero diagonal and every row/column sum ≤ 1.
 
-use hima_tensor::Matrix;
+use hima_tensor::{Backend, F32x8, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Temporal linkage state: the `N × N` linkage matrix and the precedence
@@ -86,6 +86,49 @@ impl TemporalLinkage {
         }
     }
 
+    /// Backend-dispatching form of [`TemporalLinkage::update_linkage`].
+    ///
+    /// The blocked tier computes each row branch-free over [`F32x8`] lanes
+    /// and zeroes the diagonal afterwards. The per-element expression
+    /// `(1 − w_w[i] − w_w[j]) · L[i,j] + w_w[i] · p[j]` is element-wise
+    /// (no reduction), so both tiers produce bit-identical matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_weighting.len() != len()`.
+    pub fn update_linkage_with(&mut self, write_weighting: &[f32], backend: Backend) {
+        match backend {
+            Backend::Scalar => self.update_linkage(write_weighting),
+            Backend::Blocked => {
+                let n = self.len();
+                assert_eq!(write_weighting.len(), n, "write weighting length mismatch");
+                let precedence = &self.precedence;
+                let n8 = n - n % 8;
+                for i in 0..n {
+                    let wi = write_weighting[i];
+                    let wiv = F32x8::splat(wi);
+                    let one_minus_wi = F32x8::splat(1.0 - wi);
+                    let row = self.linkage.row_mut(i);
+                    let mut j = 0;
+                    while j < n8 {
+                        let wv = F32x8::load(&write_weighting[j..j + 8]);
+                        let pv = F32x8::load(&precedence[j..j + 8]);
+                        let lv = F32x8::load(&row[j..j + 8]);
+                        // (1 − wi − w[j]) · l + wi · p[j], same operation
+                        // order as the scalar loop's left-associated
+                        // expression.
+                        one_minus_wi.sub(wv).mul(lv).add(wiv.mul(pv)).store(&mut row[j..j + 8]);
+                        j += 8;
+                    }
+                    for j in n8..n {
+                        row[j] = (1.0 - wi - write_weighting[j]) * row[j] + wi * precedence[j];
+                    }
+                    row[i] = 0.0;
+                }
+            }
+        }
+    }
+
     /// Updates only the precedence vector (the HR.(2) kernel). Must run
     /// after [`TemporalLinkage::update_linkage`] within a time step.
     ///
@@ -119,6 +162,17 @@ impl TemporalLinkage {
         self.linkage.matvec_into(read_weighting, out);
     }
 
+    /// Backend-dispatching form of [`TemporalLinkage::forward_into`] — the
+    /// `N × N` mat-vec that dominates the history-read stage at engine
+    /// sizes runs on the selected kernel tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_weighting.len() != len()` or `out.len() != len()`.
+    pub fn forward_into_with(&self, read_weighting: &[f32], out: &mut [f32], backend: Backend) {
+        backend.matvec_into(&self.linkage, read_weighting, out);
+    }
+
     /// Backward weighting `b = Lᵀ · w_r`.
     ///
     /// # Panics
@@ -136,6 +190,17 @@ impl TemporalLinkage {
     /// Panics if `read_weighting.len() != len()` or `out.len() != len()`.
     pub fn backward_into(&self, read_weighting: &[f32], out: &mut [f32]) {
         self.linkage.matvec_t_into(read_weighting, out);
+    }
+
+    /// Backend-dispatching form of [`TemporalLinkage::backward_into`].
+    /// Both tiers are bit-identical here (the transposed mat-vec keeps
+    /// scalar's accumulation order on the blocked tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_weighting.len() != len()` or `out.len() != len()`.
+    pub fn backward_into_with(&self, read_weighting: &[f32], out: &mut [f32], backend: Backend) {
+        backend.matvec_t_into(&self.linkage, read_weighting, out);
     }
 
     /// Resets linkage and precedence to zero **in place** — the
@@ -362,6 +427,39 @@ mod tests {
         let mut merged = vec![f32::NAN; 2];
         merge_read_weighting_into(&b, &c, &f, [0.25, 0.25, 0.5], &mut merged);
         assert_eq!(merged, merge_read_weighting(&b, &c, &f, [0.25, 0.25, 0.5]));
+    }
+
+    #[test]
+    fn blocked_linkage_update_is_bit_identical_to_scalar() {
+        // Element-wise kernel, no reductions: the branch-free blocked row
+        // update must reproduce the scalar branchy loop bit for bit,
+        // including at non-multiple-of-8 sizes and for forward/backward.
+        for n in [1usize, 7, 8, 9, 16, 23, 128] {
+            let mut a = TemporalLinkage::new(n);
+            let mut b = TemporalLinkage::new(n);
+            for t in 0..6 {
+                let mut w: Vec<f32> =
+                    (0..n).map(|i| (((t * 13 + i * 7) % 17) as f32) / (20.0 * n as f32)).collect();
+                let s: f32 = w.iter().sum();
+                if s > 1.0 {
+                    for x in &mut w {
+                        *x /= s;
+                    }
+                }
+                a.update_linkage_with(&w, Backend::Scalar);
+                a.update_precedence(&w);
+                b.update_linkage_with(&w, Backend::Blocked);
+                b.update_precedence(&w);
+                assert_eq!(a, b, "n={n} t={t}");
+
+                let r: Vec<f32> = (0..n).map(|i| ((i + t) as f32 * 0.11).sin().abs() / n as f32).collect();
+                let mut fa = vec![f32::NAN; n];
+                let mut fb = vec![f32::NAN; n];
+                a.backward_into_with(&r, &mut fa, Backend::Scalar);
+                b.backward_into_with(&r, &mut fb, Backend::Blocked);
+                assert_eq!(fa, fb, "backward n={n} t={t}");
+            }
+        }
     }
 
     #[test]

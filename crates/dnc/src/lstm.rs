@@ -8,7 +8,7 @@
 //! DNC-vs-DNC-D accuracy does not require trained weights.
 
 use hima_tensor::activation::{sigmoid, tanh};
-use hima_tensor::{LaneMask, Matrix};
+use hima_tensor::{Backend, LaneMask, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -252,6 +252,32 @@ impl Lstm {
         scratch: &mut LstmScratch,
         hidden_out: &mut Matrix,
     ) {
+        self.step_batch_masked_into_with(states, inputs, mask, scratch, hidden_out, Backend::Scalar);
+    }
+
+    /// Backend-dispatching form of [`Lstm::step_batch_masked_into`]: the
+    /// shared-weight `[X ; H] · Wᵀ` product runs on the selected kernel
+    /// tier while the fused gate arithmetic keeps the exact per-element
+    /// expressions on both tiers. On [`Backend::Scalar`] this is
+    /// bit-identical to [`Lstm::step_batch_masked_into`]; on
+    /// [`Backend::Blocked`] the pre-activations carry the documented
+    /// re-association tolerance and everything downstream of them is the
+    /// same arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.rows() != states.len()`,
+    /// `mask.lanes() != states.len()`, the input width is wrong, or any
+    /// state width disagrees with `hidden_size`.
+    pub fn step_batch_masked_into_with(
+        &self,
+        states: &mut [LstmState],
+        inputs: &Matrix,
+        mask: &LaneMask,
+        scratch: &mut LstmScratch,
+        hidden_out: &mut Matrix,
+        backend: Backend,
+    ) {
         assert_eq!(inputs.rows(), states.len(), "LSTM batch size mismatch");
         assert_eq!(inputs.cols(), self.input_size, "LSTM input width mismatch");
         assert_eq!(mask.lanes(), states.len(), "LSTM lane mask size mismatch");
@@ -276,7 +302,7 @@ impl Lstm {
 
         // One shared-weight product for the active lanes, plus the bias
         // broadcast.
-        scratch.x_cat.matmul_nt_masked_into(&self.weights, mask, &mut scratch.pre);
+        backend.matmul_nt_masked_into(&scratch.x_cat, &self.weights, mask, &mut scratch.pre);
         scratch.pre.add_row_inplace_masked(&self.bias, mask);
 
         // Gates, cell and hidden update fused per active lane.

@@ -8,13 +8,13 @@
 //! into a [`KernelProfile`] so runtime-breakdown figures can be regenerated.
 
 use crate::allocation::{merge_write_weighting_into, SkimRate};
-use crate::content::content_weighting_into;
+use crate::content::content_weighting_into_with;
 use crate::interface::InterfaceVector;
 use crate::linkage::{merge_read_weighting_into, TemporalLinkage};
 use crate::profile::{KernelId, KernelProfile};
 use hima_sort::{CentralizedMergeSorter, SortEngine, TwoStageSorter};
 use hima_tensor::softmax::PlaSoftmax;
-use hima_tensor::Matrix;
+use hima_tensor::{Backend, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Which usage sorter the memory unit models.
@@ -45,6 +45,11 @@ pub struct MemoryConfig {
     pub skim: SkimRate,
     /// Whether to use the PLA+LUT softmax approximation.
     pub approx_softmax: bool,
+    /// Kernel execution tier (scalar reference or blocked SIMD). Defaults
+    /// to [`Backend::Scalar`], so configs serialized before this axis
+    /// existed deserialize to the bit-exact tier.
+    #[serde(default)]
+    pub backend: Backend,
 }
 
 impl MemoryConfig {
@@ -57,6 +62,7 @@ impl MemoryConfig {
             sorter: SorterKind::Centralized,
             skim: SkimRate::NONE,
             approx_softmax: false,
+            backend: Backend::Scalar,
         }
     }
 
@@ -75,6 +81,12 @@ impl MemoryConfig {
     /// Enables the PLA+LUT softmax.
     pub fn with_approx_softmax(mut self, on: bool) -> Self {
         self.approx_softmax = on;
+        self
+    }
+
+    /// Selects the kernel execution tier.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -329,22 +341,24 @@ impl MemoryUnit {
         // CW.(1)+(2): content-based write weighting (norms cached from the
         // previous step's read phase when memory is unchanged).
         let pla_on = self.config.approx_softmax;
+        let be = self.config.backend;
         {
             let (memory, pla) = (&self.memory, &self.pla);
             let (norms, valid) = (&mut self.row_norms, &mut self.norms_valid);
             let content_w = &mut self.scratch.content_w;
             self.profile.time(KernelId::Similarity, || {
                 if !*valid {
-                    memory.row_norms_into(norms);
+                    be.row_norms_into(memory, norms);
                     *valid = true;
                 }
-                content_weighting_into(
+                content_weighting_into_with(
                     memory,
                     &iv.write_key,
                     iv.write_strength,
                     if pla_on { Some(pla) } else { None },
                     norms,
                     content_w,
+                    be,
                 );
             });
         }
@@ -416,7 +430,7 @@ impl MemoryUnit {
         // HR.(1): linkage (uses the previous precedence).
         {
             let (linkage, w_w) = (&mut self.linkage, &self.scratch.w_w);
-            self.profile.time(KernelId::Linkage, || linkage.update_linkage(w_w));
+            self.profile.time(KernelId::Linkage, || linkage.update_linkage_with(w_w, be));
         }
         // HR.(2): precedence.
         {
@@ -433,8 +447,8 @@ impl MemoryUnit {
                 let (linkage, prev_w) = (&self.linkage, &self.read_weightings[head]);
                 let (fwd, bwd) = (&mut self.scratch.fwd, &mut self.scratch.bwd);
                 self.profile.time(KernelId::ForwardBackward, || {
-                    linkage.forward_into(prev_w, fwd);
-                    linkage.backward_into(prev_w, bwd);
+                    linkage.forward_into_with(prev_w, fwd, be);
+                    linkage.backward_into_with(prev_w, bwd, be);
                 });
             }
 
@@ -447,16 +461,17 @@ impl MemoryUnit {
                 let content_r = &mut self.scratch.content_r;
                 self.profile.time(KernelId::Normalize, || {
                     if !*valid {
-                        memory.row_norms_into(norms);
+                        be.row_norms_into(memory, norms);
                         *valid = true;
                     }
-                    content_weighting_into(
+                    content_weighting_into_with(
                         memory,
                         key,
                         beta,
                         if pla_on { Some(pla) } else { None },
                         norms,
                         content_r,
+                        be,
                     );
                 });
             }
@@ -476,7 +491,7 @@ impl MemoryUnit {
             {
                 let (memory, w_r) = (&self.memory, &self.scratch.w_r);
                 let v_r = &mut out[head * word..(head + 1) * word];
-                self.profile.time(KernelId::MemoryRead, || memory.matvec_t_into(w_r, v_r));
+                self.profile.time(KernelId::MemoryRead, || be.matvec_t_into(memory, w_r, v_r));
             }
             self.read_weightings[head].copy_from_slice(&self.scratch.w_r);
         }

@@ -17,7 +17,10 @@
 //! * [`LaneMask`] and the masked row-block kernels (`matmul_nt_masked`,
 //!   the `*_block_masked` activations, [`softmax_rows_masked`]) that let
 //!   ragged batches skip — not zero-and-recompute — the rows of lanes
-//!   whose sequences have ended.
+//!   whose sequences have ended,
+//! * [`Backend`] — the kernel execution tier: the scalar reference
+//!   kernels or the cache-blocked [`F32x8`]-vectorized fast tier in
+//!   [`mod@backend`], dispatching the hot kernels behind one axis.
 //!
 //! # Example
 //!
@@ -33,16 +36,20 @@
 //! [`hima-engine`]: https://docs.rs/hima-engine
 
 pub mod activation;
+pub mod backend;
 pub mod fixed;
 pub mod lane_mask;
 pub mod linalg;
 pub mod matrix;
+pub mod simd;
 pub mod softmax;
 pub mod vector;
 
+pub use backend::Backend;
 pub use fixed::{Fixed, QFormat};
 pub use lane_mask::LaneMask;
 pub use matrix::Matrix;
+pub use simd::F32x8;
 pub use softmax::{softmax, softmax_approx, softmax_rows, softmax_rows_masked, PlaSoftmax};
 
 /// Numerical tolerance used across the workspace when comparing floats

@@ -279,8 +279,9 @@ impl Matrix {
         }
     }
 
-    /// Shape checks shared by the `matmul_nt*_into` kernels.
-    fn assert_nt_shapes(&self, other: &Matrix, out: &Matrix) {
+    /// Shape checks shared by the `matmul_nt*_into` kernels (both the
+    /// scalar ones here and the blocked ones in [`crate::backend`]).
+    pub(crate) fn assert_nt_shapes(&self, other: &Matrix, out: &Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} vs {}x{}ᵀ",
