@@ -8,12 +8,16 @@
 //! $ hima-cli step --tiles 4 --lanes 8 --quantized --steps 50
 //! $ hima-cli pipeline --tiles 2 --episodes 8 --batch 4
 //! $ hima-cli babi path/to/qa1_train.txt
+//! $ hima-cli serve --addr 127.0.0.1:7070 --lanes 8
+//! $ hima-cli session --addr 127.0.0.1:7070 --steps 20
+//! $ hima-cli session --addr 127.0.0.1:7070 --shutdown
 //! ```
 
 use hima::prelude::*;
+use hima::serve::loadgen::synth_input;
 use hima::tensor::{Matrix, QFormat};
 use std::process::{exit, Command};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const EXPERIMENTS: [(&str, &str, &str); 11] = [
     ("table1", "table1_kernels", "Table 1: DNC kernel analysis"),
@@ -38,6 +42,8 @@ fn main() {
         Some("step") => step(&args[1..]),
         Some("pipeline") => pipeline(&args[1..]),
         Some("babi") => babi(args.get(1).map(String::as_str)),
+        Some("serve") => serve(&args[1..]),
+        Some("session") => session(&args[1..]),
         _ => {
             usage();
             exit(2);
@@ -60,6 +66,11 @@ fn usage() {
     eprintln!("                  run the Fig. 10 eval through the async episode pipeline,");
     eprintln!("                  timed against (and checked bit-equal to) the synchronous harness");
     eprintln!("  hima-cli babi <file>               parse a bAbI-format file and report stats");
+    eprintln!("  hima-cli serve [--addr A] [--lanes N] [--tick-us T] [--idle-ms I]");
+    eprintln!("                  run the session server until a client sends shutdown");
+    eprintln!("  hima-cli session [--addr A] [--steps T] [--tiles N] [--quantized] [--shutdown]");
+    eprintln!("                  drive one session end-to-end against a running server");
+    eprintln!("                  (--shutdown asks the server to stop instead)");
 }
 
 fn list() {
@@ -306,6 +317,119 @@ fn babi(path: Option<&str>) {
             enc.episode.query_steps.len()
         );
     }
+}
+
+/// Runs the session server in the foreground until a client sends the
+/// shutdown command (`hima-cli session --shutdown`), then drains and
+/// exits cleanly.
+fn serve(args: &[String]) {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut cfg = ServeConfig::default();
+    fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| bail("--addr needs host:port")),
+            "--lanes" => cfg.grid_lanes = num(it.next(), "--lanes needs a positive integer"),
+            "--tick-us" => {
+                cfg.tick = Duration::from_micros(num(it.next(), "--tick-us needs an integer"))
+            }
+            "--idle-ms" => {
+                cfg.idle_timeout =
+                    Some(Duration::from_millis(num(it.next(), "--idle-ms needs an integer")))
+            }
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.grid_lanes == 0 {
+        bail::<()>("--lanes must be positive");
+    }
+    let mut server = match Server::bind(addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => bail(&format!("cannot bind {addr}: {e}")),
+    };
+    println!("serving on {} ({} grid lanes, tick {:?})", server.addr(), cfg.grid_lanes, cfg.tick);
+    server.wait_for_shutdown();
+    println!("shutdown requested, draining");
+    server.stop();
+    println!("stopped ({} sessions live at exit)", server.hub().live_sessions());
+}
+
+/// Drives one demo session against a running server: open, `--steps`
+/// synthetic steps, query the read row, close — or, with `--shutdown`,
+/// asks the server process to stop.
+fn session(args: &[String]) {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut steps = 20usize;
+    let mut tiles = 1usize;
+    let mut quantized = false;
+    let mut shutdown = false;
+    fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| bail("--addr needs host:port")),
+            "--steps" => steps = num(it.next(), "--steps needs a positive integer"),
+            "--tiles" => tiles = num(it.next(), "--tiles needs a positive integer"),
+            "--quantized" => quantized = true,
+            "--shutdown" => shutdown = true,
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => bail(&format!("cannot connect to {addr}: {e}")),
+    };
+    if shutdown {
+        match client.shutdown_server() {
+            Ok(()) => println!("server at {addr} is shutting down"),
+            Err(e) => bail(&format!("shutdown failed: {e}")),
+        }
+        return;
+    }
+    if tiles == 0 || steps == 0 {
+        bail::<()>("--tiles/--steps must be positive");
+    }
+
+    let mut raw = RawSessionSpec::demo();
+    if tiles > 1 {
+        raw.sharded = true;
+        raw.tiles = tiles as u32;
+    }
+    if quantized {
+        raw.quantized = true;
+        raw.int_bits = 16;
+        raw.frac_bits = 16;
+    }
+    let session = match client.open(&raw) {
+        Ok(id) => id,
+        Err(e) => bail(&format!("open failed: {e}")),
+    };
+    println!("session {session} open on {addr}");
+    let width = raw.input_size as usize;
+    let start = Instant::now();
+    let mut last = Vec::new();
+    for t in 0..steps {
+        match client.step(session, &synth_input(0, t, width)) {
+            Ok(y) => last = y,
+            Err(e) => bail(&format!("step {t} failed: {e}")),
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!("stepped {steps} times ({:.1} steps/sec)", steps as f64 / secs);
+    println!("last output   : {last:?}");
+    match client.read_rows(session) {
+        Ok(read) => println!("read row      : {} values, first {:?}", read.len(), &read[..read.len().min(4)]),
+        Err(e) => bail(&format!("read-rows failed: {e}")),
+    }
+    if let Err(e) = client.close_session(session) {
+        bail::<()>(&format!("close failed: {e}"));
+    }
+    println!("session {session} closed");
 }
 
 fn bail<T>(msg: &str) -> T {

@@ -14,7 +14,10 @@
 //! * [`cost`] — area/power models calibrated to the paper's 40 nm results,
 //! * [`tasks`] — the synthetic bAbI-style accuracy suite,
 //! * [`pipeline`] — the async producer/consumer episode pipeline
-//!   overlapping generation, batched stepping and metric reduction.
+//!   overlapping generation, batched stepping and metric reduction,
+//! * [`serve`] — the session server: long-lived per-session DNC state
+//!   continuously batched over masked lane grids, with a binary wire
+//!   protocol, typed client and open-loop load generator.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use hima_engine as engine;
 pub use hima_mem as mem;
 pub use hima_noc as noc;
 pub use hima_pipeline as pipeline;
+pub use hima_serve as serve;
 pub use hima_sort as sort;
 pub use hima_tasks as tasks;
 pub use hima_tensor as tensor;
@@ -68,6 +72,9 @@ pub mod prelude {
     pub use hima_pipeline::{
         collect_query_samples_pipelined, readout_accuracy_pipelined, relative_error_pipelined,
         run_pipeline, EpisodeCtx, EpisodeJob, FeatureSteps, PipelineSpec,
+    };
+    pub use hima_serve::{
+        Client, RawSessionSpec, ServeConfig, ServeError, Server, SessionHub,
     };
     pub use hima_tasks::{relative_error, EvalConfig, TaskSpec, TASKS};
     pub use hima_tensor::{softmax, softmax_approx, Fixed, Matrix, PlaSoftmax, QFormat};

@@ -34,6 +34,13 @@ impl SkimRate {
         SkimRate(k)
     }
 
+    /// Non-panicking form of [`SkimRate::new`] for validating untrusted
+    /// rates (e.g. a client-supplied spec at a server boundary): `None`
+    /// iff `k` lies outside `[0, 1)`.
+    pub fn checked(k: f32) -> Option<Self> {
+        (0.0..1.0).contains(&k).then_some(SkimRate(k))
+    }
+
     /// The configured fraction `K`.
     pub fn fraction(self) -> f32 {
         self.0

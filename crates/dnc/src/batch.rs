@@ -99,6 +99,72 @@ impl LaneMemory {
             LaneMemory::Quantized(q) => q.inner(),
         }
     }
+
+    /// Whether this unit runs the given datapath (same variant, and for
+    /// fixed point the same Q-format) — the splice-compatibility check of
+    /// [`LaneState`].
+    fn matches_datapath(&self, datapath: Datapath) -> bool {
+        match (self, datapath) {
+            (LaneMemory::F32(_), Datapath::F32) => true,
+            (LaneMemory::Quantized(q), Datapath::Quantized(fmt)) => q.format() == fmt,
+            _ => false,
+        }
+    }
+}
+
+/// A detached snapshot of one batch lane's complete session state: the
+/// lane's recurrent LSTM state, its per-shard memory units (external
+/// memory, usage, linkage, read/write weightings — one shard for
+/// monolithic engines, `N_t` for DNC-D) and the carried read-vector and
+/// hidden rows the next step's controller consumes.
+///
+/// This is the **state-splice** currency of the serving layer:
+/// [`BatchDnc::export_lane`] detaches a session's state from a lane grid,
+/// [`BatchDnc::import_lane`] re-attaches it to any lane of any engine
+/// built from the *same* spec and hyper-parameters (weights are a
+/// function of the seed alone, so lane slots are interchangeable), and
+/// the round trip is bit-exact — a session swapped out of a grid and
+/// back in continues precisely where it left off. The snapshot also
+/// carries the unit's accumulated kernel profile, so per-session
+/// profiling travels with the session.
+///
+/// The fields are intentionally private: a `LaneState` is an opaque
+/// value that only the engine that understands its geometry can consume.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    lstm: LstmState,
+    /// One `(memory unit, flattened shard read vector)` per shard.
+    shards: Vec<(LaneMemory, Vec<f32>)>,
+    /// The lane's merged `R·W` read-vector row (`last_read`).
+    read: Vec<f32>,
+    /// The lane's held `H` hidden row (`last_hidden`).
+    hidden: Vec<f32>,
+}
+
+impl LaneState {
+    /// Number of memory shards the snapshot carries (1 for monolithic
+    /// engines, `N_t` for sharded ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Approximate heap footprint of the snapshot in `f32` elements —
+    /// what a session cache pays to hold a detached session.
+    pub fn state_elems(&self) -> usize {
+        let mem: usize = self
+            .shards
+            .iter()
+            .map(|(m, read)| {
+                let u = m.unit();
+                let n = u.memory().rows();
+                u.memory().rows() * u.memory().cols()
+                    + n * (2 + n) // usage + precedence + linkage
+                    + n * (1 + u.read_weightings().len()) // write + read weightings
+                    + read.len()
+            })
+            .sum();
+        mem + 2 * self.lstm.hidden.len() + self.read.len() + self.hidden.len()
+    }
 }
 
 /// One batch lane of a centralized DNC: the lane-private memory unit, the
@@ -431,6 +497,70 @@ impl BatchDnc {
     pub fn run_sequence_batch(&mut self, steps: &[Matrix]) -> Vec<Matrix> {
         steps.iter().map(|x| self.step_batch(x)).collect()
     }
+
+    /// Detaches a snapshot of lane `lane`'s complete session state (LSTM
+    /// state, memory unit, carried read vector and hidden row). The lane
+    /// itself is untouched; re-attaching the snapshot with
+    /// [`BatchDnc::import_lane`] — to any lane of any engine built from
+    /// the same spec/params/seed — is a bit-exact round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`.
+    pub fn export_lane(&self, lane: usize) -> LaneState {
+        let l = &self.lanes[lane];
+        LaneState {
+            lstm: self.lstm_states[lane].clone(),
+            shards: vec![(l.memory.clone(), l.read.clone())],
+            read: self.last_read.row(lane).to_vec(),
+            hidden: self.last_hidden.row(lane).to_vec(),
+        }
+    }
+
+    /// Replaces lane `lane`'s session state with a snapshot previously
+    /// detached by [`BatchDnc::export_lane`] (possibly from a different
+    /// lane or a different engine of the same configuration). After the
+    /// splice the lane steps bit-identically to the engine the snapshot
+    /// was exported from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()` or the snapshot's geometry/datapath
+    /// disagrees with this engine (shard count, memory config, Q-format,
+    /// read/hidden widths).
+    pub fn import_lane(&mut self, lane: usize, state: &LaneState) {
+        assert_eq!(state.shards.len(), 1, "lane state shard count mismatch");
+        let l = &mut self.lanes[lane];
+        let (mem, shard_read) = &state.shards[0];
+        assert!(mem.matches_datapath(self.datapath), "lane state datapath mismatch");
+        assert_eq!(mem.unit().config(), l.memory.unit().config(), "memory config mismatch");
+        assert_eq!(shard_read.len(), l.read.len(), "read width mismatch");
+        assert_eq!(state.read.len(), self.last_read.cols(), "read width mismatch");
+        assert_eq!(state.hidden.len(), self.params.hidden_size, "hidden width mismatch");
+        assert_eq!(state.lstm.hidden.len(), self.params.hidden_size, "hidden width mismatch");
+        self.lstm_states[lane] = state.lstm.clone();
+        l.memory = mem.clone();
+        l.read.copy_from_slice(shard_read);
+        self.last_read.row_mut(lane).copy_from_slice(&state.read);
+        self.last_hidden.row_mut(lane).copy_from_slice(&state.hidden);
+    }
+
+    /// Resets a *single* lane to blank state (memory, recurrent state and
+    /// carried rows), leaving every other lane untouched — how a serving
+    /// grid recycles a freed lane slot for a fresh session. A reset lane
+    /// steps bit-identically to a lane of a freshly built engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`.
+    pub fn reset_lane(&mut self, lane: usize) {
+        let l = &mut self.lanes[lane];
+        l.memory.reset();
+        l.read.fill(0.0);
+        self.lstm_states[lane].clear();
+        self.last_read.row_mut(lane).fill(0.0);
+        self.last_hidden.row_mut(lane).fill(0.0);
+    }
 }
 
 /// One shard of one DNC-D batch lane: the shard's memory unit, its last
@@ -744,6 +874,80 @@ impl BatchDncD {
     pub fn run_sequence_batch(&mut self, steps: &[Matrix]) -> Vec<Matrix> {
         steps.iter().map(|x| self.step_batch(x)).collect()
     }
+
+    /// Detaches a snapshot of lane `lane`'s complete session state: LSTM
+    /// state, all `N_t` shard memory units with their per-shard read
+    /// vectors, and the carried merged-read/hidden rows. See
+    /// [`BatchDnc::export_lane`]; the round trip through
+    /// [`BatchDncD::import_lane`] is bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`.
+    pub fn export_lane(&self, lane: usize) -> LaneState {
+        let nt = self.tiles();
+        assert!(lane < self.batch, "lane index out of range");
+        let shards = self.shards[lane * nt..(lane + 1) * nt]
+            .iter()
+            .map(|s| (s.memory.clone(), s.read.clone()))
+            .collect();
+        LaneState {
+            lstm: self.lstm_states[lane].clone(),
+            shards,
+            read: self.last_read.row(lane).to_vec(),
+            hidden: self.last_hidden.row(lane).to_vec(),
+        }
+    }
+
+    /// Replaces lane `lane`'s session state with a snapshot detached by
+    /// [`BatchDncD::export_lane`] from any engine of the same
+    /// configuration. See [`BatchDnc::import_lane`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()` or the snapshot's geometry/datapath
+    /// disagrees with this engine (shard count, per-shard memory config,
+    /// Q-format, read/hidden widths).
+    pub fn import_lane(&mut self, lane: usize, state: &LaneState) {
+        let nt = self.tiles();
+        assert!(lane < self.batch, "lane index out of range");
+        assert_eq!(state.shards.len(), nt, "lane state shard count mismatch");
+        assert_eq!(state.read.len(), self.last_read.cols(), "read width mismatch");
+        assert_eq!(state.hidden.len(), self.params.hidden_size, "hidden width mismatch");
+        assert_eq!(state.lstm.hidden.len(), self.params.hidden_size, "hidden width mismatch");
+        let lane_shards = &mut self.shards[lane * nt..(lane + 1) * nt];
+        for (dst, (mem, shard_read)) in lane_shards.iter_mut().zip(&state.shards) {
+            assert!(mem.matches_datapath(self.datapath), "lane state datapath mismatch");
+            assert_eq!(mem.unit().config(), dst.memory.unit().config(), "memory config mismatch");
+            assert_eq!(shard_read.len(), dst.read.len(), "read width mismatch");
+        }
+        self.lstm_states[lane] = state.lstm.clone();
+        for (dst, (mem, shard_read)) in lane_shards.iter_mut().zip(&state.shards) {
+            dst.memory = mem.clone();
+            dst.read.copy_from_slice(shard_read);
+        }
+        self.last_read.row_mut(lane).copy_from_slice(&state.read);
+        self.last_hidden.row_mut(lane).copy_from_slice(&state.hidden);
+    }
+
+    /// Resets a *single* lane (all its shards, recurrent state and
+    /// carried rows) to blank state, leaving every other lane untouched.
+    /// See [`BatchDnc::reset_lane`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`.
+    pub fn reset_lane(&mut self, lane: usize) {
+        let nt = self.tiles();
+        assert!(lane < self.batch, "lane index out of range");
+        for shard in &mut self.shards[lane * nt..(lane + 1) * nt] {
+            shard.memory.reset();
+            shard.read.fill(0.0);
+        }
+        self.lstm_states[lane].clear();
+        self.last_read.row_mut(lane).fill(0.0);
+        self.last_hidden.row_mut(lane).fill(0.0);
+    }
 }
 
 #[cfg(test)]
@@ -1009,5 +1213,121 @@ mod tests {
     #[should_panic(expected = "batch size mismatch")]
     fn rejects_wrong_batch_rows() {
         Dnc::new(params(), 1).batched_with(2, Datapath::F32).step_batch(&Matrix::zeros(3, 5));
+    }
+
+    /// Engines warmed differently per lane, then lane states swapped
+    /// across engines: each lane must continue bit-identically to the
+    /// engine its state came from. Covers monolithic and sharded
+    /// topologies on both datapaths — the splice contract the serving
+    /// grid's session swaps rest on.
+    #[test]
+    fn export_import_swap_is_bit_exact() {
+        use crate::builder::EngineBuilder;
+        use hima_tensor::QFormat;
+
+        let build = |sharded: bool, quantized: bool| {
+            let mut b = EngineBuilder::new(params()).lanes(2).seed(33);
+            if sharded {
+                b = b.sharded(4);
+            }
+            if quantized {
+                b = b.quantized(QFormat::new(16, 16));
+            }
+            b.build()
+        };
+        for (sharded, quantized) in
+            [(false, false), (false, true), (true, false), (true, true)]
+        {
+            let lanes = lane_inputs(2, 4, 5);
+            let mut a = build(sharded, quantized);
+            let mut c = build(sharded, quantized);
+            for t in 0..2 {
+                a.step_batch(&step_block(&lanes, t));
+                // Engine `c` sees the lanes in swapped order.
+                let swapped =
+                    Matrix::from_rows(&[lanes[1][t].as_slice(), lanes[0][t].as_slice()]);
+                c.step_batch(&swapped);
+            }
+            // Swap lane states across engines: a's lane 0 state came from
+            // the same stream as c's lane 1 state.
+            let a0 = a.export_lane(0);
+            let c1 = c.export_lane(1);
+            a.import_lane(0, &c1);
+            c.import_lane(1, &a0);
+            // Round trip is bit-exact: both engines now hold the same
+            // per-stream state, so they continue identically (mod lane
+            // order).
+            for t in 2..4 {
+                let ya = a.step_batch(&step_block(&lanes, t));
+                let swapped =
+                    Matrix::from_rows(&[lanes[1][t].as_slice(), lanes[0][t].as_slice()]);
+                let yc = c.step_batch(&swapped);
+                assert_eq!(ya.row(0), yc.row(1), "sharded={sharded} quant={quantized} t={t}");
+                assert_eq!(ya.row(1), yc.row(0), "sharded={sharded} quant={quantized} t={t}");
+                assert_eq!(a.last_read_row(0), c.last_read_row(1));
+            }
+        }
+    }
+
+    /// `reset_lane` returns exactly one lane to blank state: the reset
+    /// lane matches a freshly built engine bit-for-bit while its
+    /// neighbour's in-flight state is untouched.
+    #[test]
+    fn reset_lane_is_a_fresh_lane_and_leaves_neighbours_alone() {
+        use crate::builder::EngineBuilder;
+        for tiles in [None, Some(4)] {
+            let lanes = lane_inputs(2, 4, 5);
+            let mut b = EngineBuilder::new(params()).lanes(2).seed(5);
+            if let Some(nt) = tiles {
+                b = b.sharded(nt);
+            }
+            let mut warmed = b.clone().build();
+            let mut fresh = b.build();
+            for t in 0..2 {
+                warmed.step_batch(&step_block(&lanes, t));
+            }
+            let lane1 = warmed.export_lane(1);
+            warmed.reset_lane(0);
+            // Lane 1 untouched by the reset.
+            assert_eq!(warmed.last_read_row(1), &lane1.read[..]);
+            // Lane 0 now behaves as a blank lane: replay lane 0's stream
+            // from scratch on both engines.
+            for t in 0..2 {
+                let yw = warmed.step_batch(&step_block(&lanes, t));
+                let yf = fresh.step_batch(&step_block(&lanes, t));
+                assert_eq!(yw.row(0), yf.row(0), "tiles={tiles:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count mismatch")]
+    fn import_rejects_wrong_shard_count() {
+        use crate::builder::EngineBuilder;
+        let mono = EngineBuilder::new(params()).lanes(1).seed(1).build();
+        let mut sharded = EngineBuilder::new(params()).sharded(4).lanes(1).seed(1).build();
+        let state = mono.export_lane(0);
+        sharded.import_lane(0, &state);
+    }
+
+    #[test]
+    #[should_panic(expected = "datapath mismatch")]
+    fn import_rejects_wrong_datapath() {
+        use crate::builder::EngineBuilder;
+        use hima_tensor::QFormat;
+        let f32e = EngineBuilder::new(params()).lanes(1).seed(1).build();
+        let mut quant =
+            EngineBuilder::new(params()).lanes(1).quantized(QFormat::new(16, 16)).seed(1).build();
+        let state = f32e.export_lane(0);
+        quant.import_lane(0, &state);
+    }
+
+    #[test]
+    fn lane_state_reports_geometry() {
+        use crate::builder::EngineBuilder;
+        let e = EngineBuilder::new(params()).sharded(4).lanes(1).seed(1).build();
+        let state = e.export_lane(0);
+        assert_eq!(state.shard_count(), 4);
+        assert!(state.state_elems() > 0);
     }
 }

@@ -48,6 +48,67 @@ use serde::{Deserialize, Serialize};
 /// A built engine, stepped through the [`MemoryEngine`] trait.
 pub type BoxedEngine = Box<dyn MemoryEngine + Send>;
 
+/// Typed validation error for engine geometry and spec axes.
+///
+/// The panicking constructors ([`DncParams::new`],
+/// [`EngineBuilder::sharded`], [`QFormat::new`], …) are the right
+/// contract for in-process callers — a zero-row memory is a programming
+/// bug. A *server* boundary receives these numbers from untrusted
+/// clients, so [`DncParams::check`], [`EngineSpec::check`] and
+/// [`EngineBuilder::try_build`] report the same invariants as values
+/// instead of panics, and `hima-serve` turns them into structured error
+/// replies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpecError {
+    /// A geometry dimension (`memory_size`, `word_size`, `read_heads`,
+    /// `hidden_size`, `input_size`, `output_size`) is zero.
+    ZeroDimension(&'static str),
+    /// The engine was asked for zero batch lanes.
+    ZeroLanes,
+    /// The sharded topology was asked for zero tiles.
+    ZeroTiles,
+    /// More shards than memory rows — at least one shard would own no
+    /// rows.
+    TilesExceedMemoryRows {
+        /// Requested shard count `N_t`.
+        tiles: usize,
+        /// Available memory rows `N`.
+        rows: usize,
+    },
+    /// A fixed-point format violating the ≤32-bit datapath invariants
+    /// (sign bit required, at least one fractional bit).
+    InvalidQFormat {
+        /// Integer bits, sign included.
+        int_bits: u32,
+        /// Fractional bits.
+        frac_bits: u32,
+    },
+    /// A usage-skimming rate outside `[0, 1)`.
+    InvalidSkimRate(f32),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ZeroDimension(dim) => write!(f, "{dim} must be positive"),
+            SpecError::ZeroLanes => write!(f, "need at least one batch lane"),
+            SpecError::ZeroTiles => write!(f, "need at least one tile"),
+            SpecError::TilesExceedMemoryRows { tiles, rows } => {
+                write!(f, "more tiles than memory rows ({tiles} tiles over {rows} rows)")
+            }
+            SpecError::InvalidQFormat { int_bits, frac_bits } => write!(
+                f,
+                "invalid Q{int_bits}.{frac_bits}: need a sign bit, a fractional bit and at most 32 bits total"
+            ),
+            SpecError::InvalidSkimRate(k) => {
+                write!(f, "skim rate must be in [0,1), got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Memory-engine topology: one memory, or `N_t` independent shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Topology {
@@ -148,6 +209,41 @@ impl EngineSpec {
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Validates the spec against a model geometry without panicking —
+    /// the server-boundary twin of the asserting builder methods. Checks
+    /// the shard count against the memory rows, the fixed-point format's
+    /// bit widths and the skimming rate. `params` itself is validated by
+    /// [`DncParams::check`].
+    pub fn check(&self, params: &DncParams) -> Result<(), SpecError> {
+        match self.topology {
+            Topology::Monolithic => {}
+            Topology::Sharded { tiles } => {
+                if tiles == 0 {
+                    return Err(SpecError::ZeroTiles);
+                }
+                if tiles > params.memory_size {
+                    return Err(SpecError::TilesExceedMemoryRows {
+                        tiles,
+                        rows: params.memory_size,
+                    });
+                }
+            }
+        }
+        if let Datapath::Quantized(q) = self.datapath {
+            if QFormat::checked(q.int_bits, q.frac_bits).is_none() {
+                return Err(SpecError::InvalidQFormat {
+                    int_bits: q.int_bits,
+                    frac_bits: q.frac_bits,
+                });
+            }
+        }
+        let k = self.skim.fraction();
+        if SkimRate::checked(k).is_none() {
+            return Err(SpecError::InvalidSkimRate(k));
+        }
+        Ok(())
     }
 
     /// The shard count: 1 for monolithic, `N_t` for sharded.
@@ -376,6 +472,37 @@ impl EngineBuilder {
             }
         }
     }
+
+    /// Non-panicking form of [`EngineBuilder::build`] for untrusted
+    /// configurations (the `hima-serve` session boundary): validates the
+    /// hyper-parameters ([`DncParams::check`]), the spec axes
+    /// ([`EngineSpec::check`]) and the lane count, then builds. A spec
+    /// that passes validation builds the identical engine
+    /// [`EngineBuilder::build`] would.
+    ///
+    /// Note the builder's own setters still assert — they exist for
+    /// in-process construction where a bad axis is a programming bug. To
+    /// reach `try_build` with unvalidated numbers, assemble the
+    /// [`DncParams`] struct and [`EngineSpec`] literally and apply them
+    /// with [`EngineBuilder::with_spec`] / [`EngineBuilder::with_lanes_unchecked`].
+    pub fn try_build(&self) -> Result<BoxedEngine, SpecError> {
+        self.params.check()?;
+        self.spec.check(&self.params)?;
+        if self.lanes == 0 {
+            return Err(SpecError::ZeroLanes);
+        }
+        Ok(self.build())
+    }
+
+    /// Sets the lane count without asserting, deferring validation to
+    /// [`EngineBuilder::try_build`] (which rejects zero). The asserting
+    /// [`EngineBuilder::lanes`] remains the right call for trusted
+    /// in-process configuration.
+    pub fn with_lanes_unchecked(mut self, batch: usize) -> Self {
+        self.lanes = batch;
+        self
+    }
+
 }
 
 #[cfg(test)]
@@ -486,5 +613,80 @@ mod tests {
     #[should_panic(expected = "need at least one batch lane")]
     fn rejects_zero_lanes() {
         let _ = EngineBuilder::new(params()).lanes(0);
+    }
+
+    /// The non-panicking validation twin: every malformed geometry a
+    /// server boundary can receive comes back as the matching typed
+    /// [`SpecError`] instead of a panic, and a well-formed spec builds.
+    #[test]
+    fn try_build_reports_typed_spec_errors() {
+        let p = params();
+
+        // Malformed hyper-parameters (fields are public, so a wire
+        // decoder can assemble them literally).
+        let mut zero_mem = p;
+        zero_mem.memory_size = 0;
+        assert_eq!(
+            EngineBuilder::new(zero_mem).try_build().err().unwrap(),
+            SpecError::ZeroDimension("memory_size")
+        );
+
+        // Topology errors.
+        let mut spec = EngineSpec::sharded(0);
+        assert_eq!(spec.check(&p), Err(SpecError::ZeroTiles));
+        spec = EngineSpec::sharded(p.memory_size + 1);
+        assert_eq!(
+            spec.check(&p),
+            Err(SpecError::TilesExceedMemoryRows { tiles: p.memory_size + 1, rows: p.memory_size })
+        );
+        assert_eq!(
+            EngineBuilder::new(p).with_spec(spec).try_build().err().unwrap(),
+            SpecError::TilesExceedMemoryRows { tiles: p.memory_size + 1, rows: p.memory_size }
+        );
+
+        // Datapath errors (QFormat fields are public for wire decoding).
+        let bad = QFormat { int_bits: 0, frac_bits: 8 };
+        let spec = EngineSpec::monolithic().with_datapath(Datapath::Quantized(bad));
+        assert_eq!(
+            spec.check(&p),
+            Err(SpecError::InvalidQFormat { int_bits: 0, frac_bits: 8 })
+        );
+        let wide = QFormat { int_bits: 20, frac_bits: 20 };
+        assert!(EngineSpec::monolithic()
+            .with_datapath(Datapath::Quantized(wide))
+            .check(&p)
+            .is_err());
+
+        // Lane errors.
+        assert_eq!(
+            EngineBuilder::new(p).with_lanes_unchecked(0).try_build().err().unwrap(),
+            SpecError::ZeroLanes
+        );
+
+        // A valid composite spec builds and steps.
+        let mut engine = EngineBuilder::new(p)
+            .sharded(4)
+            .lanes(2)
+            .quantized(QFormat::new(16, 16))
+            .seed(3)
+            .try_build()
+            .expect("valid spec");
+        assert_eq!(engine.step_batch(&Matrix::zeros(2, 4)).shape(), (2, 4));
+    }
+
+    #[test]
+    fn spec_errors_render_actionable_messages() {
+        assert_eq!(
+            SpecError::ZeroDimension("word_size").to_string(),
+            "word_size must be positive"
+        );
+        assert_eq!(
+            SpecError::TilesExceedMemoryRows { tiles: 64, rows: 16 }.to_string(),
+            "more tiles than memory rows (64 tiles over 16 rows)"
+        );
+        assert!(SpecError::InvalidQFormat { int_bits: 0, frac_bits: 33 }
+            .to_string()
+            .contains("Q0.33"));
+        assert!(SpecError::InvalidSkimRate(1.5).to_string().contains("1.5"));
     }
 }

@@ -33,7 +33,7 @@
 //! }
 //! ```
 
-use crate::batch::{BatchDnc, BatchDncD};
+use crate::batch::{BatchDnc, BatchDncD, LaneState};
 use crate::distributed::DncD;
 use crate::dnc::Dnc;
 use crate::profile::KernelProfile;
@@ -143,6 +143,45 @@ pub trait MemoryEngine {
     /// Resets memory and recurrent state of every lane (weights
     /// unchanged).
     fn reset(&mut self);
+
+    /// Detaches a snapshot of lane `lane`'s complete session state — the
+    /// state-splice primitive a serving grid uses to park a session off
+    /// the grid. Batched engines override this; single-lane engines keep
+    /// the panicking default (their whole state *is* the session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`, or (default) if the engine does not
+    /// support lane-state splicing.
+    fn export_lane(&self, lane: usize) -> LaneState {
+        let _ = lane;
+        panic!("this engine does not support lane-state splicing; build a batched engine");
+    }
+
+    /// Splices a snapshot from [`MemoryEngine::export_lane`] into lane
+    /// `lane`. After the splice the lane steps bit-identically to the
+    /// engine the snapshot came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()` or the snapshot's geometry disagrees,
+    /// or (default) if the engine does not support lane-state splicing.
+    fn import_lane(&mut self, lane: usize, state: &LaneState) {
+        let _ = (lane, state);
+        panic!("this engine does not support lane-state splicing; build a batched engine");
+    }
+
+    /// Resets a *single* lane to blank state, leaving every other lane
+    /// untouched — how a serving grid recycles a freed lane slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= batch()`, or (default) if the engine does not
+    /// support lane-state splicing.
+    fn reset_lane(&mut self, lane: usize) {
+        let _ = lane;
+        panic!("this engine does not support lane-state splicing; build a batched engine");
+    }
 
     /// Runs a whole synchronized sequence: `steps[t]` is the
     /// `B × input_size` block for time `t`; returns one `B × output_size`
@@ -283,6 +322,18 @@ impl MemoryEngine for BatchDnc {
     fn reset(&mut self) {
         BatchDnc::reset(self);
     }
+
+    fn export_lane(&self, lane: usize) -> LaneState {
+        BatchDnc::export_lane(self, lane)
+    }
+
+    fn import_lane(&mut self, lane: usize, state: &LaneState) {
+        BatchDnc::import_lane(self, lane, state);
+    }
+
+    fn reset_lane(&mut self, lane: usize) {
+        BatchDnc::reset_lane(self, lane);
+    }
 }
 
 impl MemoryEngine for BatchDncD {
@@ -328,6 +379,18 @@ impl MemoryEngine for BatchDncD {
 
     fn reset(&mut self) {
         BatchDncD::reset(self);
+    }
+
+    fn export_lane(&self, lane: usize) -> LaneState {
+        BatchDncD::export_lane(self, lane)
+    }
+
+    fn import_lane(&mut self, lane: usize, state: &LaneState) {
+        BatchDncD::import_lane(self, lane, state);
+    }
+
+    fn reset_lane(&mut self, lane: usize) {
+        BatchDncD::reset_lane(self, lane);
     }
 }
 

@@ -73,7 +73,8 @@ pub mod workspace;
 
 pub use crate::dnc::Dnc;
 pub use batch::{BatchDnc, BatchDncD};
-pub use builder::{BoxedEngine, Datapath, EngineBuilder, EngineSpec, Topology};
+pub use batch::LaneState;
+pub use builder::{BoxedEngine, Datapath, EngineBuilder, EngineSpec, SpecError, Topology};
 pub use distributed::{DncD, ReadMerge};
 pub use engine::MemoryEngine;
 pub use interface::InterfaceVector;
@@ -156,6 +157,27 @@ impl DncParams {
     pub fn interface_size(&self) -> usize {
         let (w, r) = (self.word_size, self.read_heads);
         w * r + 3 * w + 5 * r + 3
+    }
+
+    /// Validates the geometry without panicking — the server-boundary
+    /// twin of the asserting constructors, reporting the first violated
+    /// invariant as a typed [`SpecError`]. Params assembled through
+    /// [`DncParams::new`] always pass; this exists for params assembled
+    /// literally from untrusted numbers (the struct's fields are public).
+    pub fn check(&self) -> Result<(), SpecError> {
+        for (dim, value) in [
+            ("memory_size", self.memory_size),
+            ("word_size", self.word_size),
+            ("read_heads", self.read_heads),
+            ("hidden_size", self.hidden_size),
+            ("input_size", self.input_size),
+            ("output_size", self.output_size),
+        ] {
+            if value == 0 {
+                return Err(SpecError::ZeroDimension(dim));
+            }
+        }
+        Ok(())
     }
 
     fn validate(&self) {

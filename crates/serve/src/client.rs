@@ -1,0 +1,141 @@
+//! Typed blocking client for the session server.
+//!
+//! One [`Client`] is one TCP connection issuing synchronous
+//! request/reply calls. Sessions are plain `u64` ids, so several
+//! connections can drive (or observe) the same session — the server
+//! serializes them, answering `SessionBusy` when two commands race.
+
+use crate::protocol::{
+    read_frame, write_frame, RawSessionSpec, Request, Response, ServeError,
+};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, server-reported, or a reply that
+/// doesn't fit the request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered with a structured error.
+    Server(ServeError),
+    /// The reply did not decode, or was the wrong variant for the
+    /// request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a session server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    /// One synchronous request/reply exchange.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server hung up",
+            ))
+        })?;
+        match Response::decode(&payload) {
+            Ok(Response::Error(e)) => Err(ClientError::Server(e)),
+            Ok(resp) => Ok(resp),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Opens a session with the given configuration; returns its id.
+    pub fn open(&mut self, spec: &RawSessionSpec) -> Result<u64, ClientError> {
+        match self.call(&Request::Open { spec: spec.clone() })? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected("Opened", &other)),
+        }
+    }
+
+    /// Advances a session by one step; returns the output row.
+    pub fn step(&mut self, session: u64, input: &[f32]) -> Result<Vec<f32>, ClientError> {
+        match self.call(&Request::Step { session, input: input.to_vec() })? {
+            Response::Stepped { mut outputs } if outputs.len() == 1 => Ok(outputs.remove(0)),
+            other => Err(unexpected("Stepped{1}", &other)),
+        }
+    }
+
+    /// Advances a session by `inputs.len()` steps (queued server-side,
+    /// interleaving tick-by-tick with co-tenant sessions); returns all
+    /// output rows.
+    pub fn step_stream(
+        &mut self,
+        session: u64,
+        inputs: &[Vec<f32>],
+    ) -> Result<Vec<Vec<f32>>, ClientError> {
+        match self.call(&Request::StepStream { session, inputs: inputs.to_vec() })? {
+            Response::Stepped { outputs } => Ok(outputs),
+            other => Err(unexpected("Stepped", &other)),
+        }
+    }
+
+    /// Queries the session's current read-vector row.
+    pub fn read_rows(&mut self, session: u64) -> Result<Vec<f32>, ClientError> {
+        match self.call(&Request::ReadRows { session })? {
+            Response::Rows { read } => Ok(read),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Resets a session to blank state (same weights).
+    pub fn reset(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Reset { session })? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Closes a session.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Close { session })? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Asks the server process to shut down cleanly.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(want: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {want}, got {got:?}"))
+}

@@ -1,0 +1,60 @@
+//! **hima-serve**: a session server with continuous batching over masked
+//! lane grids.
+//!
+//! The batched engines ([`BatchDnc`](hima_dnc::BatchDnc) /
+//! [`BatchDncD`](hima_dnc::BatchDncD)) step `B` independent sequences
+//! through shared weights, and the [`LaneMask`](hima_dnc::LaneMask) tier
+//! freezes individual lanes bit-exactly. This crate turns that substrate
+//! into a long-lived serving system:
+//!
+//! * [`session`] — the session registry: ids, per-configuration engine
+//!   groups, routing, idle-timeout reaping,
+//! * `scheduler` (private) — the continuous-batching tick loop: pending step
+//!   requests coalesce into one masked grid step per tick; sessions join
+//!   and leave lanes between ticks, and swap out through the
+//!   [`LaneState`](hima_dnc::LaneState) splice API when the grid is full,
+//! * [`protocol`] — the length-prefixed binary wire protocol (hand-rolled;
+//!   the vendored `serde` is a no-op stand-in),
+//! * [`server`] / [`client`] — a std-only threaded TCP front end and its
+//!   typed blocking client,
+//! * [`loadgen`] — an open-loop load generator reporting sessions/sec and
+//!   p50/p99 per-step latency (the `serve` section of the throughput
+//!   harness).
+//!
+//! # Correctness contract
+//!
+//! A session stepped through the server is **bit-identical** (on the
+//! scalar backend; any topology or datapath) to a solo single-lane engine
+//! stepped with the same inputs — regardless of which sessions share the
+//! grid, when they join or leave, or how often the session is swapped
+//! out and back in. The chain: weights depend only on the seed (not the
+//! lane count), masked stepping of an active lane equals solo stepping
+//! (ragged conformance), and the lane-state splice is an exact copy.
+//! `tests/serve_conformance.rs` at the workspace root pins the composed
+//! property.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_serve::{Client, RawSessionSpec, ServeConfig, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let session = client.open(&RawSessionSpec::demo()).unwrap();
+//! let y = client.step(session, &[0.5, -0.5, 1.0, 0.0, 0.25, -1.0]).unwrap();
+//! assert_eq!(y.len(), 6);
+//! client.close_session(session).unwrap();
+//! ```
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+mod scheduler;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use loadgen::{run_load, ArrivalPattern, LoadConfig, LoadReport};
+pub use protocol::{RawSessionSpec, Request, Response, ServeError, SessionSpec, WireError};
+pub use server::{ServeConfig, Server};
+pub use session::SessionHub;

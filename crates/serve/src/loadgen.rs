@@ -1,0 +1,150 @@
+//! Synthetic open-loop load generator for the session server.
+//!
+//! Arrivals are **open-loop**: session start times come from a wall-clock
+//! schedule fixed up front (uniformly spaced or bursty), not from when
+//! earlier sessions finish — so the server sees genuine co-tenancy and
+//! the latency numbers include queueing, the way a production serving
+//! benchmark measures it. Each session is one thread: connect, open,
+//! `steps` single-step requests (per-request latency recorded), close.
+//!
+//! Inputs are deterministic functions of `(session index, step, lane)`,
+//! so a run is reproducible and its outputs can be cross-checked against
+//! solo replay.
+
+use crate::client::{Client, ClientError};
+use crate::protocol::RawSessionSpec;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// When sessions arrive, relative to the start of the run.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalPattern {
+    /// Session `i` arrives at `i × interval` — a steady trickle.
+    Uniform {
+        /// Gap between consecutive arrivals.
+        interval: Duration,
+    },
+    /// Sessions arrive `size` at a time, bursts `gap` apart — the
+    /// worst case for lane churn (joins and swaps cluster).
+    Burst {
+        /// Sessions per burst.
+        size: usize,
+        /// Gap between bursts.
+        gap: Duration,
+    },
+}
+
+impl ArrivalPattern {
+    fn offset(&self, i: usize) -> Duration {
+        match *self {
+            ArrivalPattern::Uniform { interval } => interval * i as u32,
+            ArrivalPattern::Burst { size, gap } => gap * (i / size.max(1)) as u32,
+        }
+    }
+
+    /// Short label for reports, e.g. `"uniform"` or `"burst"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Uniform { .. } => "uniform",
+            ArrivalPattern::Burst { .. } => "burst",
+        }
+    }
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Engine configuration each session opens with.
+    pub spec: RawSessionSpec,
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Steps per session.
+    pub steps: usize,
+    /// Arrival schedule.
+    pub pattern: ArrivalPattern,
+}
+
+/// Results of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions requested.
+    pub sessions: usize,
+    /// Steps per session.
+    pub steps_per_session: usize,
+    /// Sessions that ran open → steps → close without error.
+    pub completed: usize,
+    /// Wall-clock span of the whole run.
+    pub elapsed: Duration,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Total steps served per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Median per-step request latency.
+    pub p50_step: Duration,
+    /// 99th-percentile per-step request latency.
+    pub p99_step: Duration,
+}
+
+/// Deterministic synthetic input row for `(session, step)`.
+pub fn synth_input(session: usize, step: usize, width: usize) -> Vec<f32> {
+    (0..width).map(|i| (((session * 131 + step * 17 + i * 7) as f32) * 0.13).sin()).collect()
+}
+
+/// Runs an open-loop load generation against a server and reports
+/// sessions/sec plus p50/p99 per-step latency.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let start = Instant::now();
+    let width = cfg.spec.input_size as usize;
+    let mut handles = Vec::with_capacity(cfg.sessions);
+    for i in 0..cfg.sessions {
+        let offset = cfg.pattern.offset(i);
+        let spec = cfg.spec.clone();
+        let steps = cfg.steps;
+        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, ClientError> {
+            let since = start.elapsed();
+            if offset > since {
+                std::thread::sleep(offset - since);
+            }
+            let mut client = Client::connect(addr)?;
+            let session = client.open(&spec)?;
+            let mut latencies_ns = Vec::with_capacity(steps);
+            for t in 0..steps {
+                let input = synth_input(i, t, width);
+                let t0 = Instant::now();
+                client.step(session, &input)?;
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            client.close_session(session)?;
+            Ok(latencies_ns)
+        }));
+    }
+
+    let mut completed = 0;
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.sessions * cfg.steps);
+    for handle in handles {
+        if let Ok(Ok(mut ns)) = handle.join() {
+            completed += 1;
+            latencies.append(&mut ns);
+        }
+    }
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        Duration::from_nanos(latencies[idx])
+    };
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    LoadReport {
+        sessions: cfg.sessions,
+        steps_per_session: cfg.steps,
+        completed,
+        elapsed,
+        sessions_per_sec: completed as f64 / secs,
+        steps_per_sec: latencies.len() as f64 / secs,
+        p50_step: pct(0.50),
+        p99_step: pct(0.99),
+    }
+}

@@ -1,0 +1,775 @@
+//! Length-prefixed binary wire protocol of the session server.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload; the payload is a tag byte followed by the variant's fields in
+//! a fixed order. The codec is hand-rolled (the vendored `serde` is a
+//! no-op stand-in, so derived serialization cannot cross a socket) and
+//! deliberately boring: fixed-width integers little-endian, `f32` as its
+//! IEEE-754 bit pattern, vectors as a `u32` count plus elements, strings
+//! as UTF-8 bytes. Every decoder is total — malformed bytes come back as
+//! a [`WireError`], never a panic.
+
+use hima_dnc::allocation::SkimRate;
+use hima_dnc::{Datapath, DncParams, EngineSpec, SpecError, Topology};
+use hima_tensor::{Backend, QFormat};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame payload (64 MiB): a malicious or corrupt length
+/// prefix must not drive an allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Decoding error: the payload did not parse as a protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being read.
+    Truncated,
+    /// An unknown tag byte for the expected enum.
+    BadTag(u8),
+    /// A length field exceeded [`MAX_FRAME`] or the remaining payload.
+    BadLength(u32),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Decoding finished with unread bytes left over.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadLength(n) => write!(f, "length field {n} out of bounds"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sequential reader over a received payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool encoded as a `0`/`1` byte.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a `u32`-counted `f32` vector.
+    pub fn vec_f32(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32()?;
+        if n > MAX_FRAME / 4 || (n as usize) * 4 > self.remaining() {
+            return Err(WireError::BadLength(n));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Reads a `u32`-counted UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()?;
+        if n as usize > self.remaining() {
+            return Err(WireError::BadLength(n));
+        }
+        String::from_utf8(self.take(n as usize)?.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Asserts the payload is fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+/// Append-only payload writer (helpers over a byte vector).
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Starts an empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as a `0`/`1` byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Appends a `u32`-counted `f32` vector.
+    pub fn vec_f32(&mut self, v: &[f32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f32(x);
+        }
+    }
+
+    /// Appends a `u32`-counted UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A client-supplied engine configuration in raw numbers, exactly as
+/// decoded from the wire — **unvalidated**. [`RawSessionSpec::validate`]
+/// turns it into the panic-free typed configuration (or a typed
+/// [`SpecError`]); the server never feeds raw numbers to the asserting
+/// constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawSessionSpec {
+    /// Memory rows `N`.
+    pub memory_size: u32,
+    /// Word width `W`.
+    pub word_size: u32,
+    /// Read heads `R`.
+    pub read_heads: u32,
+    /// Controller hidden width.
+    pub hidden_size: u32,
+    /// Model input width.
+    pub input_size: u32,
+    /// Model output width.
+    pub output_size: u32,
+    /// `false` = monolithic topology; `true` = `tiles`-shard DNC-D.
+    pub sharded: bool,
+    /// Shard count (meaningful when `sharded`).
+    pub tiles: u32,
+    /// `false` = f32 datapath; `true` = fixed-point `Q int.frac`.
+    pub quantized: bool,
+    /// Integer bits of the fixed-point format (sign included).
+    pub int_bits: u32,
+    /// Fractional bits of the fixed-point format.
+    pub frac_bits: u32,
+    /// Usage-skimming rate `K ∈ [0, 1)`.
+    pub skim: f32,
+    /// Whether the PLA+LUT softmax approximation is enabled.
+    pub approx_softmax: bool,
+    /// `false` = scalar kernel tier; `true` = blocked + vectorized tier.
+    pub blocked: bool,
+    /// Weight seed; sessions with equal specs and seeds share an engine.
+    pub seed: u64,
+}
+
+/// A validated session configuration: what an engine group is keyed by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Model hyper-parameters.
+    pub params: DncParams,
+    /// Engine axes (topology × datapath × skim × softmax × backend).
+    pub spec: EngineSpec,
+    /// Weight seed.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// Canonical byte key of this configuration — equal keys ⇔ sessions
+    /// may share one lane grid (weights are a function of the seed alone,
+    /// so lane slots of one group are interchangeable).
+    pub fn group_key(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        RawSessionSpec::from_parts(&self.params, &self.spec, self.seed).encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+impl RawSessionSpec {
+    /// A small default geometry, handy for CLI demos and smoke tests.
+    pub fn demo() -> Self {
+        let params = DncParams::new(32, 8, 2).with_hidden(32).with_io(6, 6);
+        Self::from_parts(&params, &EngineSpec::monolithic(), 7)
+    }
+
+    /// Encodes a *typed* (already-valid) configuration in canonical form.
+    pub fn from_parts(params: &DncParams, spec: &EngineSpec, seed: u64) -> Self {
+        let (sharded, tiles) = match spec.topology {
+            Topology::Monolithic => (false, 0),
+            Topology::Sharded { tiles } => (true, tiles as u32),
+        };
+        let (quantized, int_bits, frac_bits) = match spec.datapath {
+            Datapath::F32 => (false, 0, 0),
+            Datapath::Quantized(q) => (true, q.int_bits, q.frac_bits),
+        };
+        Self {
+            memory_size: params.memory_size as u32,
+            word_size: params.word_size as u32,
+            read_heads: params.read_heads as u32,
+            hidden_size: params.hidden_size as u32,
+            input_size: params.input_size as u32,
+            output_size: params.output_size as u32,
+            sharded,
+            tiles,
+            quantized,
+            int_bits,
+            frac_bits,
+            skim: spec.skim.fraction(),
+            approx_softmax: spec.approx_softmax,
+            blocked: spec.backend == Backend::Blocked,
+            seed,
+        }
+    }
+
+    /// Validates the raw numbers into a typed configuration, reporting
+    /// the first violated invariant as the [`SpecError`] the asserting
+    /// constructors would have panicked with.
+    pub fn validate(&self) -> Result<SessionSpec, SpecError> {
+        let params = DncParams {
+            memory_size: self.memory_size as usize,
+            word_size: self.word_size as usize,
+            read_heads: self.read_heads as usize,
+            hidden_size: self.hidden_size as usize,
+            input_size: self.input_size as usize,
+            output_size: self.output_size as usize,
+        };
+        params.check()?;
+        let mut spec = EngineSpec::monolithic();
+        if self.sharded {
+            spec.topology = Topology::Sharded { tiles: self.tiles as usize };
+        }
+        if self.quantized {
+            let q = QFormat::checked(self.int_bits, self.frac_bits).ok_or(
+                SpecError::InvalidQFormat { int_bits: self.int_bits, frac_bits: self.frac_bits },
+            )?;
+            spec.datapath = Datapath::Quantized(q);
+        }
+        spec.skim = SkimRate::checked(self.skim).ok_or(SpecError::InvalidSkimRate(self.skim))?;
+        spec.approx_softmax = self.approx_softmax;
+        spec.backend = if self.blocked { Backend::Blocked } else { Backend::Scalar };
+        spec.check(&params)?;
+        Ok(SessionSpec { params, spec, seed: self.seed })
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.memory_size);
+        w.u32(self.word_size);
+        w.u32(self.read_heads);
+        w.u32(self.hidden_size);
+        w.u32(self.input_size);
+        w.u32(self.output_size);
+        w.bool(self.sharded);
+        w.u32(self.tiles);
+        w.bool(self.quantized);
+        w.u32(self.int_bits);
+        w.u32(self.frac_bits);
+        w.f32(self.skim);
+        w.bool(self.approx_softmax);
+        w.bool(self.blocked);
+        w.u64(self.seed);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            memory_size: r.u32()?,
+            word_size: r.u32()?,
+            read_heads: r.u32()?,
+            hidden_size: r.u32()?,
+            input_size: r.u32()?,
+            output_size: r.u32()?,
+            sharded: r.bool()?,
+            tiles: r.u32()?,
+            quantized: r.bool()?,
+            int_bits: r.u32()?,
+            frac_bits: r.u32()?,
+            skim: r.f32()?,
+            approx_softmax: r.bool()?,
+            blocked: r.bool()?,
+            seed: r.u64()?,
+        })
+    }
+}
+
+/// A client → server command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Creates a session from a client-supplied configuration; replies
+    /// [`Response::Opened`] with the session id.
+    Open {
+        /// The requested engine configuration (validated server-side).
+        spec: RawSessionSpec,
+    },
+    /// Advances one session by one step; replies [`Response::Stepped`]
+    /// with a single output row.
+    Step {
+        /// Target session id.
+        session: u64,
+        /// One `input_size`-wide input row.
+        input: Vec<f32>,
+    },
+    /// Advances one session by `inputs.len()` steps; the steps are queued
+    /// on the session's lane and interleave tick-by-tick with co-tenant
+    /// sessions; one [`Response::Stepped`] carries all output rows.
+    StepStream {
+        /// Target session id.
+        session: u64,
+        /// The input rows, in step order.
+        inputs: Vec<Vec<f32>>,
+    },
+    /// Queries the session's current read-vector row (what its next step
+    /// feeds the controller); replies [`Response::Rows`].
+    ReadRows {
+        /// Target session id.
+        session: u64,
+    },
+    /// Resets the session to blank state (same weights); replies
+    /// [`Response::Done`].
+    Reset {
+        /// Target session id.
+        session: u64,
+    },
+    /// Closes the session and frees its lane; replies
+    /// [`Response::Done`].
+    Close {
+        /// Target session id.
+        session: u64,
+    },
+    /// Asks the server process to shut down cleanly (drain and exit);
+    /// replies [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Open { spec } => {
+                w.u8(1);
+                spec.encode(&mut w);
+            }
+            Request::Step { session, input } => {
+                w.u8(2);
+                w.u64(*session);
+                w.vec_f32(input);
+            }
+            Request::StepStream { session, inputs } => {
+                w.u8(3);
+                w.u64(*session);
+                w.u32(inputs.len() as u32);
+                for row in inputs {
+                    w.vec_f32(row);
+                }
+            }
+            Request::ReadRows { session } => {
+                w.u8(4);
+                w.u64(*session);
+            }
+            Request::Reset { session } => {
+                w.u8(5);
+                w.u64(*session);
+            }
+            Request::Close { session } => {
+                w.u8(6);
+                w.u64(*session);
+            }
+            Request::Shutdown => w.u8(7),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            1 => Request::Open { spec: RawSessionSpec::decode(&mut r)? },
+            2 => Request::Step { session: r.u64()?, input: r.vec_f32()? },
+            3 => {
+                let session = r.u64()?;
+                let n = r.u32()?;
+                if n > MAX_FRAME / 4 {
+                    return Err(WireError::BadLength(n));
+                }
+                let inputs =
+                    (0..n).map(|_| r.vec_f32()).collect::<Result<Vec<_>, WireError>>()?;
+                Request::StepStream { session, inputs }
+            }
+            4 => Request::ReadRows { session: r.u64()? },
+            5 => Request::Reset { session: r.u64()? },
+            6 => Request::Close { session: r.u64()? },
+            7 => Request::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// A structured server-side failure, carried inside
+/// [`Response::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The `Open` spec failed validation; the message is the
+    /// [`SpecError`] rendering.
+    BadSpec(String),
+    /// No session with this id (never existed, closed, or idle-reaped).
+    UnknownSession(u64),
+    /// The session already has a command in flight on another connection.
+    SessionBusy(u64),
+    /// A step input had the wrong width.
+    BadInput(String),
+    /// The peer sent bytes that did not parse as a request.
+    Protocol(String),
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadSpec(m) => write!(f, "invalid session spec: {m}"),
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::SessionBusy(id) => write!(f, "session {id} has a command in flight"),
+            ServeError::BadInput(m) => write!(f, "bad step input: {m}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A server → client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session created.
+    Opened {
+        /// The new session's id.
+        session: u64,
+    },
+    /// Step(s) complete: one `output_size`-wide row per requested step.
+    Stepped {
+        /// Output rows, in step order.
+        outputs: Vec<Vec<f32>>,
+    },
+    /// Reply to [`Request::ReadRows`].
+    Rows {
+        /// The session's current `R·W` read-vector row.
+        read: Vec<f32>,
+    },
+    /// Command acknowledged (reset / close).
+    Done,
+    /// The command failed.
+    Error(ServeError),
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Opened { session } => {
+                w.u8(1);
+                w.u64(*session);
+            }
+            Response::Stepped { outputs } => {
+                w.u8(2);
+                w.u32(outputs.len() as u32);
+                for row in outputs {
+                    w.vec_f32(row);
+                }
+            }
+            Response::Rows { read } => {
+                w.u8(3);
+                w.vec_f32(read);
+            }
+            Response::Done => w.u8(4),
+            Response::Error(e) => {
+                w.u8(5);
+                match e {
+                    ServeError::BadSpec(m) => {
+                        w.u8(1);
+                        w.string(m);
+                    }
+                    ServeError::UnknownSession(id) => {
+                        w.u8(2);
+                        w.u64(*id);
+                    }
+                    ServeError::SessionBusy(id) => {
+                        w.u8(3);
+                        w.u64(*id);
+                    }
+                    ServeError::BadInput(m) => {
+                        w.u8(4);
+                        w.string(m);
+                    }
+                    ServeError::Protocol(m) => {
+                        w.u8(5);
+                        w.string(m);
+                    }
+                    ServeError::ShuttingDown => w.u8(6),
+                }
+            }
+            Response::ShuttingDown => w.u8(6),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            1 => Response::Opened { session: r.u64()? },
+            2 => {
+                let n = r.u32()?;
+                if n > MAX_FRAME / 4 {
+                    return Err(WireError::BadLength(n));
+                }
+                let outputs =
+                    (0..n).map(|_| r.vec_f32()).collect::<Result<Vec<_>, WireError>>()?;
+                Response::Stepped { outputs }
+            }
+            3 => Response::Rows { read: r.vec_f32()? },
+            4 => Response::Done,
+            5 => Response::Error(match r.u8()? {
+                1 => ServeError::BadSpec(r.string()?),
+                2 => ServeError::UnknownSession(r.u64()?),
+                3 => ServeError::SessionBusy(r.u64()?),
+                4 => ServeError::BadInput(r.string()?),
+                5 => ServeError::Protocol(r.string()?),
+                6 => ServeError::ShuttingDown,
+                t => return Err(WireError::BadTag(t)),
+            }),
+            6 => Response::ShuttingDown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Open { spec: RawSessionSpec::demo() },
+            Request::Step { session: 9, input: vec![0.5, -1.5, f32::MIN_POSITIVE] },
+            Request::StepStream { session: 1, inputs: vec![vec![1.0, 2.0], vec![3.0, 4.0]] },
+            Request::ReadRows { session: 3 },
+            Request::Reset { session: u64::MAX },
+            Request::Close { session: 0 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Opened { session: 12 },
+            Response::Stepped { outputs: vec![vec![0.25; 4], vec![-0.5; 4]] },
+            Response::Rows { read: vec![1.0, -2.0] },
+            Response::Done,
+            Response::Error(ServeError::BadSpec("word_size must be positive".into())),
+            Response::Error(ServeError::UnknownSession(44)),
+            Response::Error(ServeError::SessionBusy(44)),
+            Response::Error(ServeError::BadInput("want 4 got 3".into())),
+            Response::Error(ServeError::Protocol("unknown message tag 99".into())),
+            Response::Error(ServeError::ShuttingDown),
+            Response::ShuttingDown,
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn float_payloads_are_bit_exact() {
+        // The wire carries f32 bit patterns, not decimal renderings: NaN
+        // payloads and signed zeros survive.
+        let row = vec![f32::NAN, -0.0, f32::INFINITY, 1.0e-42];
+        let req = Request::Step { session: 0, input: row.clone() };
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Step { input, .. } => {
+                for (a, b) in input.iter().zip(&row) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Request::decode(&[200]), Err(WireError::BadTag(200)));
+        // Truncated session id.
+        assert_eq!(Request::decode(&[4, 1, 2]), Err(WireError::Truncated));
+        // Trailing garbage after a well-formed message.
+        let mut bytes = Request::Shutdown.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), Err(WireError::TrailingBytes(1)));
+        // Oversized vector length field.
+        let mut w = Writer::new();
+        w.u8(2);
+        w.u64(1);
+        w.u32(u32::MAX);
+        assert!(matches!(Request::decode(&w.into_bytes()), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let payload = Request::ReadRows { session: 5 }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn raw_spec_validation_reports_typed_errors() {
+        let mut raw = RawSessionSpec::demo();
+        assert!(raw.validate().is_ok());
+        raw.word_size = 0;
+        assert_eq!(raw.validate().unwrap_err().to_string(), "word_size must be positive");
+
+        let mut raw = RawSessionSpec::demo();
+        raw.sharded = true;
+        raw.tiles = 0;
+        assert!(raw.validate().is_err());
+        raw.tiles = raw.memory_size + 1;
+        assert!(raw.validate().is_err());
+
+        let mut raw = RawSessionSpec::demo();
+        raw.quantized = true;
+        raw.int_bits = 0;
+        raw.frac_bits = 8;
+        assert!(raw.validate().is_err());
+
+        let mut raw = RawSessionSpec::demo();
+        raw.skim = 1.25;
+        assert!(raw.validate().is_err());
+    }
+
+    #[test]
+    fn group_key_is_canonical() {
+        // Junk in fields the variant does not use must not split groups:
+        // a non-quantized spec with stray q-format bits keys identically
+        // to the canonical form.
+        let mut raw = RawSessionSpec::demo();
+        raw.int_bits = 31;
+        raw.frac_bits = 1;
+        raw.tiles = 17;
+        let canonical = RawSessionSpec::demo().validate().unwrap().group_key();
+        assert_eq!(raw.validate().unwrap().group_key(), canonical);
+    }
+}

@@ -1,0 +1,358 @@
+//! The continuous-batching scheduler: one tick loop per engine group.
+//!
+//! A **group** is every live session that shares one engine configuration
+//! (equal [`SessionSpec`](crate::protocol::SessionSpec) group keys). The
+//! group thread owns a single batched engine whose lane count is the
+//! grid capacity, and each **tick** coalesces the pending step requests
+//! of resident sessions into one `step_batch_masked_into` call:
+//!
+//! * sessions **join** a lane when they have queued steps (fresh lanes
+//!   are recycled with `reset_lane`, swapped-in sessions re-attached with
+//!   `import_lane`),
+//! * sessions with no work are **frozen** in place by the
+//!   [`LaneMask`] — a parked resident costs (almost) nothing and its
+//!   state stays bit-identical while co-tenants advance,
+//! * when the grid is full, the least-recently-active idle resident is
+//!   **swapped out** through `export_lane` to a detached
+//!   [`LaneState`](hima_dnc::LaneState) and its lane slot returns to the
+//!   free list.
+//!
+//! Because weights are a function of the seed alone and masked stepping
+//! of an active lane is bit-identical to stepping that lane solo (the
+//! ragged conformance contract), a session served through this grid
+//! produces **bit-identical** outputs to a dedicated single-lane engine
+//! fed the same inputs — regardless of co-tenants, joins, leaves or
+//! swaps. `tests/serve_conformance.rs` pins that end to end.
+
+use crate::protocol::{Response, ServeError, SessionSpec};
+use crate::server::ServeConfig;
+use hima_dnc::{BoxedEngine, EngineBuilder, LaneState};
+use hima_tensor::{LaneMask, Matrix};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A command routed to a group thread by the
+/// [`SessionHub`](crate::session::SessionHub).
+pub(crate) enum GroupCmd {
+    /// Register a hub-allocated session id with this group.
+    Open { session: u64, reply: Sender<Response> },
+    /// Queue `inputs.len()` steps; one reply carries all output rows.
+    Step { session: u64, inputs: Vec<Vec<f32>>, reply: Sender<Response> },
+    /// Query the session's current read-vector row.
+    ReadRows { session: u64, reply: Sender<Response> },
+    /// Reset the session to blank state.
+    Reset { session: u64, reply: Sender<Response> },
+    /// Close the session.
+    Close { session: u64, reply: Sender<Response> },
+}
+
+/// Per-session scheduler state.
+struct Sess {
+    /// Resident lane slot, if currently on the grid.
+    lane: Option<usize>,
+    /// Detached state while swapped out (`None` for a blank session —
+    /// attaching then recycles the lane with `reset_lane`).
+    parked: Option<LaneState>,
+    /// Pending step inputs, in step order.
+    queue: VecDeque<Vec<f32>>,
+    /// The in-flight step command: reply channel, outputs accumulated so
+    /// far, and how many are expected. At most one per session.
+    reply: Option<(Sender<Response>, Vec<Vec<f32>>, usize)>,
+    /// Copy of the session's current read-vector row, maintained across
+    /// swaps so `ReadRows` never needs to touch the grid.
+    last_read: Vec<f32>,
+    /// Refreshed by every command and every stepped tick; drives
+    /// idle-timeout reaping.
+    last_activity: Instant,
+}
+
+impl Sess {
+    fn idle(&self) -> bool {
+        self.queue.is_empty() && self.reply.is_none()
+    }
+}
+
+/// The state owned by one group thread.
+struct Group {
+    cfg: ServeConfig,
+    engine: BoxedEngine,
+    /// `lanes[slot]` = resident session id.
+    lanes: Vec<Option<u64>>,
+    free: Vec<usize>,
+    sessions: HashMap<u64, Sess>,
+    /// The hub's session → group routing table; reaped and closed
+    /// sessions are unregistered here.
+    index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
+    /// Reused per-tick input/output blocks.
+    x: Matrix,
+    y: Matrix,
+    read_width: usize,
+}
+
+/// Runs a group's tick loop until its command channel disconnects (server
+/// shutdown) **and** every queued step has been served — pending work is
+/// drained, never dropped.
+pub(crate) fn run_group(
+    cfg: ServeConfig,
+    spec: SessionSpec,
+    rx: Receiver<GroupCmd>,
+    index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
+) {
+    let lanes = cfg.grid_lanes.max(1);
+    let engine = EngineBuilder::new(spec.params)
+        .with_spec(spec.spec)
+        .lanes(lanes)
+        .seed(spec.seed)
+        .build();
+    let read_width = spec.params.read_heads * spec.params.word_size;
+    let mut group = Group {
+        cfg,
+        engine,
+        lanes: vec![None; lanes],
+        free: (0..lanes).rev().collect(),
+        sessions: HashMap::new(),
+        index,
+        x: Matrix::zeros(lanes, spec.params.input_size),
+        y: Matrix::zeros(lanes, spec.params.output_size),
+        read_width,
+    };
+
+    let mut disconnected = false;
+    loop {
+        let has_work = group.sessions.values().any(|s| !s.queue.is_empty());
+        if has_work || disconnected {
+            // Work pending (or draining): poll without blocking so the
+            // grid keeps ticking at full rate.
+            loop {
+                match rx.try_recv() {
+                    Ok(cmd) => group.handle(cmd),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Idle: block for up to one tick waiting for a command.
+            match rx.recv_timeout(group.cfg.tick) {
+                Ok(cmd) => {
+                    group.handle(cmd);
+                    while let Ok(cmd) = rx.try_recv() {
+                        group.handle(cmd);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+        group.step_tick();
+        group.reap();
+        if disconnected && group.sessions.values().all(Sess::idle) {
+            break;
+        }
+    }
+}
+
+impl Group {
+    fn handle(&mut self, cmd: GroupCmd) {
+        match cmd {
+            GroupCmd::Open { session, reply } => {
+                self.sessions.insert(
+                    session,
+                    Sess {
+                        lane: None,
+                        parked: None,
+                        queue: VecDeque::new(),
+                        reply: None,
+                        last_read: vec![0.0; self.read_width],
+                        last_activity: Instant::now(),
+                    },
+                );
+                let _ = reply.send(Response::Opened { session });
+            }
+            GroupCmd::Step { session, inputs, reply } => {
+                let input_size = self.engine.params().input_size;
+                let Some(sess) = self.sessions.get_mut(&session) else {
+                    let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
+                    return;
+                };
+                if sess.reply.is_some() {
+                    let _ = reply.send(Response::Error(ServeError::SessionBusy(session)));
+                    return;
+                }
+                if inputs.is_empty() {
+                    let _ = reply.send(Response::Stepped { outputs: Vec::new() });
+                    return;
+                }
+                if let Some(bad) = inputs.iter().find(|row| row.len() != input_size) {
+                    let _ = reply.send(Response::Error(ServeError::BadInput(format!(
+                        "input rows must be {input_size} wide, got {}",
+                        bad.len()
+                    ))));
+                    return;
+                }
+                sess.last_activity = Instant::now();
+                let expected = inputs.len();
+                sess.queue.extend(inputs);
+                sess.reply = Some((reply, Vec::with_capacity(expected), expected));
+            }
+            GroupCmd::ReadRows { session, reply } => {
+                let Some(sess) = self.sessions.get_mut(&session) else {
+                    let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
+                    return;
+                };
+                sess.last_activity = Instant::now();
+                let _ = reply.send(Response::Rows { read: sess.last_read.clone() });
+            }
+            GroupCmd::Reset { session, reply } => {
+                let Some(sess) = self.sessions.get_mut(&session) else {
+                    let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
+                    return;
+                };
+                if sess.reply.is_some() {
+                    let _ = reply.send(Response::Error(ServeError::SessionBusy(session)));
+                    return;
+                }
+                if let Some(lane) = sess.lane {
+                    self.engine.reset_lane(lane);
+                }
+                sess.parked = None;
+                sess.queue.clear();
+                sess.last_read.fill(0.0);
+                sess.last_activity = Instant::now();
+                let _ = reply.send(Response::Done);
+            }
+            GroupCmd::Close { session, reply } => {
+                match self.sessions.remove(&session) {
+                    Some(sess) => {
+                        if let Some(lane) = sess.lane {
+                            self.lanes[lane] = None;
+                            self.free.push(lane);
+                        }
+                        // Abort any queued-but-unserved steps (cannot
+                        // happen through the synchronous client, which
+                        // holds the session busy until the reply).
+                        if let Some((reply, outputs, _)) = sess.reply {
+                            let _ = reply.send(Response::Stepped { outputs });
+                        }
+                        self.index.lock().unwrap().remove(&session);
+                        let _ = reply.send(Response::Done);
+                    }
+                    None => {
+                        let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grants a lane slot: from the free list, else by swapping out the
+    /// least-recently-active idle resident. `None` if every resident is
+    /// mid-request this tick (the requester stays queued and retries next
+    /// tick — by then at least one resident has drained or parked).
+    fn alloc_lane(&mut self) -> Option<usize> {
+        if let Some(lane) = self.free.pop() {
+            return Some(lane);
+        }
+        let victim = self
+            .lanes
+            .iter()
+            .filter_map(|&slot| slot)
+            .filter(|id| self.sessions[id].idle())
+            .min_by_key(|id| self.sessions[id].last_activity)?;
+        let sess = self.sessions.get_mut(&victim).unwrap();
+        let lane = sess.lane.take().unwrap();
+        sess.parked = Some(self.engine.export_lane(lane));
+        self.lanes[lane] = None;
+        Some(lane)
+    }
+
+    /// One grid tick: seat sessions with pending work, coalesce one
+    /// queued step per seated session into a masked batch, step, fan the
+    /// outputs back out.
+    fn step_tick(&mut self) {
+        // Deterministic seating order (session id) keeps swap decisions
+        // reproducible under identical command interleavings.
+        let mut pending: Vec<u64> =
+            self.sessions.iter().filter(|(_, s)| !s.queue.is_empty()).map(|(&id, _)| id).collect();
+        pending.sort_unstable();
+
+        let mut mask = vec![false; self.engine.batch()];
+        let mut stepping: Vec<(u64, usize)> = Vec::with_capacity(pending.len());
+        for id in pending {
+            let lane = match self.sessions[&id].lane {
+                Some(lane) => lane,
+                None => match self.alloc_lane() {
+                    Some(lane) => {
+                        let sess = self.sessions.get_mut(&id).unwrap();
+                        sess.lane = Some(lane);
+                        self.lanes[lane] = Some(id);
+                        match sess.parked.take() {
+                            Some(state) => self.engine.import_lane(lane, &state),
+                            None => self.engine.reset_lane(lane),
+                        }
+                        lane
+                    }
+                    // Grid saturated by mid-request residents: wait a
+                    // tick.
+                    None => continue,
+                },
+            };
+            let sess = self.sessions.get_mut(&id).unwrap();
+            let input = sess.queue.pop_front().unwrap();
+            self.x.row_mut(lane).copy_from_slice(&input);
+            mask[lane] = true;
+            stepping.push((id, lane));
+        }
+        if stepping.is_empty() {
+            return;
+        }
+
+        let mask = LaneMask::from(mask);
+        self.engine.step_batch_masked_into(&self.x, &mask, &mut self.y);
+
+        let now = Instant::now();
+        for (id, lane) in stepping {
+            let sess = self.sessions.get_mut(&id).unwrap();
+            sess.last_read.copy_from_slice(self.engine.last_read_row(lane));
+            sess.last_activity = now;
+            let (reply, mut outputs, expected) = sess.reply.take().unwrap();
+            outputs.push(self.y.row(lane).to_vec());
+            if outputs.len() == expected {
+                let _ = reply.send(Response::Stepped { outputs });
+            } else {
+                sess.reply = Some((reply, outputs, expected));
+            }
+        }
+    }
+
+    /// Evicts sessions idle past the configured timeout. A session with
+    /// queued steps or an unanswered reply is *never* reaped, so an
+    /// in-flight stream outlives any idle timeout — `last_activity` is
+    /// refreshed on every stepped tick.
+    fn reap(&mut self) {
+        let Some(timeout) = self.cfg.idle_timeout else { return };
+        let now = Instant::now();
+        let dead: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.idle() && now.duration_since(s.last_activity) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        let mut index = self.index.lock().unwrap();
+        for id in dead {
+            let sess = self.sessions.remove(&id).unwrap();
+            if let Some(lane) = sess.lane {
+                self.lanes[lane] = None;
+                self.free.push(lane);
+            }
+            index.remove(&id);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The std-only threaded TCP front end.
+//!
+//! One accept thread plus one thread per connection; each connection
+//! reads length-prefixed frames, decodes a [`Request`], dispatches it to
+//! the [`SessionHub`] and writes the [`Response`] frame back. All
+//! serving semantics live in the hub — this layer only does framing,
+//! connection bookkeeping and clean shutdown.
+//!
+//! Shutdown ordering (deadlock-free): mark stopping → unblock the accept
+//! loop with a self-connection → `shutdown(Read)` every tracked stream
+//! (in-flight replies still write) → join connection threads → stop the
+//! hub (group threads drain their queues, answer, exit) → join groups.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeError};
+use crate::session::SessionHub;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Lane slots per engine grid — how many sessions of one
+    /// configuration can be *resident* at once (more sessions than lanes
+    /// swap through detached lane states).
+    pub grid_lanes: usize,
+    /// Scheduler tick: how long an idle group waits for commands before
+    /// re-checking. Under load the loop runs command-driven and this is
+    /// only the idle wake-up period.
+    pub tick: Duration,
+    /// Reap sessions idle for longer than this (`None` = never). A
+    /// session with an in-flight step request is never reaped.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { grid_lanes: 8, tick: Duration::from_micros(500), idle_timeout: None }
+    }
+}
+
+/// A running session server.
+pub struct Server {
+    addr: SocketAddr,
+    hub: Arc<SessionHub>,
+    stopping: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts serving; `addr` may use port 0 for an ephemeral
+    /// port (read it back with [`Server::addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let hub = Arc::new(SessionHub::new(cfg));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let hub = Arc::clone(&hub);
+            let stopping = Arc::clone(&stopping);
+            let conns = Arc::clone(&conns);
+            let conn_handles = Arc::clone(&conn_handles);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Ok(tracked) = stream.try_clone() {
+                        conns.lock().unwrap().push(tracked);
+                    }
+                    let hub = Arc::clone(&hub);
+                    let stopping = Arc::clone(&stopping);
+                    let handle = std::thread::spawn(move || serve_connection(stream, hub, stopping));
+                    conn_handles.lock().unwrap().push(handle);
+                }
+            })
+        };
+
+        Ok(Server { addr, hub, stopping, accept_handle: Some(accept_handle), conns, conn_handles })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub, for in-process inspection (live-session counts in tests).
+    pub fn hub(&self) -> &SessionHub {
+        &self.hub
+    }
+
+    /// Whether a client has requested process shutdown.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`], then returns
+    /// (the caller then drops the server, which drains and stops). The
+    /// CLI `serve` subcommand is this in a loop.
+    pub fn wait_for_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops accepting, closes connections, drains in-flight work and
+    /// joins every thread. Also runs on drop; call it explicitly when
+    /// you want completion before proceeding.
+    pub fn stop(&mut self) {
+        if self.accept_handle.is_none() {
+            return;
+        }
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Stop reading new requests; in-flight replies still write.
+        for stream in self.conns.lock().unwrap().drain(..) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<_> = self.conn_handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.hub.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection's request/reply loop.
+fn serve_connection(stream: TcpStream, hub: Arc<SessionHub>, stopping: Arc<AtomicBool>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF or a dead socket either way: the conversation is
+            // over.
+            Ok(None) | Err(_) => return,
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(Request::Shutdown) => {
+                stopping.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+            Ok(_) if stopping.load(Ordering::SeqCst) => {
+                Response::Error(ServeError::ShuttingDown)
+            }
+            Ok(req) => hub.dispatch(req),
+            Err(e) => Response::Error(ServeError::Protocol(e.to_string())),
+        };
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}

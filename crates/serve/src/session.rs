@@ -1,0 +1,146 @@
+//! The session registry: ids, routing, and engine-group lifecycle.
+//!
+//! The [`SessionHub`] owns the two maps behind the serving API: a
+//! *routing* table from live session id to the command channel of the
+//! group thread serving it, and a *group* table from canonical
+//! configuration key to that channel. Session ids are allocated from one
+//! global counter, so an id never repeats for the lifetime of a server —
+//! a closed or reaped id stays permanently unknown rather than aliasing
+//! a newer session.
+
+use crate::protocol::{Request, Response, ServeError};
+use crate::scheduler::{run_group, GroupCmd};
+use crate::server::ServeConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Registry of live sessions and the engine groups serving them.
+pub struct SessionHub {
+    cfg: ServeConfig,
+    next_id: AtomicU64,
+    /// session id → serving group's command channel.
+    index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
+    /// canonical spec key → group command channel.
+    groups: Mutex<HashMap<Vec<u8>, Sender<GroupCmd>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SessionHub {
+    /// Creates an empty hub; group threads spawn lazily on the first
+    /// `Open` of each distinct configuration.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self {
+            cfg,
+            next_id: AtomicU64::new(1),
+            index: Arc::new(Mutex::new(HashMap::new())),
+            groups: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of currently live sessions (registered and not yet closed
+    /// or reaped).
+    pub fn live_sessions(&self) -> usize {
+        self.index.lock().unwrap().len()
+    }
+
+    /// Executes one request synchronously and returns its reply. This is
+    /// the whole serving semantics; the TCP layer is a dumb pipe around
+    /// it (and in-process callers — tests, the load generator harness —
+    /// can drive a hub directly).
+    pub fn dispatch(&self, req: Request) -> Response {
+        match req {
+            Request::Open { spec } => {
+                let spec = match spec.validate() {
+                    Ok(spec) => spec,
+                    Err(e) => return Response::Error(ServeError::BadSpec(e.to_string())),
+                };
+                let key = spec.group_key();
+                let sender = {
+                    let mut groups = self.groups.lock().unwrap();
+                    match groups.get(&key) {
+                        Some(sender) => sender.clone(),
+                        None => {
+                            let (tx, rx) = channel();
+                            let cfg = self.cfg;
+                            let index = Arc::clone(&self.index);
+                            let handle =
+                                std::thread::spawn(move || run_group(cfg, spec, rx, index));
+                            self.handles.lock().unwrap().push(handle);
+                            groups.insert(key, tx.clone());
+                            tx
+                        }
+                    }
+                };
+                let session = self.next_id.fetch_add(1, Ordering::Relaxed);
+                self.index.lock().unwrap().insert(session, sender.clone());
+                self.call(&sender, |reply| GroupCmd::Open { session, reply })
+            }
+            Request::Step { session, input } => {
+                self.route(session, |reply| GroupCmd::Step {
+                    session,
+                    inputs: vec![input],
+                    reply,
+                })
+            }
+            Request::StepStream { session, inputs } => {
+                self.route(session, |reply| GroupCmd::Step { session, inputs, reply })
+            }
+            Request::ReadRows { session } => {
+                self.route(session, |reply| GroupCmd::ReadRows { session, reply })
+            }
+            Request::Reset { session } => {
+                self.route(session, |reply| GroupCmd::Reset { session, reply })
+            }
+            Request::Close { session } => {
+                self.route(session, |reply| GroupCmd::Close { session, reply })
+            }
+            // The process-level stop is the server's call to make; a bare
+            // hub just acknowledges.
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    fn route(&self, session: u64, make: impl FnOnce(Sender<Response>) -> GroupCmd) -> Response {
+        let sender = match self.index.lock().unwrap().get(&session) {
+            Some(sender) => sender.clone(),
+            None => return Response::Error(ServeError::UnknownSession(session)),
+        };
+        self.call(&sender, make)
+    }
+
+    fn call(
+        &self,
+        sender: &Sender<GroupCmd>,
+        make: impl FnOnce(Sender<Response>) -> GroupCmd,
+    ) -> Response {
+        let (reply_tx, reply_rx) = channel();
+        if sender.send(make(reply_tx)).is_err() {
+            return Response::Error(ServeError::ShuttingDown);
+        }
+        match reply_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Error(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Stops every group thread: drops the command channels (each group
+    /// drains its queued steps, answers them, then exits) and joins.
+    pub fn shutdown(&self) {
+        self.groups.lock().unwrap().clear();
+        self.index.lock().unwrap().clear();
+        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SessionHub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -57,6 +57,14 @@ impl QFormat {
         Self { int_bits, frac_bits }
     }
 
+    /// Non-panicking form of [`QFormat::new`] for validating untrusted
+    /// widths (e.g. a client-supplied spec at a server boundary): `None`
+    /// iff the widths violate the format's invariants.
+    pub fn checked(int_bits: u32, frac_bits: u32) -> Option<Self> {
+        (int_bits >= 1 && frac_bits >= 1 && int_bits.saturating_add(frac_bits) <= 32)
+            .then_some(Self { int_bits, frac_bits })
+    }
+
     /// The paper's 32-bit datapath: Q16.16, identical to [`Fixed`].
     pub fn q16_16() -> Self {
         Self::new(16, 16)
