@@ -10,11 +10,13 @@
 //! $ hima-cli babi path/to/qa1_train.txt
 //! $ hima-cli serve --addr 127.0.0.1:7070 --lanes 8
 //! $ hima-cli session --addr 127.0.0.1:7070 --steps 20
+//! $ hima-cli metrics --addr 127.0.0.1:7070 --trace
 //! $ hima-cli session --addr 127.0.0.1:7070 --shutdown
 //! ```
 
 use hima::prelude::*;
 use hima::serve::loadgen::synth_input;
+use hima::serve::TraceKind;
 use hima::tensor::{Matrix, QFormat};
 use std::process::{exit, Command};
 use std::time::{Duration, Instant};
@@ -44,6 +46,7 @@ fn main() {
         Some("babi") => babi(args.get(1).map(String::as_str)),
         Some("serve") => serve(&args[1..]),
         Some("session") => session(&args[1..]),
+        Some("metrics") => metrics(&args[1..]),
         _ => {
             usage();
             exit(2);
@@ -67,10 +70,16 @@ fn usage() {
     eprintln!("                  timed against (and checked bit-equal to) the synchronous harness");
     eprintln!("  hima-cli babi <file>               parse a bAbI-format file and report stats");
     eprintln!("  hima-cli serve [--addr A] [--lanes N] [--tick-us T] [--idle-ms I]");
+    eprintln!("                 [--profile-engine]");
     eprintln!("                  run the session server until a client sends shutdown");
+    eprintln!("                  (--profile-engine turns on sampled per-category engine timing)");
     eprintln!("  hima-cli session [--addr A] [--steps T] [--tiles N] [--quantized] [--shutdown]");
     eprintln!("                  drive one session end-to-end against a running server");
     eprintln!("                  (--shutdown asks the server to stop instead)");
+    eprintln!("  hima-cli metrics [--addr A] [--json] [--trace] [--check]");
+    eprintln!("                  fetch the server-wide telemetry snapshot from a running server");
+    eprintln!("                  (--trace adds the lifecycle event ring; --check exits non-zero");
+    eprintln!("                   unless the scheduler has ticked/stepped and the trace is clean)");
 }
 
 fn list() {
@@ -191,7 +200,9 @@ fn step(args: &[String]) {
     }
 
     let params = DncParams::new(256, 32, 2).with_hidden(64).with_io(16, 16);
-    let mut builder = EngineBuilder::new(params).lanes(lanes).seed(2021);
+    // This subcommand prints the kernel-profile breakdown, so opt in to
+    // wall-clock sampling (builder engines default it off).
+    let mut builder = EngineBuilder::new(params).lanes(lanes).seed(2021).profiling(true);
     if tiles > 1 {
         builder = builder.sharded(tiles);
     }
@@ -325,6 +336,7 @@ fn babi(path: Option<&str>) {
 fn serve(args: &[String]) {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut cfg = ServeConfig::default();
+    let mut profile_engine = false;
     fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
         v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
     }
@@ -340,6 +352,7 @@ fn serve(args: &[String]) {
                 cfg.idle_timeout =
                     Some(Duration::from_millis(num(it.next(), "--idle-ms needs an integer")))
             }
+            "--profile-engine" => profile_engine = true,
             other => bail(&format!("unknown flag {other:?}")),
         }
     }
@@ -350,7 +363,18 @@ fn serve(args: &[String]) {
         Ok(s) => s,
         Err(e) => bail(&format!("cannot bind {addr}: {e}")),
     };
-    println!("serving on {} ({} grid lanes, tick {:?})", server.addr(), cfg.grid_lanes, cfg.tick);
+    if profile_engine {
+        // Must be set before the first Open spawns a group thread — a
+        // group reads the opt-in once, when it builds its engine.
+        server.hub().metrics().set_engine_profiling(true);
+    }
+    println!(
+        "serving on {} ({} grid lanes, tick {:?}{})",
+        server.addr(),
+        cfg.grid_lanes,
+        cfg.tick,
+        if profile_engine { ", engine profiling on" } else { "" }
+    );
     server.wait_for_shutdown();
     println!("shutdown requested, draining");
     server.stop();
@@ -430,6 +454,116 @@ fn session(args: &[String]) {
         bail::<()>(&format!("close failed: {e}"));
     }
     println!("session {session} closed");
+}
+
+/// Fetches the server-wide telemetry snapshot from a running server and
+/// renders it: a human table by default, the wire-faithful JSON object
+/// with `--json`, plus the lifecycle trace ring with `--trace`. With
+/// `--check` the exit status becomes a health gate (used by the CI
+/// metrics smoke): non-zero unless the scheduler has both ticked and
+/// stepped and the trace ring holds no error events.
+fn metrics(args: &[String]) {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut json = false;
+    let mut trace = false;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| bail("--addr needs host:port")),
+            "--json" => json = true,
+            "--trace" => trace = true,
+            "--check" => check = true,
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => bail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let snap = match client.metrics() {
+        Ok(s) => s,
+        Err(e) => bail(&format!("metrics fetch failed: {e}")),
+    };
+    let events = if trace || check {
+        match client.trace_dump() {
+            Ok(events) => events,
+            Err(e) => bail(&format!("trace fetch failed: {e}")),
+        }
+    } else {
+        Vec::new()
+    };
+
+    if json {
+        if trace {
+            let mut s = String::from("{\"metrics\":");
+            s.push_str(&snap.to_json());
+            s.push_str(",\"trace\":[");
+            for (i, ev) in events.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"session\":{},\"detail\":{}}}",
+                    ev.seq,
+                    ev.at_us,
+                    ev.kind.label(),
+                    ev.session,
+                    ev.detail
+                ));
+            }
+            s.push_str("]}");
+            println!("{s}");
+        } else {
+            println!("{}", snap.to_json());
+        }
+    } else {
+        println!("metrics from {addr}\n");
+        println!("counters");
+        for (name, v) in &snap.counters {
+            println!("  {name:<44} {v}");
+        }
+        println!("\ngauges");
+        for (name, v) in &snap.gauges {
+            println!("  {name:<44} {v}");
+        }
+        println!("\nhistograms{:>40} count / mean / p50 / p90 / p99 / max", "");
+        for (name, h) in &snap.histograms {
+            println!(
+                "  {name:<44} {} / {:.1} / {} / {} / {} / {}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max_bound()
+            );
+        }
+        if trace {
+            println!("\ntrace ({} events, oldest first)", events.len());
+            for ev in &events {
+                println!(
+                    "  #{:<6} +{:>10}µs {:<6} session {:<6} detail {}",
+                    ev.seq,
+                    ev.at_us,
+                    ev.kind.label(),
+                    ev.session,
+                    ev.detail
+                );
+            }
+        }
+    }
+
+    if check {
+        let ticks = snap.counter("serve.scheduler.ticks").unwrap_or(0);
+        let steps = snap.counter("serve.scheduler.steps").unwrap_or(0);
+        let trace_errors = events.iter().filter(|e| e.kind == TraceKind::Error).count();
+        if ticks == 0 || steps == 0 || trace_errors > 0 {
+            eprintln!("check failed: ticks={ticks} steps={steps} trace_errors={trace_errors}");
+            exit(1);
+        }
+        println!("check ok: ticks={ticks} steps={steps} trace_errors=0");
+    }
 }
 
 fn bail<T>(msg: &str) -> T {

@@ -17,7 +17,10 @@
 //!   overlapping generation, batched stepping and metric reduction,
 //! * [`serve`] — the session server: long-lived per-session DNC state
 //!   continuously batched over masked lane grids, with a binary wire
-//!   protocol, typed client and open-loop load generator.
+//!   protocol, typed client and open-loop load generator,
+//! * [`telemetry`] — the std-only observability substrate: atomic
+//!   metrics registry, log₂ latency histograms and a bounded
+//!   session-lifecycle event trace, exposed over the serve protocol.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use hima_pipeline as pipeline;
 pub use hima_serve as serve;
 pub use hima_sort as sort;
 pub use hima_tasks as tasks;
+pub use hima_telemetry as telemetry;
 pub use hima_tensor as tensor;
 
 /// The most commonly used types, re-exported flat.
@@ -77,6 +81,7 @@ pub mod prelude {
         Client, RawSessionSpec, ServeConfig, ServeError, Server, SessionHub,
     };
     pub use hima_tasks::{relative_error, EvalConfig, TaskSpec, TASKS};
+    pub use hima_telemetry::{MetricsRegistry, MetricsSnapshot, TraceRing};
     pub use hima_tensor::{softmax, softmax_approx, Fixed, Matrix, PlaSoftmax, QFormat};
 }
 

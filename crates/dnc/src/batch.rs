@@ -100,6 +100,14 @@ impl LaneMemory {
         }
     }
 
+    /// Switches wall-clock kernel sampling on or off in the wrapped unit.
+    fn set_profiling(&mut self, on: bool) {
+        match self {
+            LaneMemory::F32(u) => u.set_profiling(on),
+            LaneMemory::Quantized(q) => q.set_profiling(on),
+        }
+    }
+
     /// Whether this unit runs the given datapath (same variant, and for
     /// fixed point the same Q-format) — the splice-compatibility check of
     /// [`LaneState`].
@@ -339,6 +347,13 @@ impl BatchDnc {
             p.merge(lane.memory.unit().profile());
         }
         p
+    }
+
+    /// Switches wall-clock kernel sampling on or off for every lane.
+    pub fn set_profiling(&mut self, on: bool) {
+        for lane in &mut self.lanes {
+            lane.memory.set_profiling(on);
+        }
     }
 
     /// Resets every lane's memory and recurrent state (weights unchanged)
@@ -708,6 +723,14 @@ impl BatchDncD {
             p.merge(shard.memory.unit().profile());
         }
         p
+    }
+
+    /// Switches wall-clock kernel sampling on or off for every shard of
+    /// every lane.
+    pub fn set_profiling(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.memory.set_profiling(on);
+        }
     }
 
     /// Replaces the read-merge weights used by every lane.

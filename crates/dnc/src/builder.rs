@@ -280,6 +280,7 @@ pub struct EngineBuilder {
     lanes: usize,
     merge: Option<ReadMerge>,
     seed: u64,
+    profiling: bool,
 }
 
 impl EngineBuilder {
@@ -293,6 +294,7 @@ impl EngineBuilder {
             lanes: 1,
             merge: None,
             seed: 0,
+            profiling: false,
         }
     }
 
@@ -376,6 +378,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Switches wall-clock [`KernelProfile`](crate::KernelProfile)
+    /// sampling on for the built engine. Defaults to **off**: an
+    /// unprofiled engine's steps never call `Instant::now()`, so the
+    /// serving hot path pays nothing for instrumentation it isn't using.
+    /// (The legacy direct constructors — [`Dnc::new`], [`DncD::new`] —
+    /// keep sampling on, preserving the offline figure-reproduction
+    /// workflow.)
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
     /// Applies a serialized [`EngineSpec`] (topology, datapath, skim,
     /// approximation), keeping the params, lanes, sorter and seed.
     pub fn with_spec(mut self, spec: EngineSpec) -> Self {
@@ -442,7 +456,7 @@ impl EngineBuilder {
     /// Panics if the merge weights' shard count disagrees with the
     /// topology.
     pub fn build(&self) -> BoxedEngine {
-        match self.spec.topology {
+        let mut engine: BoxedEngine = match self.spec.topology {
             Topology::Monolithic => {
                 let mem_cfg = MemoryConfig::new(
                     self.params.memory_size,
@@ -470,7 +484,9 @@ impl EngineBuilder {
                 }
                 Box::new(model.batched_with(self.lanes, self.spec.datapath))
             }
-        }
+        };
+        engine.set_profiling(self.profiling);
+        engine
     }
 
     /// Non-panicking form of [`EngineBuilder::build`] for untrusted

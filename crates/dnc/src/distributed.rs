@@ -347,6 +347,15 @@ impl DncD {
         self.merge = merge;
     }
 
+    /// Switches wall-clock kernel sampling on or off for controller and
+    /// all shards alike.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profile.set_enabled(on);
+        for s in &mut self.shards {
+            s.set_profiling(on);
+        }
+    }
+
     /// Merged kernel profile across controller and all shards.
     pub fn profile(&self) -> KernelProfile {
         let mut p = self.profile.clone();

@@ -133,6 +133,13 @@ impl Dnc {
         self.memory.reset_profile();
     }
 
+    /// Switches wall-clock kernel sampling on or off for controller and
+    /// memory unit alike.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profile.set_enabled(on);
+        self.memory.set_profiling(on);
+    }
+
     /// Resets memory and recurrent state (weights unchanged).
     pub fn reset(&mut self) {
         self.controller.reset();

@@ -140,6 +140,14 @@ pub trait MemoryEngine {
     /// memory unit(s).
     fn profile(&self) -> KernelProfile;
 
+    /// Switches wall-clock kernel sampling on or off across the whole
+    /// engine (see [`KernelProfile::set_enabled`]). Engines from
+    /// [`EngineBuilder`](crate::EngineBuilder) default to **off** — steady
+    /// state steps then never read the clock; opt in with
+    /// [`EngineBuilder::profiling`](crate::EngineBuilder::profiling) or
+    /// this method.
+    fn set_profiling(&mut self, on: bool);
+
     /// Resets memory and recurrent state of every lane (weights
     /// unchanged).
     fn reset(&mut self);
@@ -236,6 +244,10 @@ impl MemoryEngine for Dnc {
         Dnc::profile(self)
     }
 
+    fn set_profiling(&mut self, on: bool) {
+        Dnc::set_profiling(self, on);
+    }
+
     fn reset(&mut self) {
         Dnc::reset(self);
     }
@@ -271,6 +283,10 @@ impl MemoryEngine for DncD {
 
     fn profile(&self) -> KernelProfile {
         DncD::profile(self)
+    }
+
+    fn set_profiling(&mut self, on: bool) {
+        DncD::set_profiling(self, on);
     }
 
     fn reset(&mut self) {
@@ -317,6 +333,10 @@ impl MemoryEngine for BatchDnc {
 
     fn profile(&self) -> KernelProfile {
         BatchDnc::profile(self)
+    }
+
+    fn set_profiling(&mut self, on: bool) {
+        BatchDnc::set_profiling(self, on);
     }
 
     fn reset(&mut self) {
@@ -375,6 +395,10 @@ impl MemoryEngine for BatchDncD {
 
     fn profile(&self) -> KernelProfile {
         BatchDncD::profile(self)
+    }
+
+    fn set_profiling(&mut self, on: bool) {
+        BatchDncD::set_profiling(self, on);
     }
 
     fn reset(&mut self) {

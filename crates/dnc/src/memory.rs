@@ -255,6 +255,12 @@ impl MemoryUnit {
         &self.profile
     }
 
+    /// Switches wall-clock kernel sampling on or off (see
+    /// [`KernelProfile::set_enabled`]).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profile.set_enabled(on);
+    }
+
     /// Clears the kernel profile.
     pub fn reset_profile(&mut self) {
         self.profile.reset();

@@ -134,20 +134,63 @@ impl fmt::Display for KernelCategory {
 }
 
 /// Accumulated timing/invocation statistics per kernel.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Sampling is gated: a profile constructed with [`KernelProfile::new`]
+/// records, one with [`KernelProfile::disabled`] (or switched off via
+/// [`KernelProfile::set_enabled`]) makes [`KernelProfile::time`] a pure
+/// pass-through that never reads the clock — the serving hot path pays
+/// nothing for the instrumentation unless it is explicitly turned on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelProfile {
     nanos: BTreeMap<KernelId, u64>,
     calls: BTreeMap<KernelId, u64>,
+    enabled: bool,
+}
+
+impl Default for KernelProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for KernelProfile {
+    /// Profiles compare by recorded statistics only — whether sampling is
+    /// currently switched on is operational state, not data.
+    fn eq(&self, other: &Self) -> bool {
+        self.nanos == other.nanos && self.calls == other.calls
+    }
 }
 
 impl KernelProfile {
-    /// Creates an empty profile.
+    /// Creates an empty profile with sampling enabled.
     pub fn new() -> Self {
-        Self::default()
+        Self { nanos: BTreeMap::new(), calls: BTreeMap::new(), enabled: true }
     }
 
-    /// Times `f`, attributing the elapsed wall time to `kernel`.
+    /// Creates an empty profile with sampling switched off: `time` runs
+    /// its closure without touching the clock or the maps.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::new() }
+    }
+
+    /// Switches wall-clock sampling on or off. Recorded statistics are
+    /// kept either way.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether `time` currently samples the clock.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Times `f`, attributing the elapsed wall time to `kernel`. When
+    /// sampling is disabled this is a plain call to `f` — no
+    /// `Instant::now()`, no map traffic.
     pub fn time<T>(&mut self, kernel: KernelId, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
         let start = Instant::now();
         let out = f();
         let ns = start.elapsed().as_nanos() as u64;
@@ -270,6 +313,22 @@ mod tests {
         assert_eq!(a.nanos(KernelId::Linkage), 15);
         assert_eq!(a.calls(KernelId::Linkage), 3);
         assert_eq!(a.nanos(KernelId::Retention), 7);
+    }
+
+    #[test]
+    fn disabled_profile_skips_sampling() {
+        let mut p = KernelProfile::disabled();
+        assert!(!p.is_enabled());
+        let x = p.time(KernelId::Usage, || 7);
+        assert_eq!(x, 7, "closure still runs");
+        assert_eq!(p.calls(KernelId::Usage), 0);
+        assert_eq!(p.total_nanos(), 0);
+        p.set_enabled(true);
+        p.time(KernelId::Usage, || ());
+        assert_eq!(p.calls(KernelId::Usage), 1);
+        // Equality ignores the gate: an empty enabled profile equals an
+        // empty disabled one.
+        assert_eq!(KernelProfile::new(), KernelProfile::disabled());
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl QuantizedMemoryUnit {
         self.format
     }
 
+    /// Switches wall-clock kernel sampling on or off in the wrapped unit.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.inner.set_profiling(on);
+    }
+
     /// Runs one step: quantizes the interface vector, steps the unit,
     /// quantizes all state and the read vectors.
     ///

@@ -163,7 +163,8 @@ fn reset_restores_blank_lane_behaviour() {
 fn trait_surface_is_consistent_for_every_variant() {
     let p = params();
     for spec in specs() {
-        let mut engine = builder(spec).lanes(3).build();
+        // Builder engines default profiling off; opt in to count kernels.
+        let mut engine = builder(spec).lanes(3).profiling(true).build();
         assert_eq!(engine.batch(), 3, "{}", spec.label());
         assert_eq!(engine.params(), &p, "{}", spec.label());
         engine.step_batch(&Matrix::zeros(3, 5));

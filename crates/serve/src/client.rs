@@ -8,6 +8,7 @@
 use crate::protocol::{
     read_frame, write_frame, RawSessionSpec, Request, Response, ServeError,
 };
+use hima_telemetry::{MetricsSnapshot, TraceEvent};
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -124,6 +125,23 @@ impl Client {
         match self.call(&Request::Close { session })? {
             Response::Done => Ok(()),
             other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Fetches the server-wide metrics snapshot (counters, gauges and
+    /// latency histograms; see [`crate::metrics`] for the catalog).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Fetches the session-lifecycle trace ring (oldest event first).
+    pub fn trace_dump(&mut self) -> Result<Vec<TraceEvent>, ClientError> {
+        match self.call(&Request::TraceDump)? {
+            Response::Trace { events } => Ok(events),
+            other => Err(unexpected("Trace", &other)),
         }
     }
 

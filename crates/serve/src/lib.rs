@@ -18,8 +18,13 @@
 //! * [`server`] / [`client`] — a std-only threaded TCP front end and its
 //!   typed blocking client,
 //! * [`loadgen`] — an open-loop load generator reporting sessions/sec and
-//!   p50/p99 per-step latency (the `serve` section of the throughput
-//!   harness).
+//!   p50/p90/p99/max per-step latency (the `serve` section of the
+//!   throughput harness),
+//! * [`metrics`] — the server-wide [`ServeMetrics`] catalog over the
+//!   `hima-telemetry` substrate: scheduler tick/occupancy histograms,
+//!   session lifecycle counters and trace, wire traffic and per-command
+//!   counters — fetched live over the protocol's `Metrics` / `TraceDump`
+//!   commands or `hima_cli metrics`.
 //!
 //! # Correctness contract
 //!
@@ -48,13 +53,16 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 mod scheduler;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, ClientError};
-pub use loadgen::{run_load, ArrivalPattern, LoadConfig, LoadReport};
+pub use loadgen::{percentile, run_load, ArrivalPattern, LoadConfig, LoadReport};
+pub use metrics::ServeMetrics;
 pub use protocol::{RawSessionSpec, Request, Response, ServeError, SessionSpec, WireError};
 pub use server::{ServeConfig, Server};
 pub use session::SessionHub;
+pub use hima_telemetry::{MetricsSnapshot, TraceEvent, TraceKind};

@@ -81,8 +81,26 @@ pub struct LoadReport {
     pub steps_per_sec: f64,
     /// Median per-step request latency.
     pub p50_step: Duration,
+    /// 90th-percentile per-step request latency.
+    pub p90_step: Duration,
     /// 99th-percentile per-step request latency.
     pub p99_step: Duration,
+    /// Worst per-step request latency.
+    pub max_step: Duration,
+    /// Sessions that errored (transport or server) before completing —
+    /// `sessions - completed`, broken out so a report can't quietly
+    /// present a partial run as healthy.
+    pub failed: usize,
+}
+
+/// Nearest-rank percentile over an **ascending-sorted** slice of
+/// nanosecond latencies; `p` in `[0, 1]`. Empty input → zero.
+pub fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
+    if sorted_ns.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    Duration::from_nanos(sorted_ns[idx.min(sorted_ns.len() - 1)])
 }
 
 /// Deterministic synthetic input row for `(session, step)`.
@@ -91,7 +109,8 @@ pub fn synth_input(session: usize, step: usize, width: usize) -> Vec<f32> {
 }
 
 /// Runs an open-loop load generation against a server and reports
-/// sessions/sec plus p50/p99 per-step latency.
+/// sessions/sec plus p50/p90/p99/max per-step latency and the number of
+/// failed sessions.
 pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     let start = Instant::now();
     let width = cfg.spec.input_size as usize;
@@ -120,22 +139,21 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     }
 
     let mut completed = 0;
+    let mut failed = 0;
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.sessions * cfg.steps);
     for handle in handles {
-        if let Ok(Ok(mut ns)) = handle.join() {
-            completed += 1;
-            latencies.append(&mut ns);
+        match handle.join() {
+            Ok(Ok(mut ns)) => {
+                completed += 1;
+                latencies.append(&mut ns);
+            }
+            // A session that errored (or whose thread panicked) counts
+            // against the run instead of vanishing from the report.
+            Ok(Err(_)) | Err(_) => failed += 1,
         }
     }
     let elapsed = start.elapsed();
     latencies.sort_unstable();
-    let pct = |p: f64| -> Duration {
-        if latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        Duration::from_nanos(latencies[idx])
-    };
     let secs = elapsed.as_secs_f64().max(1e-9);
     LoadReport {
         sessions: cfg.sessions,
@@ -144,7 +162,10 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         elapsed,
         sessions_per_sec: completed as f64 / secs,
         steps_per_sec: latencies.len() as f64 / secs,
-        p50_step: pct(0.50),
-        p99_step: pct(0.99),
+        p50_step: percentile(&latencies, 0.50),
+        p90_step: percentile(&latencies, 0.90),
+        p99_step: percentile(&latencies, 0.99),
+        max_step: latencies.last().copied().map(Duration::from_nanos).unwrap_or(Duration::ZERO),
+        failed,
     }
 }

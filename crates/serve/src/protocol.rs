@@ -11,6 +11,7 @@
 
 use hima_dnc::allocation::SkimRate;
 use hima_dnc::{Datapath, DncParams, EngineSpec, SpecError, Topology};
+use hima_telemetry::{HistogramSnapshot, MetricsSnapshot, TraceEvent, TraceKind};
 use hima_tensor::{Backend, QFormat};
 use std::io::{Read, Write};
 
@@ -436,6 +437,12 @@ pub enum Request {
     /// Asks the server process to shut down cleanly (drain and exit);
     /// replies [`Response::ShuttingDown`].
     Shutdown,
+    /// Fetches a point-in-time snapshot of every registered server
+    /// metric; replies [`Response::Metrics`].
+    Metrics,
+    /// Fetches the retained session-lifecycle trace events, oldest first;
+    /// replies [`Response::Trace`].
+    TraceDump,
 }
 
 impl Request {
@@ -473,6 +480,8 @@ impl Request {
                 w.u64(*session);
             }
             Request::Shutdown => w.u8(7),
+            Request::Metrics => w.u8(8),
+            Request::TraceDump => w.u8(9),
         }
         w.into_bytes()
     }
@@ -497,6 +506,8 @@ impl Request {
             5 => Request::Reset { session: r.u64()? },
             6 => Request::Close { session: r.u64()? },
             7 => Request::Shutdown,
+            8 => Request::Metrics,
+            9 => Request::TraceDump,
             t => return Err(WireError::BadTag(t)),
         };
         r.finish()?;
@@ -562,6 +573,18 @@ pub enum Response {
     Error(ServeError),
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
+    /// Reply to [`Request::Metrics`]: every registered metric's current
+    /// value.
+    Metrics {
+        /// The server-wide snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// Reply to [`Request::TraceDump`]: the retained lifecycle events,
+    /// oldest first.
+    Trace {
+        /// Retained events with strictly increasing sequence numbers.
+        events: Vec<TraceEvent>,
+    },
 }
 
 impl Response {
@@ -612,6 +635,21 @@ impl Response {
                 }
             }
             Response::ShuttingDown => w.u8(6),
+            Response::Metrics { snapshot } => {
+                w.u8(7);
+                encode_metrics_snapshot(snapshot, &mut w);
+            }
+            Response::Trace { events } => {
+                w.u8(8);
+                w.u32(events.len() as u32);
+                for ev in events {
+                    w.u64(ev.seq);
+                    w.u64(ev.at_us);
+                    w.u8(ev.kind.code());
+                    w.u64(ev.session);
+                    w.u64(ev.detail);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -642,11 +680,100 @@ impl Response {
                 t => return Err(WireError::BadTag(t)),
             }),
             6 => Response::ShuttingDown,
+            7 => Response::Metrics { snapshot: decode_metrics_snapshot(&mut r)? },
+            8 => {
+                let n = r.u32()?;
+                // Each event is a fixed 33 bytes; an honest count fits
+                // the remaining payload.
+                if n as usize > r.remaining() / 33 {
+                    return Err(WireError::BadLength(n));
+                }
+                let events = (0..n)
+                    .map(|_| {
+                        Ok(TraceEvent {
+                            seq: r.u64()?,
+                            at_us: r.u64()?,
+                            kind: {
+                                let code = r.u8()?;
+                                TraceKind::from_code(code).ok_or(WireError::BadTag(code))?
+                            },
+                            session: r.u64()?,
+                            detail: r.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Response::Trace { events }
+            }
             t => return Err(WireError::BadTag(t)),
         };
         r.finish()?;
         Ok(resp)
     }
+}
+
+/// Appends a [`MetricsSnapshot`] in canonical wire form: three
+/// `u32`-counted sections (counters, gauges, histograms), entries as a
+/// string name followed by the fixed-order values. Gauges carry their
+/// `i64` as a two's-complement bit pattern.
+fn encode_metrics_snapshot(snapshot: &MetricsSnapshot, w: &mut Writer) {
+    w.u32(snapshot.counters.len() as u32);
+    for (name, v) in &snapshot.counters {
+        w.string(name);
+        w.u64(*v);
+    }
+    w.u32(snapshot.gauges.len() as u32);
+    for (name, v) in &snapshot.gauges {
+        w.string(name);
+        w.u64(*v as u64);
+    }
+    w.u32(snapshot.histograms.len() as u32);
+    for (name, h) in &snapshot.histograms {
+        w.string(name);
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u32(h.buckets.len() as u32);
+        for &b in &h.buckets {
+            w.u64(b);
+        }
+    }
+}
+
+/// Total decoder for [`encode_metrics_snapshot`]'s format. Every count
+/// field is bounds-checked against the smallest possible entry size
+/// before any allocation.
+fn decode_metrics_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let n = r.u32()?;
+    if n as usize > r.remaining() / 12 {
+        return Err(WireError::BadLength(n));
+    }
+    let counters = (0..n)
+        .map(|_| Ok((r.string()?, r.u64()?)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let n = r.u32()?;
+    if n as usize > r.remaining() / 12 {
+        return Err(WireError::BadLength(n));
+    }
+    let gauges = (0..n)
+        .map(|_| Ok((r.string()?, r.u64()? as i64)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let n = r.u32()?;
+    if n as usize > r.remaining() / 24 {
+        return Err(WireError::BadLength(n));
+    }
+    let histograms = (0..n)
+        .map(|_| {
+            let name = r.string()?;
+            let count = r.u64()?;
+            let sum = r.u64()?;
+            let nb = r.u32()?;
+            if nb as usize > r.remaining() / 8 {
+                return Err(WireError::BadLength(nb));
+            }
+            let buckets = (0..nb).map(|_| r.u64()).collect::<Result<Vec<_>, WireError>>()?;
+            Ok((name, HistogramSnapshot { count, sum, buckets }))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(MetricsSnapshot { counters, gauges, histograms })
 }
 
 #[cfg(test)]
@@ -663,6 +790,8 @@ mod tests {
             Request::Reset { session: u64::MAX },
             Request::Close { session: 0 },
             Request::Shutdown,
+            Request::Metrics,
+            Request::TraceDump,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -683,10 +812,50 @@ mod tests {
             Response::Error(ServeError::Protocol("unknown message tag 99".into())),
             Response::Error(ServeError::ShuttingDown),
             Response::ShuttingDown,
+            Response::Metrics { snapshot: MetricsSnapshot::default() },
+            Response::Trace { events: Vec::new() },
         ];
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let mut hist = HistogramSnapshot::empty();
+        hist.count = 3;
+        hist.sum = 77;
+        hist.buckets[0] = 1;
+        hist.buckets[7] = 2;
+        let snapshot = MetricsSnapshot {
+            counters: vec![("serve.scheduler.ticks".into(), u64::MAX), ("net.frames_in".into(), 0)],
+            gauges: vec![("serve.sessions.live".into(), -3), ("queue".into(), i64::MIN)],
+            histograms: vec![("serve.scheduler.tick_ns".into(), hist)],
+        };
+        let resp = Response::Metrics { snapshot };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn trace_events_round_trip_and_reject_bad_kinds() {
+        let events = vec![
+            TraceEvent { seq: 0, at_us: 10, kind: TraceKind::Open, session: 1, detail: 0 },
+            TraceEvent { seq: 1, at_us: 25, kind: TraceKind::Park, session: 1, detail: 4 },
+            TraceEvent { seq: 2, at_us: 99, kind: TraceKind::Error, session: 1, detail: 3 },
+        ];
+        let resp = Response::Trace { events };
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        // Corrupt the first event's kind byte (offset: tag 1 + count 4 +
+        // seq 8 + at_us 8).
+        let mut bad = bytes.clone();
+        bad[1 + 4 + 16] = 250;
+        assert_eq!(Response::decode(&bad), Err(WireError::BadTag(250)));
+        // An implausible event count is rejected before allocation.
+        let mut w = Writer::new();
+        w.u8(8);
+        w.u32(u32::MAX);
+        assert!(matches!(Response::decode(&w.into_bytes()), Err(WireError::BadLength(_))));
     }
 
     #[test]

@@ -24,14 +24,20 @@
 //! fed the same inputs — regardless of co-tenants, joins, leaves or
 //! swaps. `tests/serve_conformance.rs` pins that end to end.
 
+use crate::metrics::ServeMetrics;
 use crate::protocol::{Response, ServeError, SessionSpec};
 use crate::server::ServeConfig;
-use hima_dnc::{BoxedEngine, EngineBuilder, LaneState};
+use hima_dnc::{BoxedEngine, EngineBuilder, KernelId, KernelProfile, LaneState};
+use hima_telemetry::{Histogram, TraceKind};
 use hima_tensor::{LaneMask, Matrix};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// With sampled engine timing on, fold the engine's accumulated
+/// [`KernelProfile`] into the registry every this many stepped ticks.
+const PROFILE_SAMPLE_TICKS: u32 = 64;
 
 /// A command routed to a group thread by the
 /// [`SessionHub`](crate::session::SessionHub).
@@ -55,8 +61,9 @@ struct Sess {
     /// Detached state while swapped out (`None` for a blank session —
     /// attaching then recycles the lane with `reset_lane`).
     parked: Option<LaneState>,
-    /// Pending step inputs, in step order.
-    queue: VecDeque<Vec<f32>>,
+    /// Pending step inputs in step order, each with its enqueue instant
+    /// (the start of the measured enqueue→output step latency).
+    queue: VecDeque<(Vec<f32>, Instant)>,
     /// The in-flight step command: reply channel, outputs accumulated so
     /// far, and how many are expected. At most one per session.
     reply: Option<(Sender<Response>, Vec<Vec<f32>>, usize)>,
@@ -66,6 +73,9 @@ struct Sess {
     /// Refreshed by every command and every stepped tick; drives
     /// idle-timeout reaping.
     last_activity: Instant,
+    /// This session's `serve.session.<id>.step_latency_us` histogram
+    /// (registered on open, dropped on close/reap).
+    latency: Histogram,
 }
 
 impl Sess {
@@ -89,6 +99,13 @@ struct Group {
     x: Matrix,
     y: Matrix,
     read_width: usize,
+    /// Server-wide metric handles and lifecycle trace.
+    metrics: Arc<ServeMetrics>,
+    /// Sampled engine timing: the profile totals already folded into the
+    /// registry (`None` when the opt-in path is off).
+    profile_base: Option<KernelProfile>,
+    /// Stepped ticks since the last profile sample.
+    ticks_since_sample: u32,
 }
 
 /// Runs a group's tick loop until its command channel disconnects (server
@@ -99,12 +116,15 @@ pub(crate) fn run_group(
     spec: SessionSpec,
     rx: Receiver<GroupCmd>,
     index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
+    metrics: Arc<ServeMetrics>,
 ) {
     let lanes = cfg.grid_lanes.max(1);
+    let profiling = metrics.engine_profiling();
     let engine = EngineBuilder::new(spec.params)
         .with_spec(spec.spec)
         .lanes(lanes)
         .seed(spec.seed)
+        .profiling(profiling)
         .build();
     let read_width = spec.params.read_heads * spec.params.word_size;
     let mut group = Group {
@@ -117,6 +137,9 @@ pub(crate) fn run_group(
         x: Matrix::zeros(lanes, spec.params.input_size),
         y: Matrix::zeros(lanes, spec.params.output_size),
         read_width,
+        metrics,
+        profile_base: profiling.then(KernelProfile::new),
+        ticks_since_sample: 0,
     };
 
     let mut disconnected = false;
@@ -154,6 +177,8 @@ pub(crate) fn run_group(
             break;
         }
     }
+    // Fold any engine time accumulated since the last periodic sample.
+    group.sample_profile(true);
 }
 
 impl Group {
@@ -169,8 +194,12 @@ impl Group {
                         reply: None,
                         last_read: vec![0.0; self.read_width],
                         last_activity: Instant::now(),
+                        latency: self.metrics.session_histogram(session),
                     },
                 );
+                self.metrics.sessions_opened.inc();
+                self.metrics.sessions_live.add(1);
+                self.metrics.trace(TraceKind::Open, session, 0);
                 let _ = reply.send(Response::Opened { session });
             }
             GroupCmd::Step { session, inputs, reply } => {
@@ -194,10 +223,12 @@ impl Group {
                     ))));
                     return;
                 }
-                sess.last_activity = Instant::now();
+                let now = Instant::now();
+                sess.last_activity = now;
                 let expected = inputs.len();
-                sess.queue.extend(inputs);
+                sess.queue.extend(inputs.into_iter().map(|row| (row, now)));
                 sess.reply = Some((reply, Vec::with_capacity(expected), expected));
+                self.metrics.queue_depth.add(expected as i64);
             }
             GroupCmd::ReadRows { session, reply } => {
                 let Some(sess) = self.sessions.get_mut(&session) else {
@@ -218,8 +249,12 @@ impl Group {
                 }
                 if let Some(lane) = sess.lane {
                     self.engine.reset_lane(lane);
+                    self.metrics.lane_resets.inc();
                 }
-                sess.parked = None;
+                if sess.parked.take().is_some() {
+                    self.metrics.sessions_parked.sub(1);
+                }
+                self.metrics.queue_depth.sub(sess.queue.len() as i64);
                 sess.queue.clear();
                 sess.last_read.fill(0.0);
                 sess.last_activity = Instant::now();
@@ -232,6 +267,10 @@ impl Group {
                             self.lanes[lane] = None;
                             self.free.push(lane);
                         }
+                        if sess.parked.is_some() {
+                            self.metrics.sessions_parked.sub(1);
+                        }
+                        self.metrics.queue_depth.sub(sess.queue.len() as i64);
                         // Abort any queued-but-unserved steps (cannot
                         // happen through the synchronous client, which
                         // holds the session busy until the reply).
@@ -239,6 +278,10 @@ impl Group {
                             let _ = reply.send(Response::Stepped { outputs });
                         }
                         self.index.lock().unwrap().remove(&session);
+                        self.metrics.sessions_closed.inc();
+                        self.metrics.sessions_live.sub(1);
+                        self.metrics.drop_session_histogram(session);
+                        self.metrics.trace(TraceKind::Close, session, 0);
                         let _ = reply.send(Response::Done);
                     }
                     None => {
@@ -267,6 +310,9 @@ impl Group {
         let lane = sess.lane.take().unwrap();
         sess.parked = Some(self.engine.export_lane(lane));
         self.lanes[lane] = None;
+        self.metrics.parks.inc();
+        self.metrics.sessions_parked.add(1);
+        self.metrics.trace(TraceKind::Park, victim, lane as u64);
         Some(lane)
     }
 
@@ -281,7 +327,7 @@ impl Group {
         pending.sort_unstable();
 
         let mut mask = vec![false; self.engine.batch()];
-        let mut stepping: Vec<(u64, usize)> = Vec::with_capacity(pending.len());
+        let mut stepping: Vec<(u64, usize, Instant)> = Vec::with_capacity(pending.len());
         for id in pending {
             let lane = match self.sessions[&id].lane {
                 Some(lane) => lane,
@@ -291,8 +337,16 @@ impl Group {
                         sess.lane = Some(lane);
                         self.lanes[lane] = Some(id);
                         match sess.parked.take() {
-                            Some(state) => self.engine.import_lane(lane, &state),
-                            None => self.engine.reset_lane(lane),
+                            Some(state) => {
+                                self.engine.import_lane(lane, &state);
+                                self.metrics.splices.inc();
+                                self.metrics.sessions_parked.sub(1);
+                                self.metrics.trace(TraceKind::Splice, id, lane as u64);
+                            }
+                            None => {
+                                self.engine.reset_lane(lane);
+                                self.metrics.lane_resets.inc();
+                            }
                         }
                         lane
                     }
@@ -302,23 +356,37 @@ impl Group {
                 },
             };
             let sess = self.sessions.get_mut(&id).unwrap();
-            let input = sess.queue.pop_front().unwrap();
+            let (input, enqueued) = sess.queue.pop_front().unwrap();
             self.x.row_mut(lane).copy_from_slice(&input);
             mask[lane] = true;
-            stepping.push((id, lane));
+            stepping.push((id, lane, enqueued));
         }
         if stepping.is_empty() {
             return;
         }
 
         let mask = LaneMask::from(mask);
+        let tick_start = Instant::now();
         self.engine.step_batch_masked_into(&self.x, &mask, &mut self.y);
+        let tick_ns = tick_start.elapsed().as_nanos() as u64;
+
+        let n = stepping.len();
+        self.metrics.ticks.inc();
+        self.metrics.steps.add(n as u64);
+        self.metrics.tick_ns.observe(tick_ns);
+        self.metrics.batch_size.observe(n as u64);
+        self.metrics.occupancy_pct.observe((n * 100 / self.engine.batch()) as u64);
+        self.metrics.active_lanes.set(n as i64);
+        self.metrics.queue_depth.sub(n as i64);
 
         let now = Instant::now();
-        for (id, lane) in stepping {
+        for (id, lane, enqueued) in stepping {
             let sess = self.sessions.get_mut(&id).unwrap();
             sess.last_read.copy_from_slice(self.engine.last_read_row(lane));
             sess.last_activity = now;
+            let latency_us = now.duration_since(enqueued).as_micros() as u64;
+            sess.latency.observe(latency_us);
+            self.metrics.step_latency_us.observe(latency_us);
             let (reply, mut outputs, expected) = sess.reply.take().unwrap();
             outputs.push(self.y.row(lane).to_vec());
             if outputs.len() == expected {
@@ -327,6 +395,33 @@ impl Group {
                 sess.reply = Some((reply, outputs, expected));
             }
         }
+
+        self.ticks_since_sample += 1;
+        self.sample_profile(false);
+    }
+
+    /// With sampled engine timing on, folds the delta between the
+    /// engine's cumulative [`KernelProfile`] and the last sampled
+    /// baseline into the registry's per-category counters. Runs every
+    /// [`PROFILE_SAMPLE_TICKS`] stepped ticks and once (`force`) at group
+    /// shutdown.
+    fn sample_profile(&mut self, force: bool) {
+        let Some(base) = &self.profile_base else { return };
+        if !force && self.ticks_since_sample < PROFILE_SAMPLE_TICKS {
+            return;
+        }
+        let cur = self.engine.profile();
+        let mut delta = KernelProfile::new();
+        for k in KernelId::ALL {
+            delta.record(
+                k,
+                cur.nanos(k).saturating_sub(base.nanos(k)),
+                cur.calls(k).saturating_sub(base.calls(k)),
+            );
+        }
+        self.metrics.record_profile_delta(&delta);
+        self.profile_base = Some(cur);
+        self.ticks_since_sample = 0;
     }
 
     /// Evicts sessions idle past the configured timeout. A session with
@@ -352,7 +447,14 @@ impl Group {
                 self.lanes[lane] = None;
                 self.free.push(lane);
             }
+            if sess.parked.is_some() {
+                self.metrics.sessions_parked.sub(1);
+            }
             index.remove(&id);
+            self.metrics.sessions_reaped.inc();
+            self.metrics.sessions_live.sub(1);
+            self.metrics.drop_session_histogram(id);
+            self.metrics.trace(TraceKind::Reap, id, 0);
         }
     }
 }

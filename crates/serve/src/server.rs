@@ -148,6 +148,7 @@ fn serve_connection(stream: TcpStream, hub: Arc<SessionHub>, stopping: Arc<Atomi
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    let metrics = Arc::clone(hub.metrics());
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(payload)) => payload,
@@ -155,18 +156,31 @@ fn serve_connection(stream: TcpStream, hub: Arc<SessionHub>, stopping: Arc<Atomi
             // over.
             Ok(None) | Err(_) => return,
         };
+        metrics.frames_in.inc();
+        metrics.bytes_in.add(payload.len() as u64 + 4);
         let resp = match Request::decode(&payload) {
             Ok(Request::Shutdown) => {
+                metrics.record_request(&Request::Shutdown);
                 stopping.store(true, Ordering::SeqCst);
                 Response::ShuttingDown
             }
-            Ok(_) if stopping.load(Ordering::SeqCst) => {
-                Response::Error(ServeError::ShuttingDown)
+            Ok(req) if stopping.load(Ordering::SeqCst) => {
+                metrics.record_request(&req);
+                let err = ServeError::ShuttingDown;
+                metrics.record_error(&err);
+                Response::Error(err)
             }
             Ok(req) => hub.dispatch(req),
-            Err(e) => Response::Error(ServeError::Protocol(e.to_string())),
+            Err(e) => {
+                let err = ServeError::Protocol(e.to_string());
+                metrics.record_error(&err);
+                Response::Error(err)
+            }
         };
-        if write_frame(&mut writer, &resp.encode()).is_err() {
+        let encoded = resp.encode();
+        metrics.frames_out.inc();
+        metrics.bytes_out.add(encoded.len() as u64 + 4);
+        if write_frame(&mut writer, &encoded).is_err() {
             return;
         }
     }

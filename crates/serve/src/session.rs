@@ -7,7 +7,13 @@
 //! global counter, so an id never repeats for the lifetime of a server —
 //! a closed or reaped id stays permanently unknown rather than aliasing
 //! a newer session.
+//!
+//! The hub also owns the server-wide [`ServeMetrics`]: every dispatch is
+//! counted under its `rpc.<command>` counter, every error reply under its
+//! `err.<kind>` counter, and the `Metrics` / `TraceDump` requests are
+//! answered here from the registry without touching any group thread.
 
+use crate::metrics::ServeMetrics;
 use crate::protocol::{Request, Response, ServeError};
 use crate::scheduler::{run_group, GroupCmd};
 use crate::server::ServeConfig;
@@ -26,6 +32,7 @@ pub struct SessionHub {
     /// canonical spec key → group command channel.
     groups: Mutex<HashMap<Vec<u8>, Sender<GroupCmd>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl SessionHub {
@@ -38,6 +45,7 @@ impl SessionHub {
             index: Arc::new(Mutex::new(HashMap::new())),
             groups: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
+            metrics: Arc::new(ServeMetrics::new()),
         }
     }
 
@@ -47,11 +55,23 @@ impl SessionHub {
         self.index.lock().unwrap().len()
     }
 
+    /// The server-wide metric catalog and lifecycle trace.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
     /// Executes one request synchronously and returns its reply. This is
     /// the whole serving semantics; the TCP layer is a dumb pipe around
     /// it (and in-process callers — tests, the load generator harness —
     /// can drive a hub directly).
     pub fn dispatch(&self, req: Request) -> Response {
+        self.metrics.record_request(&req);
+        let resp = self.dispatch_inner(req);
+        self.metrics.record_response(&resp);
+        resp
+    }
+
+    fn dispatch_inner(&self, req: Request) -> Response {
         match req {
             Request::Open { spec } => {
                 let spec = match spec.validate() {
@@ -67,9 +87,12 @@ impl SessionHub {
                             let (tx, rx) = channel();
                             let cfg = self.cfg;
                             let index = Arc::clone(&self.index);
-                            let handle =
-                                std::thread::spawn(move || run_group(cfg, spec, rx, index));
+                            let metrics = Arc::clone(&self.metrics);
+                            let handle = std::thread::spawn(move || {
+                                run_group(cfg, spec, rx, index, metrics)
+                            });
                             self.handles.lock().unwrap().push(handle);
+                            self.metrics.groups_live.add(1);
                             groups.insert(key, tx.clone());
                             tx
                         }
@@ -98,6 +121,10 @@ impl SessionHub {
             Request::Close { session } => {
                 self.route(session, |reply| GroupCmd::Close { session, reply })
             }
+            // Answered from the hub's own registry — never blocks on a
+            // group thread, so a snapshot is cheap even under full load.
+            Request::Metrics => Response::Metrics { snapshot: self.metrics.snapshot() },
+            Request::TraceDump => Response::Trace { events: self.metrics.trace_dump() },
             // The process-level stop is the server's call to make; a bare
             // hub just acknowledges.
             Request::Shutdown => Response::ShuttingDown,
@@ -133,9 +160,11 @@ impl SessionHub {
         self.groups.lock().unwrap().clear();
         self.index.lock().unwrap().clear();
         let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        let stopped = handles.len() as i64;
         for handle in handles {
             let _ = handle.join();
         }
+        self.metrics.groups_live.sub(stopped);
     }
 }
 
