@@ -70,12 +70,15 @@ fn usage() {
     eprintln!("                  timed against (and checked bit-equal to) the synchronous harness");
     eprintln!("  hima-cli babi <file>               parse a bAbI-format file and report stats");
     eprintln!("  hima-cli serve [--addr A] [--lanes N] [--tick-us T] [--idle-ms I]");
+    eprintln!("                 [--store DIR] [--snapshot-every K] [--max-parked P]");
     eprintln!("                 [--profile-engine]");
     eprintln!("                  run the session server until a client sends shutdown");
     eprintln!("                  (--profile-engine turns on sampled per-category engine timing)");
     eprintln!("  hima-cli session [--addr A] [--steps T] [--tiles N] [--quantized] [--shutdown]");
+    eprintln!("                 [--session ID] [--keep-open]");
     eprintln!("                  drive one session end-to-end against a running server");
-    eprintln!("                  (--shutdown asks the server to stop instead)");
+    eprintln!("                  (--shutdown asks the server to stop instead; --session drives");
+    eprintln!("                   an existing id, --keep-open skips the close)");
     eprintln!("  hima-cli metrics [--addr A] [--json] [--trace] [--check]");
     eprintln!("                  fetch the server-wide telemetry snapshot from a running server");
     eprintln!("                  (--trace adds the lifecycle event ring; --check exits non-zero");
@@ -337,6 +340,7 @@ fn serve(args: &[String]) {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut cfg = ServeConfig::default();
     let mut profile_engine = false;
+    let mut store: Option<StoreConfig> = None;
     fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
         v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
     }
@@ -353,13 +357,33 @@ fn serve(args: &[String]) {
                     Some(Duration::from_millis(num(it.next(), "--idle-ms needs an integer")))
             }
             "--profile-engine" => profile_engine = true,
+            "--store" => {
+                let dir = it.next().cloned().unwrap_or_else(|| bail("--store needs a directory"));
+                store = Some(StoreConfig::new(dir));
+            }
+            "--snapshot-every" => {
+                let every = num(it.next(), "--snapshot-every needs a positive integer");
+                store.as_mut().unwrap_or_else(|| bail("--snapshot-every requires --store")).
+                    snapshot_every = every;
+            }
+            "--max-parked" => {
+                let cap = num(it.next(), "--max-parked needs an integer");
+                store.as_mut().unwrap_or_else(|| bail("--max-parked requires --store")).max_parked =
+                    cap;
+            }
             other => bail(&format!("unknown flag {other:?}")),
         }
     }
     if cfg.grid_lanes == 0 {
         bail::<()>("--lanes must be positive");
     }
-    let mut server = match Server::bind(addr.as_str(), cfg) {
+    if let Some(sc) = &store {
+        if sc.snapshot_every == 0 {
+            bail::<()>("--snapshot-every must be positive");
+        }
+    }
+    let store_note = store.as_ref().map(|sc| format!(", store {}", sc.dir.display()));
+    let mut server = match Server::bind_with_store(addr.as_str(), cfg, store) {
         Ok(s) => s,
         Err(e) => bail(&format!("cannot bind {addr}: {e}")),
     };
@@ -369,11 +393,12 @@ fn serve(args: &[String]) {
         server.hub().metrics().set_engine_profiling(true);
     }
     println!(
-        "serving on {} ({} grid lanes, tick {:?}{})",
+        "serving on {} ({} grid lanes, tick {:?}{}{})",
         server.addr(),
         cfg.grid_lanes,
         cfg.tick,
-        if profile_engine { ", engine profiling on" } else { "" }
+        if profile_engine { ", engine profiling on" } else { "" },
+        store_note.as_deref().unwrap_or("")
     );
     server.wait_for_shutdown();
     println!("shutdown requested, draining");
@@ -383,13 +408,18 @@ fn serve(args: &[String]) {
 
 /// Drives one demo session against a running server: open, `--steps`
 /// synthetic steps, query the read row, close — or, with `--shutdown`,
-/// asks the server process to stop.
+/// asks the server process to stop. `--session ID` drives an existing
+/// session (e.g. one adopted from a store after a restart) instead of
+/// opening; `--keep-open` skips the close so the session outlives this
+/// invocation.
 fn session(args: &[String]) {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut steps = 20usize;
     let mut tiles = 1usize;
     let mut quantized = false;
     let mut shutdown = false;
+    let mut keep_open = false;
+    let mut existing: Option<u64> = None;
     fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
         v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
     }
@@ -401,6 +431,8 @@ fn session(args: &[String]) {
             "--tiles" => tiles = num(it.next(), "--tiles needs a positive integer"),
             "--quantized" => quantized = true,
             "--shutdown" => shutdown = true,
+            "--keep-open" => keep_open = true,
+            "--session" => existing = Some(num(it.next(), "--session needs an id")),
             other => bail(&format!("unknown flag {other:?}")),
         }
     }
@@ -429,11 +461,19 @@ fn session(args: &[String]) {
         raw.int_bits = 16;
         raw.frac_bits = 16;
     }
-    let session = match client.open(&raw) {
-        Ok(id) => id,
-        Err(e) => bail(&format!("open failed: {e}")),
+    let session = match existing {
+        Some(id) => {
+            println!("session {id} (existing) on {addr}");
+            id
+        }
+        None => match client.open(&raw) {
+            Ok(id) => id,
+            Err(e) => bail(&format!("open failed: {e}")),
+        },
     };
-    println!("session {session} open on {addr}");
+    if existing.is_none() {
+        println!("session {session} open on {addr}");
+    }
     let width = raw.input_size as usize;
     let start = Instant::now();
     let mut last = Vec::new();
@@ -449,6 +489,10 @@ fn session(args: &[String]) {
     match client.read_rows(session) {
         Ok(read) => println!("read row      : {} values, first {:?}", read.len(), &read[..read.len().min(4)]),
         Err(e) => bail(&format!("read-rows failed: {e}")),
+    }
+    if keep_open {
+        println!("session {session} left open");
+        return;
     }
     if let Err(e) = client.close_session(session) {
         bail::<()>(&format!("close failed: {e}"));

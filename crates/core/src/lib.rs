@@ -18,6 +18,9 @@
 //! * [`serve`] — the session server: long-lived per-session DNC state
 //!   continuously batched over masked lane grids, with a binary wire
 //!   protocol, typed client and open-loop load generator,
+//! * [`store`] — the durable session tier: versioned lane-state
+//!   snapshots plus a CRC-guarded step delta log, giving the server
+//!   evict-to-disk, transparent rehydration and kill-recovery,
 //! * [`telemetry`] — the std-only observability substrate: atomic
 //!   metrics registry, log₂ latency histograms and a bounded
 //!   session-lifecycle event trace, exposed over the serve protocol.
@@ -54,6 +57,7 @@ pub use hima_noc as noc;
 pub use hima_pipeline as pipeline;
 pub use hima_serve as serve;
 pub use hima_sort as sort;
+pub use hima_store as store;
 pub use hima_tasks as tasks;
 pub use hima_telemetry as telemetry;
 pub use hima_tensor as tensor;
@@ -78,8 +82,9 @@ pub mod prelude {
         run_pipeline, EpisodeCtx, EpisodeJob, FeatureSteps, PipelineSpec,
     };
     pub use hima_serve::{
-        Client, RawSessionSpec, ServeConfig, ServeError, Server, SessionHub,
+        Client, RawSessionSpec, ServeConfig, ServeError, Server, SessionHub, StoreConfig,
     };
+    pub use hima_store::{SessionStore, StoreError};
     pub use hima_tasks::{relative_error, EvalConfig, TaskSpec, TASKS};
     pub use hima_telemetry::{MetricsRegistry, MetricsSnapshot, TraceRing};
     pub use hima_tensor::{softmax, softmax_approx, Fixed, Matrix, PlaSoftmax, QFormat};

@@ -138,15 +138,19 @@ impl LaneMemory {
 ///
 /// The fields are intentionally private: a `LaneState` is an opaque
 /// value that only the engine that understands its geometry can consume.
+/// For durability the opaque value still crosses a process boundary —
+/// [`LaneState::encode`]/[`LaneState::decode`] (in [`crate::persist`])
+/// are the versioned binary codec the session store persists, and the
+/// round trip is bit-exact on every topology × datapath combination.
 #[derive(Debug, Clone)]
 pub struct LaneState {
-    lstm: LstmState,
+    pub(crate) lstm: LstmState,
     /// One `(memory unit, flattened shard read vector)` per shard.
-    shards: Vec<(LaneMemory, Vec<f32>)>,
+    pub(crate) shards: Vec<(LaneMemory, Vec<f32>)>,
     /// The lane's merged `R·W` read-vector row (`last_read`).
-    read: Vec<f32>,
+    pub(crate) read: Vec<f32>,
     /// The lane's held `H` hidden row (`last_hidden`).
-    hidden: Vec<f32>,
+    pub(crate) hidden: Vec<f32>,
 }
 
 impl LaneState {
@@ -154,6 +158,12 @@ impl LaneState {
     /// engines, `N_t` for sharded ones).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The lane's merged `R·W` read-vector row — what `ReadRows` reports
+    /// for the session while its state is detached from any grid.
+    pub fn read_row(&self) -> &[f32] {
+        &self.read
     }
 
     /// Approximate heap footprint of the snapshot in `f32` elements —

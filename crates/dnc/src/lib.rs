@@ -66,6 +66,7 @@ pub mod interface;
 pub mod linkage;
 pub mod lstm;
 pub mod memory;
+pub mod persist;
 pub mod profile;
 pub mod quantized;
 pub mod usage;
@@ -80,6 +81,7 @@ pub use engine::MemoryEngine;
 pub use interface::InterfaceVector;
 pub use lstm::LstmScratch;
 pub use memory::{MemoryConfig, MemoryUnit};
+pub use persist::StateCodecError;
 pub use profile::{KernelCategory, KernelId, KernelProfile};
 pub use quantized::{DatapathStudy, QuantizedMemoryUnit};
 pub use workspace::StepWorkspace;

@@ -51,6 +51,19 @@ impl TemporalLinkage {
         &self.precedence
     }
 
+    /// Overwrites the linkage state from a decoded snapshot (the
+    /// [`LaneState`](crate::LaneState) codec's restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linkage` is not `n × n` for `n = precedence.len()`.
+    pub(crate) fn restore(&mut self, linkage: Matrix, precedence: Vec<f32>) {
+        assert_eq!(linkage.rows(), precedence.len(), "linkage rows mismatch");
+        assert_eq!(linkage.cols(), precedence.len(), "linkage cols mismatch");
+        self.linkage = linkage;
+        self.precedence = precedence;
+    }
+
     /// Applies one write weighting: updates `L` from the *previous*
     /// precedence, then updates `p`.
     ///

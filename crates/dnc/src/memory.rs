@@ -289,6 +289,41 @@ impl MemoryUnit {
         self.norms_valid = false;
     }
 
+    /// Overwrites every persistent state memory from a decoded snapshot
+    /// (the [`LaneState`](crate::LaneState) codec's restore path). The
+    /// transient machinery — sorter, PLA tables, scratch, kernel profile
+    /// and the row-norm cache — is reconstructible from the configuration
+    /// and is left alone, except that the norm cache is invalidated
+    /// because the memory contents just changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer disagrees with the configured geometry (the
+    /// codec validates shapes before calling this).
+    pub(crate) fn restore_state(
+        &mut self,
+        memory: Matrix,
+        usage: Vec<f32>,
+        linkage: Matrix,
+        precedence: Vec<f32>,
+        write_weighting: Vec<f32>,
+        read_weightings: Vec<Vec<f32>>,
+    ) {
+        let n = self.config.memory_size;
+        assert_eq!((memory.rows(), memory.cols()), (n, self.config.word_size), "memory shape");
+        assert_eq!(usage.len(), n, "usage length");
+        assert_eq!(precedence.len(), n, "precedence length");
+        assert_eq!(write_weighting.len(), n, "write weighting length");
+        assert_eq!(read_weightings.len(), self.config.read_heads, "read head count");
+        assert!(read_weightings.iter().all(|w| w.len() == n), "read weighting length");
+        self.memory = memory;
+        self.usage = usage;
+        self.linkage.restore(linkage, precedence);
+        self.write_weighting = write_weighting;
+        self.read_weightings = read_weightings;
+        self.norms_valid = false;
+    }
+
     /// Resets all memory and state (weights/config unchanged) in place —
     /// no buffer is reallocated, so engine reuse across episodes stays
     /// allocation-free.

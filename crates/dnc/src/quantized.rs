@@ -48,6 +48,14 @@ impl QuantizedMemoryUnit {
         &self.inner
     }
 
+    /// Mutable access to the wrapped unit — the
+    /// [`LaneState`](crate::LaneState) codec's restore path (state bytes
+    /// were rounded to the Q-format before they were snapshotted, so
+    /// writing them back verbatim preserves the datapath invariant).
+    pub(crate) fn inner_mut(&mut self) -> &mut MemoryUnit {
+        &mut self.inner
+    }
+
     /// The number format state is rounded to.
     pub fn format(&self) -> QFormat {
         self.format

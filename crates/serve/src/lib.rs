@@ -8,7 +8,11 @@
 //! into a long-lived serving system:
 //!
 //! * [`session`] — the session registry: ids, per-configuration engine
-//!   groups, routing, idle-timeout reaping,
+//!   groups, routing, idle-timeout reaping, and the optional durable
+//!   tier ([`StoreConfig`]): sessions evict to an `hima-store` directory
+//!   instead of being discarded, rehydrate transparently on their next
+//!   command, and survive a process kill via snapshot + delta-log
+//!   replay,
 //! * `scheduler` (private) — the continuous-batching tick loop: pending step
 //!   requests coalesce into one masked grid step per tick; sessions join
 //!   and leave lanes between ticks, and swap out through the
@@ -64,5 +68,5 @@ pub use loadgen::{percentile, run_load, ArrivalPattern, LoadConfig, LoadReport};
 pub use metrics::ServeMetrics;
 pub use protocol::{RawSessionSpec, Request, Response, ServeError, SessionSpec, WireError};
 pub use server::{ServeConfig, Server};
-pub use session::SessionHub;
+pub use session::{SessionHub, StoreConfig};
 pub use hima_telemetry::{MetricsSnapshot, TraceEvent, TraceKind};

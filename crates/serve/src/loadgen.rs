@@ -95,12 +95,18 @@ pub struct LoadReport {
 
 /// Nearest-rank percentile over an **ascending-sorted** slice of
 /// nanosecond latencies; `p` in `[0, 1]`. Empty input → zero.
+///
+/// Nearest-rank means rank `⌈p·N⌉` (1-based, clamped to `[1, N]`): the
+/// smallest value such that at least `p·N` samples are ≤ it. In
+/// particular `p = 0.5` over an even-length slice is the *lower* of the
+/// two middle values, and `p = 1.0` is exactly the maximum.
 pub fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
-    if sorted_ns.is_empty() {
+    let len = sorted_ns.len();
+    if len == 0 {
         return Duration::ZERO;
     }
-    let idx = ((sorted_ns.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-    Duration::from_nanos(sorted_ns[idx.min(sorted_ns.len() - 1)])
+    let rank = (p.clamp(0.0, 1.0) * len as f64).ceil() as usize;
+    Duration::from_nanos(sorted_ns[rank.clamp(1, len) - 1])
 }
 
 /// Deterministic synthetic input row for `(session, step)`.
@@ -167,5 +173,54 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         p99_step: percentile(&latencies, 0.99),
         max_step: latencies.last().copied().map(Duration::from_nanos).unwrap_or(Duration::ZERO),
         failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        // The Wikipedia nearest-rank worked example: for
+        // [15, 20, 35, 40, 50], P30 → 20 (rank ⌈0.30·5⌉ = 2) and
+        // P40 → 20, P50 → 35, P100 → 50.
+        let v = [15, 20, 35, 40, 50];
+        assert_eq!(percentile(&v, 0.30), Duration::from_nanos(20));
+        assert_eq!(percentile(&v, 0.40), Duration::from_nanos(20));
+        assert_eq!(percentile(&v, 0.50), Duration::from_nanos(35));
+        assert_eq!(percentile(&v, 1.00), Duration::from_nanos(50));
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        // p = 0 clamps to rank 1 (the minimum), never indexes at -1.
+        assert_eq!(percentile(&[7, 9], 0.0), Duration::from_nanos(7));
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(&[7, 9], -1.0), Duration::from_nanos(7));
+        assert_eq!(percentile(&[7, 9], 2.0), Duration::from_nanos(9));
+        // Even length, p = 0.5: nearest-rank picks the *lower* middle
+        // value (rank ⌈0.5·4⌉ = 2). The old `((N-1)·p).round()` formula
+        // returned the upper one (index 1.5 rounds to 2 → value 3).
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.5), Duration::from_nanos(2));
+        // Odd length, p = 0.5: the true median.
+        assert_eq!(percentile(&[1, 2, 3], 0.5), Duration::from_nanos(2));
+        // Single sample: every percentile is that sample.
+        assert_eq!(percentile(&[42], 0.01), Duration::from_nanos(42));
+        assert_eq!(percentile(&[42], 0.99), Duration::from_nanos(42));
+    }
+
+    #[test]
+    fn percentile_one_is_max_and_is_monotone() {
+        let v: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        assert_eq!(percentile(&v, 1.0), Duration::from_nanos(297));
+        let mut last = Duration::ZERO;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let q = percentile(&v, p);
+            assert!(q >= last, "p{i}: {q:?} < {last:?}");
+            last = q;
+        }
     }
 }

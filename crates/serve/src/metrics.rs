@@ -26,6 +26,13 @@
 //! | `serve.scheduler.occupancy_pct` | histogram | stepped lanes as % of grid per tick |
 //! | `serve.session.step_latency_us` | histogram | enqueue→output latency, all sessions |
 //! | `serve.session.<id>.step_latency_us` | histogram | same, per live session |
+//! | `store.evictions` / `.rehydrations` | counter | sessions spilled to disk / rebuilt from it |
+//! | `store.recovered` | counter | stored sessions adopted at hub boot |
+//! | `store.log_appends` | counter | step records appended to delta logs |
+//! | `store.torn_tails` | counter | delta logs recovered past a torn tail |
+//! | `store.errors` | counter | store I/O or corruption failures |
+//! | `store.snapshot_bytes` / `.snapshot_us` | histogram | encoded snapshot size / encode+write wall time |
+//! | `store.replay_steps` | histogram | delta-log steps replayed per rehydration |
 //! | `engine.profile.samples` | counter | sampled `KernelProfile` deltas folded in |
 //! | `engine.profile.<category>_ns` | counter | per-category engine ns (opt-in sampling) |
 //! | `net.frames_in` / `.frames_out` / `.bytes_in` / `.bytes_out` | counter | wire traffic |
@@ -94,6 +101,25 @@ pub struct ServeMetrics {
     /// `serve.session.step_latency_us` (all sessions pooled).
     pub step_latency_us: Histogram,
 
+    /// `store.evictions`.
+    pub store_evictions: Counter,
+    /// `store.rehydrations`.
+    pub store_rehydrations: Counter,
+    /// `store.recovered`.
+    pub store_recovered: Counter,
+    /// `store.log_appends`.
+    pub store_log_appends: Counter,
+    /// `store.torn_tails`.
+    pub store_torn_tails: Counter,
+    /// `store.errors`.
+    pub store_errors: Counter,
+    /// `store.snapshot_bytes`.
+    pub store_snapshot_bytes: Histogram,
+    /// `store.snapshot_us`.
+    pub store_snapshot_us: Histogram,
+    /// `store.replay_steps`.
+    pub store_replay_steps: Histogram,
+
     /// `engine.profile.samples`.
     pub profile_samples: Counter,
     /// `engine.profile.<category>_ns`, in [`KernelCategory::ALL`] order.
@@ -111,7 +137,7 @@ pub struct ServeMetrics {
     /// `rpc.<command>` counters indexed like [`Request`] wire tags − 1.
     rpc: [Counter; 9],
     /// `err.<kind>` counters indexed like [`ServeError`] wire subtags − 1.
-    err: [Counter; 6],
+    err: [Counter; 7],
 }
 
 impl Default for ServeMetrics {
@@ -127,8 +153,15 @@ impl ServeMetrics {
         let r = &registry;
         let rpc_names =
             ["open", "step", "step_stream", "read_rows", "reset", "close", "shutdown", "metrics", "trace_dump"];
-        let err_names =
-            ["bad_spec", "unknown_session", "session_busy", "bad_input", "protocol", "shutting_down"];
+        let err_names = [
+            "bad_spec",
+            "unknown_session",
+            "session_busy",
+            "bad_input",
+            "protocol",
+            "shutting_down",
+            "store",
+        ];
         let metrics = ServeMetrics {
             sessions_opened: r.counter("serve.sessions.opened"),
             sessions_closed: r.counter("serve.sessions.closed"),
@@ -147,6 +180,15 @@ impl ServeMetrics {
             batch_size: r.histogram("serve.scheduler.batch_size"),
             occupancy_pct: r.histogram("serve.scheduler.occupancy_pct"),
             step_latency_us: r.histogram("serve.session.step_latency_us"),
+            store_evictions: r.counter("store.evictions"),
+            store_rehydrations: r.counter("store.rehydrations"),
+            store_recovered: r.counter("store.recovered"),
+            store_log_appends: r.counter("store.log_appends"),
+            store_torn_tails: r.counter("store.torn_tails"),
+            store_errors: r.counter("store.errors"),
+            store_snapshot_bytes: r.histogram("store.snapshot_bytes"),
+            store_snapshot_us: r.histogram("store.snapshot_us"),
+            store_replay_steps: r.histogram("store.replay_steps"),
             profile_samples: r.counter("engine.profile.samples"),
             profile_category_ns: CATEGORY_NAMES
                 .map(|name| r.counter(&format!("engine.profile.{name}_ns"))),
@@ -244,6 +286,7 @@ impl ServeMetrics {
             ServeError::BadInput(_) => (3, 0),
             ServeError::Protocol(_) => (4, 0),
             ServeError::ShuttingDown => (5, 0),
+            ServeError::Store(_) => (6, 0),
         };
         self.err[idx].inc();
         let kind = if matches!(e, ServeError::SessionBusy(_)) {
@@ -287,12 +330,18 @@ mod tests {
             "net.frames_in",
             "rpc.step_stream",
             "err.session_busy",
+            "err.store",
             "engine.profile.samples",
+            "store.evictions",
+            "store.rehydrations",
+            "store.log_appends",
         ] {
             assert!(snap.counter(name).is_some(), "{name} missing");
         }
         assert!(snap.gauge("serve.sessions.live").is_some());
         assert!(snap.histogram("serve.scheduler.tick_ns").is_some());
+        assert!(snap.histogram("store.snapshot_bytes").is_some());
+        assert!(snap.histogram("store.replay_steps").is_some());
         assert!(snap.histogram("serve.session.step_latency_us").is_some());
     }
 

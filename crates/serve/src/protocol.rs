@@ -106,7 +106,10 @@ impl<'a> Reader<'a> {
     /// Reads a `u32`-counted `f32` vector.
     pub fn vec_f32(&mut self) -> Result<Vec<f32>, WireError> {
         let n = self.u32()?;
-        if n > MAX_FRAME / 4 || (n as usize) * 4 > self.remaining() {
+        // Bound by division, never `n * 4`: on a 32-bit target the
+        // multiplication can wrap for counts near `u32::MAX` and admit a
+        // length the payload cannot actually satisfy.
+        if n > MAX_FRAME / 4 || n as usize > self.remaining() / 4 {
             return Err(WireError::BadLength(n));
         }
         (0..n).map(|_| self.f32()).collect()
@@ -351,7 +354,10 @@ impl RawSessionSpec {
         Ok(SessionSpec { params, spec, seed: self.seed })
     }
 
-    fn encode(&self, w: &mut Writer) {
+    /// Canonical field-order encoding — also the byte layout of
+    /// [`SessionSpec::group_key`], which the session store persists to
+    /// route stored sessions back to their engine group on restart.
+    pub(crate) fn encode(&self, w: &mut Writer) {
         w.u32(self.memory_size);
         w.u32(self.word_size);
         w.u32(self.read_heads);
@@ -369,7 +375,7 @@ impl RawSessionSpec {
         w.u64(self.seed);
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Self {
             memory_size: r.u32()?,
             word_size: r.u32()?,
@@ -532,6 +538,9 @@ pub enum ServeError {
     Protocol(String),
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The session store failed (I/O, corruption, or a stored state that
+    /// no longer matches its configuration).
+    Store(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -543,6 +552,7 @@ impl std::fmt::Display for ServeError {
             ServeError::BadInput(m) => write!(f, "bad step input: {m}"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Store(m) => write!(f, "session store error: {m}"),
         }
     }
 }
@@ -632,6 +642,10 @@ impl Response {
                         w.string(m);
                     }
                     ServeError::ShuttingDown => w.u8(6),
+                    ServeError::Store(m) => {
+                        w.u8(7);
+                        w.string(m);
+                    }
                 }
             }
             Response::ShuttingDown => w.u8(6),
@@ -677,6 +691,7 @@ impl Response {
                 4 => ServeError::BadInput(r.string()?),
                 5 => ServeError::Protocol(r.string()?),
                 6 => ServeError::ShuttingDown,
+                7 => ServeError::Store(r.string()?),
                 t => return Err(WireError::BadTag(t)),
             }),
             6 => Response::ShuttingDown,
@@ -811,6 +826,7 @@ mod tests {
             Response::Error(ServeError::BadInput("want 4 got 3".into())),
             Response::Error(ServeError::Protocol("unknown message tag 99".into())),
             Response::Error(ServeError::ShuttingDown),
+            Response::Error(ServeError::Store("snapshot checksum mismatch".into())),
             Response::ShuttingDown,
             Response::Metrics { snapshot: MetricsSnapshot::default() },
             Response::Trace { events: Vec::new() },
@@ -890,6 +906,43 @@ mod tests {
         w.u64(1);
         w.u32(u32::MAX);
         assert!(matches!(Request::decode(&w.into_bytes()), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn vec_f32_length_guard_holds_at_the_frame_boundary() {
+        // Counts just past what the payload holds are rejected without
+        // wrapping: on a 32-bit usize, `n * 4` overflows for counts of
+        // 2^30 and above, so the guard must divide, never multiply.
+        for n in [1u32 << 30, (1 << 30) + 1, u32::MAX / 4, u32::MAX] {
+            let mut w = Writer::new();
+            w.u32(n);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.vec_f32(), Err(WireError::BadLength(n)), "count {n} accepted");
+        }
+        // The largest count a maximal frame can carry decodes; the
+        // boundary is exact (one element fewer than claimed → rejected).
+        let n = 4u32;
+        let mut w = Writer::new();
+        w.vec_f32(&vec![1.5f32; n as usize]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.vec_f32().unwrap().len(), n as usize);
+        let mut w = Writer::new();
+        w.u32(n);
+        for _ in 0..n - 1 {
+            w.f32(0.0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.vec_f32(), Err(WireError::BadLength(n)));
+        // MAX_FRAME / 4 itself passes the cap check (payload-size check
+        // then applies); MAX_FRAME / 4 + 1 is categorically rejected.
+        let mut w = Writer::new();
+        w.u32(MAX_FRAME / 4 + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.vec_f32(), Err(WireError::BadLength(MAX_FRAME / 4 + 1)));
     }
 
     #[test]

@@ -23,14 +23,35 @@
 //! produces **bit-identical** outputs to a dedicated single-lane engine
 //! fed the same inputs — regardless of co-tenants, joins, leaves or
 //! swaps. `tests/serve_conformance.rs` pins that end to end.
+//!
+//! # Durability tier
+//!
+//! With a [`SessionStore`] configured, the in-RAM park tier gains a
+//! disk tier below it:
+//!
+//! * every served step is appended to the session's CRC-guarded delta
+//!   log, and every `snapshot_every` steps the lane state is snapshotted
+//!   (which compacts the log),
+//! * the idle-timeout sweep **evicts** instead of reaping: the session's
+//!   state is snapshotted to disk, dropped from RAM, and the id stays
+//!   routable — its next command transparently **rehydrates** it
+//!   (snapshot decode + replay of unapplied log records through the
+//!   grid), bit-identically,
+//! * when more than `max_parked` detached states accumulate in RAM, the
+//!   least-recently-active ones spill to disk the same way.
+//!
+//! Replayed steps run through the ordinary masked grid but answer no
+//! client and append no log records; a `ReadRows` that arrives while a
+//! replay is draining is deferred until the recovered state is current.
 
 use crate::metrics::ServeMetrics;
 use crate::protocol::{Response, ServeError, SessionSpec};
 use crate::server::ServeConfig;
 use hima_dnc::{BoxedEngine, EngineBuilder, KernelId, KernelProfile, LaneState};
+use hima_store::SessionStore;
 use hima_telemetry::{Histogram, TraceKind};
 use hima_tensor::{LaneMask, Matrix};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -52,6 +73,20 @@ pub(crate) enum GroupCmd {
     Reset { session: u64, reply: Sender<Response> },
     /// Close the session.
     Close { session: u64, reply: Sender<Response> },
+    /// Register a session found in the store at hub boot as spilled; it
+    /// rehydrates lazily on its first command. Fire-and-forget.
+    Adopt { session: u64 },
+}
+
+/// Store wiring handed to a group at spawn (see
+/// [`StoreConfig`](crate::session::StoreConfig) for the policy knobs).
+pub(crate) struct GroupStore {
+    /// The shared on-disk session store.
+    pub store: Arc<SessionStore>,
+    /// Snapshot + compact a session's log every this many logged steps.
+    pub snapshot_every: u64,
+    /// Spill LRU detached states to disk beyond this many parked in RAM.
+    pub max_parked: usize,
 }
 
 /// Per-session scheduler state.
@@ -76,6 +111,20 @@ struct Sess {
     /// This session's `serve.session.<id>.step_latency_us` histogram
     /// (registered on open, dropped on close/reap).
     latency: Histogram,
+    /// Steps applied to this session over its whole life (survives
+    /// evict/rehydrate) — the delta-log sequence number of the latest
+    /// step and the `step_seq` a snapshot is stamped with.
+    seq: u64,
+    /// Logged steps since the last snapshot; drives periodic compaction.
+    since_snapshot: u64,
+    /// Queued rows at the front of `queue` that are recovery replay:
+    /// they step the grid but answer no client and append no log record.
+    replay_left: usize,
+    /// `ReadRows` replies deferred until `replay_left` drains.
+    pending_reads: Vec<Sender<Response>>,
+    /// Open delta-log writer (lazy; dropped before compaction, because
+    /// compaction deletes the log file out from under stale handles).
+    log: Option<hima_store::LogWriter>,
 }
 
 impl Sess {
@@ -106,6 +155,17 @@ struct Group {
     profile_base: Option<KernelProfile>,
     /// Stepped ticks since the last profile sample.
     ticks_since_sample: u32,
+    /// The durability tier (`None` = RAM only; idle-reap then discards).
+    store: Option<GroupStore>,
+    /// This group's canonical spec key — what its sessions' store files
+    /// are stamped with.
+    spec_key: Vec<u8>,
+    /// Sessions living only in the store right now; still routable, and
+    /// rehydrated on their next command.
+    spilled: HashSet<u64>,
+    /// A blank lane's state, for non-panicking geometry checks against
+    /// decoded snapshots before `import_lane` (which asserts).
+    template: Option<LaneState>,
 }
 
 /// Runs a group's tick loop until its command channel disconnects (server
@@ -117,9 +177,11 @@ pub(crate) fn run_group(
     rx: Receiver<GroupCmd>,
     index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
     metrics: Arc<ServeMetrics>,
+    store: Option<GroupStore>,
 ) {
     let lanes = cfg.grid_lanes.max(1);
     let profiling = metrics.engine_profiling();
+    let spec_key = spec.group_key();
     let engine = EngineBuilder::new(spec.params)
         .with_spec(spec.spec)
         .lanes(lanes)
@@ -127,6 +189,7 @@ pub(crate) fn run_group(
         .profiling(profiling)
         .build();
     let read_width = spec.params.read_heads * spec.params.word_size;
+    let template = store.as_ref().map(|_| engine.export_lane(0));
     let mut group = Group {
         cfg,
         engine,
@@ -140,6 +203,10 @@ pub(crate) fn run_group(
         metrics,
         profile_base: profiling.then(KernelProfile::new),
         ticks_since_sample: 0,
+        store,
+        spec_key,
+        spilled: HashSet::new(),
+        template,
     };
 
     let mut disconnected = false;
@@ -173,6 +240,7 @@ pub(crate) fn run_group(
         }
         group.step_tick();
         group.reap();
+        group.spill_lru();
         if disconnected && group.sessions.values().all(Sess::idle) {
             break;
         }
@@ -182,21 +250,56 @@ pub(crate) fn run_group(
 }
 
 impl Group {
+    /// A fresh blank session record (open, or reset-from-spilled).
+    fn blank_sess(&self, session: u64) -> Sess {
+        Sess {
+            lane: None,
+            parked: None,
+            queue: VecDeque::new(),
+            reply: None,
+            last_read: vec![0.0; self.read_width],
+            last_activity: Instant::now(),
+            latency: self.metrics.session_histogram(session),
+            seq: 0,
+            since_snapshot: 0,
+            replay_left: 0,
+            pending_reads: Vec::new(),
+            log: None,
+        }
+    }
+
+    /// Deletes a session's store files, counting failures.
+    fn drop_store_files(&self, session: u64) {
+        if let Some(gs) = &self.store {
+            if gs.store.remove(session).is_err() {
+                self.metrics.store_errors.inc();
+            }
+        }
+    }
+
     fn handle(&mut self, cmd: GroupCmd) {
+        // Step and read commands addressed to a spilled session pull it
+        // back into RAM first; close/reset only touch the store files.
+        let target = match &cmd {
+            GroupCmd::Step { session, .. } | GroupCmd::ReadRows { session, .. } => Some(*session),
+            _ => None,
+        };
+        if let Some(session) = target {
+            if self.spilled.contains(&session) {
+                if let Err(e) = self.rehydrate(session) {
+                    let (GroupCmd::Step { reply, .. } | GroupCmd::ReadRows { reply, .. }) = cmd
+                    else {
+                        unreachable!()
+                    };
+                    let _ = reply.send(Response::Error(e));
+                    return;
+                }
+            }
+        }
         match cmd {
             GroupCmd::Open { session, reply } => {
-                self.sessions.insert(
-                    session,
-                    Sess {
-                        lane: None,
-                        parked: None,
-                        queue: VecDeque::new(),
-                        reply: None,
-                        last_read: vec![0.0; self.read_width],
-                        last_activity: Instant::now(),
-                        latency: self.metrics.session_histogram(session),
-                    },
-                );
+                let blank = self.blank_sess(session);
+                self.sessions.insert(session, blank);
                 self.metrics.sessions_opened.inc();
                 self.metrics.sessions_live.add(1);
                 self.metrics.trace(TraceKind::Open, session, 0);
@@ -236,9 +339,24 @@ impl Group {
                     return;
                 };
                 sess.last_activity = Instant::now();
+                if sess.replay_left > 0 {
+                    // Recovery replay still draining: answer once the
+                    // re-applied log has caught the state up.
+                    sess.pending_reads.push(reply);
+                    return;
+                }
                 let _ = reply.send(Response::Rows { read: sess.last_read.clone() });
             }
             GroupCmd::Reset { session, reply } => {
+                if self.spilled.remove(&session) {
+                    // Reset of a spilled session never rehydrates: the
+                    // stored state is discarded and it restarts blank.
+                    self.drop_store_files(session);
+                    let blank = self.blank_sess(session);
+                    self.sessions.insert(session, blank);
+                    let _ = reply.send(Response::Done);
+                    return;
+                }
                 let Some(sess) = self.sessions.get_mut(&session) else {
                     let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
                     return;
@@ -258,11 +376,19 @@ impl Group {
                 sess.queue.clear();
                 sess.last_read.fill(0.0);
                 sess.last_activity = Instant::now();
+                sess.seq = 0;
+                sess.since_snapshot = 0;
+                sess.replay_left = 0;
+                sess.log = None;
+                for deferred in sess.pending_reads.drain(..) {
+                    let _ = deferred.send(Response::Rows { read: sess.last_read.clone() });
+                }
+                self.drop_store_files(session);
                 let _ = reply.send(Response::Done);
             }
             GroupCmd::Close { session, reply } => {
                 match self.sessions.remove(&session) {
-                    Some(sess) => {
+                    Some(mut sess) => {
                         if let Some(lane) = sess.lane {
                             self.lanes[lane] = None;
                             self.free.push(lane);
@@ -277,6 +403,12 @@ impl Group {
                         if let Some((reply, outputs, _)) = sess.reply {
                             let _ = reply.send(Response::Stepped { outputs });
                         }
+                        for deferred in sess.pending_reads.drain(..) {
+                            let _ = deferred.send(Response::Rows { read: sess.last_read.clone() });
+                        }
+                        // Drop the log writer before deleting its file.
+                        sess.log = None;
+                        self.drop_store_files(session);
                         self.index.lock().unwrap().remove(&session);
                         self.metrics.sessions_closed.inc();
                         self.metrics.sessions_live.sub(1);
@@ -284,10 +416,23 @@ impl Group {
                         self.metrics.trace(TraceKind::Close, session, 0);
                         let _ = reply.send(Response::Done);
                     }
+                    None if self.spilled.remove(&session) => {
+                        // Closing a spilled session never rehydrates it;
+                        // its store files are simply deleted.
+                        self.drop_store_files(session);
+                        self.index.lock().unwrap().remove(&session);
+                        self.metrics.sessions_closed.inc();
+                        self.metrics.sessions_live.sub(1);
+                        self.metrics.trace(TraceKind::Close, session, 0);
+                        let _ = reply.send(Response::Done);
+                    }
                     None => {
                         let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
                     }
                 }
+            }
+            GroupCmd::Adopt { session } => {
+                self.spilled.insert(session);
             }
         }
     }
@@ -380,10 +525,46 @@ impl Group {
         self.metrics.queue_depth.sub(n as i64);
 
         let now = Instant::now();
+        let mut compact: Vec<u64> = Vec::new();
         for (id, lane, enqueued) in stepping {
             let sess = self.sessions.get_mut(&id).unwrap();
             sess.last_read.copy_from_slice(self.engine.last_read_row(lane));
             sess.last_activity = now;
+            if sess.replay_left > 0 {
+                // A recovery-replay row: it advanced the lane state but
+                // answers no client, counts no latency and appends no
+                // log record (it came *from* the log or predates the
+                // snapshot's coverage).
+                sess.replay_left -= 1;
+                if sess.replay_left == 0 {
+                    for deferred in sess.pending_reads.drain(..) {
+                        let _ = deferred.send(Response::Rows { read: sess.last_read.clone() });
+                    }
+                }
+                continue;
+            }
+            sess.seq += 1;
+            sess.since_snapshot += 1;
+            if let Some(gs) = &self.store {
+                if sess.log.is_none() {
+                    match gs.store.log_writer(id, &self.spec_key) {
+                        Ok(w) => sess.log = Some(w),
+                        Err(_) => self.metrics.store_errors.inc(),
+                    }
+                }
+                if let Some(log) = &mut sess.log {
+                    match log.append(sess.seq, self.x.row(lane)) {
+                        Ok(()) => self.metrics.store_log_appends.inc(),
+                        Err(_) => {
+                            sess.log = None;
+                            self.metrics.store_errors.inc();
+                        }
+                    }
+                }
+                if sess.since_snapshot >= gs.snapshot_every {
+                    compact.push(id);
+                }
+            }
             let latency_us = now.duration_since(enqueued).as_micros() as u64;
             sess.latency.observe(latency_us);
             self.metrics.step_latency_us.observe(latency_us);
@@ -394,6 +575,9 @@ impl Group {
             } else {
                 sess.reply = Some((reply, outputs, expected));
             }
+        }
+        for id in compact {
+            self.compact(id);
         }
 
         self.ticks_since_sample += 1;
@@ -424,10 +608,204 @@ impl Group {
         self.ticks_since_sample = 0;
     }
 
-    /// Evicts sessions idle past the configured timeout. A session with
-    /// queued steps or an unanswered reply is *never* reaped, so an
-    /// in-flight stream outlives any idle timeout — `last_activity` is
-    /// refreshed on every stepped tick.
+    /// Periodic compaction of one resident session: snapshot the lane
+    /// state at its current `seq`, which truncates the delta log.
+    fn compact(&mut self, id: u64) {
+        let Some(gs) = &self.store else { return };
+        let store = Arc::clone(&gs.store);
+        let sess = self.sessions.get_mut(&id).unwrap();
+        let Some(lane) = sess.lane else { return };
+        let seq = sess.seq;
+        // The snapshot deletes the log file; a stale writer would append
+        // into the unlinked inode and lose records.
+        sess.log = None;
+        let t0 = Instant::now();
+        let state = self.engine.export_lane(lane);
+        let bytes = state.encode();
+        match store.save_snapshot(id, &self.spec_key, seq, &bytes) {
+            Ok(()) => {
+                self.metrics.store_snapshot_bytes.observe(bytes.len() as u64);
+                self.metrics.store_snapshot_us.observe(t0.elapsed().as_micros() as u64);
+                self.sessions.get_mut(&id).unwrap().since_snapshot = 0;
+            }
+            Err(_) => self.metrics.store_errors.inc(),
+        }
+    }
+
+    /// Spills one idle session to the store: snapshot its full state,
+    /// drop it from RAM, keep its id routable (the routing index entry
+    /// survives; [`Group::rehydrate`] rebuilds it on the next command).
+    /// Returns false — with the session intact in RAM — if the store
+    /// write fails.
+    fn evict(&mut self, id: u64) -> bool {
+        let Some(gs) = &self.store else { return false };
+        let store = Arc::clone(&gs.store);
+        let sess = self.sessions.get_mut(&id).unwrap();
+        debug_assert!(sess.idle(), "only idle sessions evict");
+        sess.log = None;
+        let seq = sess.seq;
+        let was_parked = sess.parked.is_some();
+        let state = match sess.parked.take() {
+            Some(state) => state,
+            None => self.engine.export_lane(sess.lane.unwrap()),
+        };
+        let t0 = Instant::now();
+        let bytes = state.encode();
+        if store.save_snapshot(id, &self.spec_key, seq, &bytes).is_err() {
+            self.metrics.store_errors.inc();
+            // Keep the session in RAM; re-park the detached copy.
+            let sess = self.sessions.get_mut(&id).unwrap();
+            if sess.lane.is_none() {
+                sess.parked = Some(state);
+            }
+            return false;
+        }
+        self.metrics.store_snapshot_bytes.observe(bytes.len() as u64);
+        self.metrics.store_snapshot_us.observe(t0.elapsed().as_micros() as u64);
+        let sess = self.sessions.remove(&id).unwrap();
+        if let Some(lane) = sess.lane {
+            self.lanes[lane] = None;
+            self.free.push(lane);
+        }
+        if was_parked {
+            self.metrics.sessions_parked.sub(1);
+        }
+        self.spilled.insert(id);
+        self.metrics.store_evictions.inc();
+        self.metrics.drop_session_histogram(id);
+        self.metrics.trace(TraceKind::Evict, id, seq);
+        true
+    }
+
+    /// Rebuilds a spilled session in RAM: decode its snapshot (geometry-
+    /// checked against this group's engines), queue the unapplied delta-
+    /// log steps as replay, and make it schedulable again. Replay runs
+    /// through the ordinary masked grid, so the recovered state is
+    /// bit-identical to never having been evicted.
+    fn rehydrate(&mut self, id: u64) -> Result<(), ServeError> {
+        let gs = self.store.as_ref().expect("spilled sessions imply a store");
+        let store = Arc::clone(&gs.store);
+        let rec = match store.load(id) {
+            Ok(Some(rec)) => rec,
+            Ok(None) => {
+                self.metrics.store_errors.inc();
+                return Err(ServeError::Store(format!("session {id}: store files missing")));
+            }
+            Err(e) => {
+                self.metrics.store_errors.inc();
+                return Err(ServeError::Store(e.to_string()));
+            }
+        };
+        if rec.torn_tail {
+            // Tolerated: the valid prefix still recovers; the torn
+            // records were never acknowledged to any client.
+            self.metrics.store_torn_tails.inc();
+        }
+        if rec.spec_key != self.spec_key {
+            self.metrics.store_errors.inc();
+            return Err(ServeError::Store(format!("session {id}: stored under a different spec")));
+        }
+        let parked = match &rec.snapshot {
+            Some(snap) => match LaneState::decode(&snap.state) {
+                Ok(state) if self.template.as_ref().is_some_and(|t| t.same_geometry(&state)) => {
+                    Some(state)
+                }
+                Ok(_) => {
+                    self.metrics.store_errors.inc();
+                    return Err(ServeError::Store(format!(
+                        "session {id}: snapshot geometry does not match the group engine"
+                    )));
+                }
+                Err(e) => {
+                    self.metrics.store_errors.inc();
+                    return Err(ServeError::Store(format!("session {id}: {e}")));
+                }
+            },
+            None => None,
+        };
+        let input_size = self.engine.params().input_size;
+        let now = Instant::now();
+        let mut queue = VecDeque::new();
+        for step in rec.replay_steps() {
+            if step.input.len() != input_size {
+                self.metrics.store_errors.inc();
+                return Err(ServeError::Store(format!(
+                    "session {id}: logged step is {} wide, engine wants {input_size}",
+                    step.input.len()
+                )));
+            }
+            queue.push_back((step.input.clone(), now));
+        }
+        let replay_left = queue.len();
+        let seq = rec.last_seq();
+        let snap_seq = rec.snapshot.as_ref().map_or(0, |s| s.step_seq);
+        let mut last_read = vec![0.0; self.read_width];
+        if let Some(state) = &parked {
+            last_read.copy_from_slice(state.read_row());
+        }
+        let has_state = parked.is_some();
+        self.spilled.remove(&id);
+        self.sessions.insert(
+            id,
+            Sess {
+                lane: None,
+                parked,
+                queue,
+                reply: None,
+                last_read,
+                last_activity: now,
+                latency: self.metrics.session_histogram(id),
+                seq,
+                since_snapshot: seq - snap_seq,
+                replay_left,
+                pending_reads: Vec::new(),
+                log: None,
+            },
+        );
+        if has_state {
+            self.metrics.sessions_parked.add(1);
+        }
+        self.metrics.queue_depth.add(replay_left as i64);
+        self.metrics.store_rehydrations.inc();
+        self.metrics.store_replay_steps.observe(replay_left as u64);
+        self.metrics.trace(TraceKind::Rehydrate, id, replay_left as u64);
+        Ok(())
+    }
+
+    /// Caps the in-RAM parked tier: beyond `max_parked` detached states,
+    /// the least-recently-active idle ones spill to the store.
+    fn spill_lru(&mut self) {
+        let Some(gs) = &self.store else { return };
+        let max_parked = gs.max_parked;
+        loop {
+            let parked: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.parked.is_some())
+                .map(|(&id, _)| id)
+                .collect();
+            if parked.len() <= max_parked {
+                return;
+            }
+            let Some(victim) = parked
+                .into_iter()
+                .filter(|id| self.sessions[id].idle())
+                .min_by_key(|id| self.sessions[id].last_activity)
+            else {
+                return;
+            };
+            if !self.evict(victim) {
+                return;
+            }
+        }
+    }
+
+    /// Sweeps sessions idle past the configured timeout. Without a store
+    /// this *discards* them (reap); with one it *evicts* them to disk,
+    /// keeping the id routable. A session with queued steps or an
+    /// unanswered reply is never swept, so an in-flight stream outlives
+    /// any idle timeout — `last_activity` is refreshed on every stepped
+    /// tick.
     fn reap(&mut self) {
         let Some(timeout) = self.cfg.idle_timeout else { return };
         let now = Instant::now();
@@ -438,6 +816,12 @@ impl Group {
             .map(|(&id, _)| id)
             .collect();
         if dead.is_empty() {
+            return;
+        }
+        if self.store.is_some() {
+            for id in dead {
+                self.evict(id);
+            }
             return;
         }
         let mut index = self.index.lock().unwrap();

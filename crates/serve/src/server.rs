@@ -12,7 +12,7 @@
 //! hub (group threads drain their queues, answer, exit) → join groups.
 
 use crate::protocol::{read_frame, write_frame, Request, Response, ServeError};
-use crate::session::SessionHub;
+use crate::session::{SessionHub, StoreConfig};
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,9 +56,22 @@ impl Server {
     /// Binds and starts serving; `addr` may use port 0 for an ephemeral
     /// port (read it back with [`Server::addr`]).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
+        Self::bind_with_store(addr, cfg, None)
+    }
+
+    /// Like [`Server::bind`], with an optional durable session store:
+    /// sessions evict to `store`'s directory instead of being discarded
+    /// by the idle sweep, and sessions found there (from a previous
+    /// process, even one that was killed) are adopted before the first
+    /// connection is accepted.
+    pub fn bind_with_store(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        store: Option<StoreConfig>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let hub = Arc::new(SessionHub::new(cfg));
+        let hub = Arc::new(SessionHub::with_store(cfg, store)?);
         let stopping = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(Mutex::new(Vec::new()));
         let conn_handles = Arc::new(Mutex::new(Vec::new()));

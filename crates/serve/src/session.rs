@@ -12,16 +12,47 @@
 //! counted under its `rpc.<command>` counter, every error reply under its
 //! `err.<kind>` counter, and the `Metrics` / `TraceDump` requests are
 //! answered here from the registry without touching any group thread.
+//!
+//! With a [`StoreConfig`], the hub additionally owns the durable session
+//! tier: at construction it scans the store directory, re-spawns an
+//! engine group for every stored configuration and **adopts** each
+//! stored session — the id routes again immediately and the state
+//! rehydrates lazily on its first command. The id counter resumes past
+//! the largest adopted id, so recovered ids never alias new ones.
 
 use crate::metrics::ServeMetrics;
-use crate::protocol::{Request, Response, ServeError};
-use crate::scheduler::{run_group, GroupCmd};
+use crate::protocol::{RawSessionSpec, Reader, Request, Response, ServeError, SessionSpec};
+use crate::scheduler::{run_group, GroupCmd, GroupStore};
 use crate::server::ServeConfig;
+use hima_store::SessionStore;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Configuration of the durable session tier.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the per-session snapshot and delta-log files
+    /// (created if absent).
+    pub dir: PathBuf,
+    /// Snapshot + compact a session's delta log every this many logged
+    /// steps (clamped to ≥ 1).
+    pub snapshot_every: u64,
+    /// Per group, spill least-recently-active parked sessions to disk
+    /// once more than this many detached states sit in RAM.
+    pub max_parked: usize,
+}
+
+impl StoreConfig {
+    /// Durability rooted at `dir` with default policy: snapshot every
+    /// 256 steps, at most 64 parked states in RAM per group.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), snapshot_every: 256, max_parked: 64 }
+    }
+}
 
 /// Registry of live sessions and the engine groups serving them.
 pub struct SessionHub {
@@ -33,20 +64,95 @@ pub struct SessionHub {
     groups: Mutex<HashMap<Vec<u8>, Sender<GroupCmd>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<ServeMetrics>,
+    /// The durable tier (`None` = RAM only).
+    store: Option<(Arc<SessionStore>, StoreConfig)>,
 }
 
 impl SessionHub {
     /// Creates an empty hub; group threads spawn lazily on the first
     /// `Open` of each distinct configuration.
     pub fn new(cfg: ServeConfig) -> Self {
-        Self {
+        Self::with_store(cfg, None).expect("hub without a store performs no I/O")
+    }
+
+    /// Creates a hub with an optional durable session tier. With a
+    /// [`StoreConfig`], opens (creating if needed) the store directory
+    /// and adopts every stored session before accepting traffic;
+    /// sessions whose store files are corrupt or no longer validate are
+    /// skipped (counted under `store.errors`) rather than wedging boot.
+    pub fn with_store(cfg: ServeConfig, store: Option<StoreConfig>) -> std::io::Result<Self> {
+        let mut hub = Self {
             cfg,
             next_id: AtomicU64::new(1),
             index: Arc::new(Mutex::new(HashMap::new())),
             groups: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
             metrics: Arc::new(ServeMetrics::new()),
+            store: None,
+        };
+        let Some(store_cfg) = store else { return Ok(hub) };
+        let store = Arc::new(SessionStore::open(&store_cfg.dir)?);
+        hub.store = Some((Arc::clone(&store), store_cfg));
+
+        // Adoption: every stored session becomes routable again. The
+        // heavy work (snapshot decode, log replay) is deferred to the
+        // session's first command.
+        let mut max_id = 0u64;
+        for id in store.sessions()? {
+            let spec = match store.spec_key(id) {
+                Ok(Some(key)) => {
+                    let mut r = Reader::new(&key);
+                    match RawSessionSpec::decode(&mut r)
+                        .ok()
+                        .filter(|_| r.finish().is_ok())
+                        .and_then(|raw| raw.validate().ok())
+                    {
+                        Some(spec) => spec,
+                        None => {
+                            hub.metrics.store_errors.inc();
+                            continue;
+                        }
+                    }
+                }
+                _ => {
+                    hub.metrics.store_errors.inc();
+                    continue;
+                }
+            };
+            let sender = hub.group_sender(spec);
+            let _ = sender.send(GroupCmd::Adopt { session: id });
+            hub.index.lock().unwrap().insert(id, sender);
+            hub.metrics.sessions_live.add(1);
+            hub.metrics.store_recovered.inc();
+            max_id = max_id.max(id);
         }
+        hub.next_id.store(max_id + 1, Ordering::Relaxed);
+        Ok(hub)
+    }
+
+    /// The group command channel for `spec`, spawning the group thread
+    /// on first use of each distinct configuration.
+    fn group_sender(&self, spec: SessionSpec) -> Sender<GroupCmd> {
+        let key = spec.group_key();
+        let mut groups = self.groups.lock().unwrap();
+        if let Some(sender) = groups.get(&key) {
+            return sender.clone();
+        }
+        let (tx, rx) = channel();
+        let cfg = self.cfg;
+        let index = Arc::clone(&self.index);
+        let metrics = Arc::clone(&self.metrics);
+        let group_store = self.store.as_ref().map(|(store, sc)| GroupStore {
+            store: Arc::clone(store),
+            snapshot_every: sc.snapshot_every.max(1),
+            max_parked: sc.max_parked,
+        });
+        let handle =
+            std::thread::spawn(move || run_group(cfg, spec, rx, index, metrics, group_store));
+        self.handles.lock().unwrap().push(handle);
+        self.metrics.groups_live.add(1);
+        groups.insert(key, tx.clone());
+        tx
     }
 
     /// Number of currently live sessions (registered and not yet closed
@@ -78,26 +184,7 @@ impl SessionHub {
                     Ok(spec) => spec,
                     Err(e) => return Response::Error(ServeError::BadSpec(e.to_string())),
                 };
-                let key = spec.group_key();
-                let sender = {
-                    let mut groups = self.groups.lock().unwrap();
-                    match groups.get(&key) {
-                        Some(sender) => sender.clone(),
-                        None => {
-                            let (tx, rx) = channel();
-                            let cfg = self.cfg;
-                            let index = Arc::clone(&self.index);
-                            let metrics = Arc::clone(&self.metrics);
-                            let handle = std::thread::spawn(move || {
-                                run_group(cfg, spec, rx, index, metrics)
-                            });
-                            self.handles.lock().unwrap().push(handle);
-                            self.metrics.groups_live.add(1);
-                            groups.insert(key, tx.clone());
-                            tx
-                        }
-                    }
-                };
+                let sender = self.group_sender(spec);
                 let session = self.next_id.fetch_add(1, Ordering::Relaxed);
                 self.index.lock().unwrap().insert(session, sender.clone());
                 self.call(&sender, |reply| GroupCmd::Open { session, reply })

@@ -250,6 +250,55 @@ fn client_shutdown_request_stops_the_server() {
     }
 }
 
+/// Closing or reaping a *parked* session must release exactly one unit
+/// of `serve.sessions.parked` and free its swap slot: the gauge returns
+/// to zero once every session is gone, never goes negative, and the
+/// grid stays fully reusable afterwards. Pins the close/reap accounting
+/// audited for a suspected double-decrement.
+#[test]
+fn parked_close_and_reap_keep_gauges_and_lanes_consistent() {
+    let cfg = ServeConfig {
+        grid_lanes: 2,
+        tick: Duration::from_micros(200),
+        idle_timeout: Some(Duration::from_millis(60)),
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Six sessions on a two-lane grid: stepping them round-robin forces
+    // at least four to sit parked (detached lane state) at any moment.
+    let sessions: Vec<u64> =
+        (0..6).map(|_| client.open(&RawSessionSpec::demo()).unwrap()).collect();
+    for t in 0..3 {
+        for (i, &s) in sessions.iter().enumerate() {
+            let width = RawSessionSpec::demo().input_size as usize;
+            client.step(s, &hima_serve::loadgen::synth_input(i, t, width)).unwrap();
+        }
+    }
+    let parked = server.hub().metrics().snapshot().gauge("serve.sessions.parked").unwrap();
+    assert!(parked > 0, "6 sessions on 2 lanes never parked anything");
+
+    // Close half explicitly — some of these are parked right now.
+    for &s in &sessions[..3] {
+        client.close_session(s).unwrap();
+    }
+    // Let the idle sweep reap the other half (parked and resident alike).
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(server.hub().live_sessions(), 0);
+    let snap = server.hub().metrics().snapshot();
+    assert_eq!(snap.gauge("serve.sessions.parked"), Some(0), "parked gauge leaked or went negative");
+    assert_eq!(snap.gauge("serve.sessions.live"), Some(0));
+
+    // The grid is fully reusable: a fresh batch of sessions runs clean.
+    for i in 0..4 {
+        let s = client.open(&RawSessionSpec::demo()).unwrap();
+        let width = RawSessionSpec::demo().input_size as usize;
+        let y = client.step(s, &hima_serve::loadgen::synth_input(i, 0, width)).unwrap();
+        assert!(y.iter().all(|v| v.is_finite()));
+        client.close_session(s).unwrap();
+    }
+}
+
 /// The load generator end-to-end: mixed arrival patterns against a small
 /// grid, all sessions completing with sane latency accounting.
 #[test]

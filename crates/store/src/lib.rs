@@ -1,0 +1,60 @@
+//! Std-only session persistence for the HiMA serve stack: versioned
+//! snapshots plus a CRC-guarded append-only delta log, combined into
+//! snapshot + replay recovery.
+//!
+//! The serve scheduler parks cold sessions off the engine grid; this
+//! crate lets it go one step further and spill them to disk, then
+//! recover them — across a process restart or a kill — bit-for-bit.
+//! Durability comes from two complementary files per session:
+//!
+//! * a **snapshot** ([`snapshot`]): the complete serialized engine lane
+//!   state at a known step count, written atomically (tmp + rename) and
+//!   CRC-verified on read, and
+//! * a **delta log** ([`log`]): an append-only record of every step
+//!   input since, each record CRC-guarded and self-delimiting, with a
+//!   reader that is total over torn tails.
+//!
+//! [`SessionStore`] ties them together under one directory and makes
+//! compaction (snapshot, then truncate the log) crash-safe: recovery
+//! replays only records with `seq > snapshot.step_seq`, so a log that
+//! survives a crashed compaction replays to nothing.
+//!
+//! The crate is deliberately ignorant of what the state bytes *mean* —
+//! sessions are keyed by an opaque canonical spec key and store opaque
+//! state payloads, so the dependency points from the serve stack to
+//! here, never back.
+//!
+//! # Example
+//!
+//! ```
+//! use hima_store::SessionStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("hima-store-doc-{}", std::process::id()));
+//! let store = SessionStore::open(&dir)?;
+//!
+//! // Log two steps, snapshot at step 2 (compacts the log), log one more.
+//! let mut log = store.log_writer(1, b"spec-key")?;
+//! log.append(1, &[0.5, -0.5])?;
+//! log.append(2, &[1.0, 0.0])?;
+//! drop(log);
+//! store.save_snapshot(1, b"spec-key", 2, b"engine-state-bytes")?;
+//! store.log_writer(1, b"spec-key")?.append(3, &[0.25, 0.75])?;
+//!
+//! // Recovery: decode the snapshot, then replay only step 3.
+//! let rec = store.load(1)?.unwrap();
+//! assert_eq!(rec.snapshot.as_ref().unwrap().step_seq, 2);
+//! assert_eq!(rec.replay_steps().map(|s| s.seq).collect::<Vec<_>>(), vec![3]);
+//! # store.remove(1)?;
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod crc;
+pub mod log;
+pub mod snapshot;
+pub mod store;
+
+pub use crc::{crc32, Crc32};
+pub use log::{read_log, LogContents, LogWriter, StepRecord};
+pub use snapshot::Snapshot;
+pub use store::{SessionRecord, SessionStore, StoreError};

@@ -1,7 +1,8 @@
 //! Bounded ring-buffer event trace for session-lifecycle debugging.
 //!
 //! The scheduler records one [`TraceEvent`] per lifecycle transition
-//! (open, close, park, splice, reap, busy-rejection, error). The ring
+//! (open, close, park, splice, reap, busy-rejection, error, evict,
+//! rehydrate). The ring
 //! pre-allocates its slots at construction and overwrites the oldest
 //! event when full, so recording never allocates and the memory bound is
 //! fixed. Sequence numbers are assigned inside the ring lock, which makes
@@ -30,11 +31,16 @@ pub enum TraceKind {
     Busy,
     /// Request failed with a server-side error.
     Error,
+    /// Cold session spilled from RAM to the session store.
+    Evict,
+    /// Stored session rebuilt in RAM (snapshot decode + delta replay).
+    Rehydrate,
 }
 
 impl TraceKind {
-    /// Every kind, in wire-code order.
-    pub const ALL: [TraceKind; 7] = [
+    /// Every kind, in wire-code order. New kinds are appended, never
+    /// reordered — the wire code is the index into this array.
+    pub const ALL: [TraceKind; 9] = [
         TraceKind::Open,
         TraceKind::Close,
         TraceKind::Park,
@@ -42,6 +48,8 @@ impl TraceKind {
         TraceKind::Reap,
         TraceKind::Busy,
         TraceKind::Error,
+        TraceKind::Evict,
+        TraceKind::Rehydrate,
     ];
 
     /// Human-readable label (used by `hima_cli metrics --trace`).
@@ -54,6 +62,8 @@ impl TraceKind {
             TraceKind::Reap => "reap",
             TraceKind::Busy => "busy",
             TraceKind::Error => "error",
+            TraceKind::Evict => "evict",
+            TraceKind::Rehydrate => "rehydrate",
         }
     }
 
