@@ -16,8 +16,12 @@
 
 use hima::prelude::*;
 use hima::serve::loadgen::synth_input;
-use hima::serve::TraceKind;
+use hima::serve::{
+    run_load, ArrivalPattern, ClientOptions, FaultKind, FaultPlan, FaultRule, FaultSite,
+    LoadConfig, RetryPolicy, TraceKind,
+};
 use hima::tensor::{Matrix, QFormat};
+use std::sync::Arc;
 use std::process::{exit, Command};
 use std::time::{Duration, Instant};
 
@@ -45,6 +49,7 @@ fn main() {
         Some("pipeline") => pipeline(&args[1..]),
         Some("babi") => babi(args.get(1).map(String::as_str)),
         Some("serve") => serve(&args[1..]),
+        Some("load") => load(&args[1..]),
         Some("session") => session(&args[1..]),
         Some("metrics") => metrics(&args[1..]),
         _ => {
@@ -71,18 +76,27 @@ fn usage() {
     eprintln!("  hima-cli babi <file>               parse a bAbI-format file and report stats");
     eprintln!("  hima-cli serve [--addr A] [--lanes N] [--tick-us T] [--idle-ms I]");
     eprintln!("                 [--store DIR] [--snapshot-every K] [--max-parked P]");
-    eprintln!("                 [--profile-engine]");
+    eprintln!("                 [--profile-engine] [--deadline-ms D]");
+    eprintln!("                 [--chaos-seed S] [--chaos-disk PM] [--chaos-net PM]");
     eprintln!("                  run the session server until a client sends shutdown");
-    eprintln!("                  (--profile-engine turns on sampled per-category engine timing)");
+    eprintln!("                  (--profile-engine turns on sampled per-category engine timing;");
+    eprintln!("                   --chaos-* arm seeded fault injection at PM per-mille per I/O op,");
+    eprintln!("                   --deadline-ms sets the default server-side step deadline)");
+    eprintln!("  hima-cli load [--addr A] [--sessions N] [--steps T] [--burst B]");
+    eprintln!("                 [--deadline-ms D] [--retries R]");
+    eprintln!("                  drive an open-loop load run against a running server");
+    eprintln!("                  (--retries turns on reconnect-with-backoff per client)");
     eprintln!("  hima-cli session [--addr A] [--steps T] [--tiles N] [--quantized] [--shutdown]");
     eprintln!("                 [--session ID] [--keep-open]");
     eprintln!("                  drive one session end-to-end against a running server");
     eprintln!("                  (--shutdown asks the server to stop instead; --session drives");
     eprintln!("                   an existing id, --keep-open skips the close)");
-    eprintln!("  hima-cli metrics [--addr A] [--json] [--trace] [--check]");
+    eprintln!("  hima-cli metrics [--addr A] [--json] [--trace] [--check] [--expect-faults]");
     eprintln!("                  fetch the server-wide telemetry snapshot from a running server");
     eprintln!("                  (--trace adds the lifecycle event ring; --check exits non-zero");
-    eprintln!("                   unless the scheduler has ticked/stepped and the trace is clean)");
+    eprintln!("                   unless the scheduler has ticked/stepped and the trace is clean;");
+    eprintln!("                   --expect-faults instead requires nonzero injected fault.* totals");
+    eprintln!("                   and tolerates trace errors — for fault-drill runs)");
 }
 
 fn list() {
@@ -341,6 +355,9 @@ fn serve(args: &[String]) {
     let mut cfg = ServeConfig::default();
     let mut profile_engine = false;
     let mut store: Option<StoreConfig> = None;
+    let mut chaos_seed = 0x4849_4D41u64;
+    let mut chaos_disk = 0u32;
+    let mut chaos_net = 0u32;
     fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
         v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
     }
@@ -355,6 +372,17 @@ fn serve(args: &[String]) {
             "--idle-ms" => {
                 cfg.idle_timeout =
                     Some(Duration::from_millis(num(it.next(), "--idle-ms needs an integer")))
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline =
+                    Some(Duration::from_millis(num(it.next(), "--deadline-ms needs an integer")))
+            }
+            "--chaos-seed" => chaos_seed = num(it.next(), "--chaos-seed needs an integer"),
+            "--chaos-disk" => {
+                chaos_disk = num(it.next(), "--chaos-disk needs a per-mille rate (0..=1000)")
+            }
+            "--chaos-net" => {
+                chaos_net = num(it.next(), "--chaos-net needs a per-mille rate (0..=1000)")
             }
             "--profile-engine" => profile_engine = true,
             "--store" => {
@@ -382,8 +410,32 @@ fn serve(args: &[String]) {
             bail::<()>("--snapshot-every must be positive");
         }
     }
+    if chaos_disk > 1000 || chaos_net > 1000 {
+        bail::<()>("--chaos-disk / --chaos-net are per-mille rates (0..=1000)");
+    }
+    let chaos_note = if chaos_disk > 0 || chaos_net > 0 {
+        let mut plan = FaultPlan::new(chaos_seed);
+        for site in [FaultSite::StoreWrite, FaultSite::StoreFsync, FaultSite::StoreRename] {
+            plan = plan.with_rule(FaultRule::probabilistic(site, FaultKind::IoError, chaos_disk));
+        }
+        plan = plan
+            .with_rule(FaultRule::probabilistic(FaultSite::NetRead, FaultKind::Reset, chaos_net))
+            .with_rule(FaultRule::probabilistic(
+                FaultSite::NetWrite,
+                FaultKind::PartialWrite { keep: 3 },
+                chaos_net,
+            ));
+        let plan = Arc::new(plan);
+        cfg.faults = Some(Arc::clone(&plan));
+        if let Some(sc) = &mut store {
+            sc.faults = Some(Arc::clone(&plan));
+        }
+        format!(", chaos seed {chaos_seed} disk {chaos_disk}‰ net {chaos_net}‰")
+    } else {
+        String::new()
+    };
     let store_note = store.as_ref().map(|sc| format!(", store {}", sc.dir.display()));
-    let mut server = match Server::bind_with_store(addr.as_str(), cfg, store) {
+    let mut server = match Server::bind_with_store(addr.as_str(), cfg.clone(), store) {
         Ok(s) => s,
         Err(e) => bail(&format!("cannot bind {addr}: {e}")),
     };
@@ -393,17 +445,89 @@ fn serve(args: &[String]) {
         server.hub().metrics().set_engine_profiling(true);
     }
     println!(
-        "serving on {} ({} grid lanes, tick {:?}{}{})",
+        "serving on {} ({} grid lanes, tick {:?}{}{}{})",
         server.addr(),
         cfg.grid_lanes,
         cfg.tick,
         if profile_engine { ", engine profiling on" } else { "" },
-        store_note.as_deref().unwrap_or("")
+        store_note.as_deref().unwrap_or(""),
+        chaos_note
     );
     server.wait_for_shutdown();
     println!("shutdown requested, draining");
     server.stop();
     println!("stopped ({} sessions live at exit)", server.hub().live_sessions());
+}
+
+/// Drives an open-loop load run against a running server and prints the
+/// report. With `--retries` each load client reconnects under seeded
+/// jittered backoff and retries its step on the recovered connection —
+/// the fault-drill mode the CI chaos smoke uses. Exits non-zero only if
+/// *no* session completes (a drill tolerates partial failure; total
+/// failure means the server is down).
+fn load(args: &[String]) {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut sessions = 8usize;
+    let mut steps = 20usize;
+    let mut burst = 0usize;
+    let mut deadline_ms = 0u64;
+    let mut retries = 0u32;
+    fn num<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| bail(flag))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| bail("--addr needs host:port")),
+            "--sessions" => sessions = num(it.next(), "--sessions needs a positive integer"),
+            "--steps" => steps = num(it.next(), "--steps needs a positive integer"),
+            "--burst" => burst = num(it.next(), "--burst needs a burst size"),
+            "--deadline-ms" => deadline_ms = num(it.next(), "--deadline-ms needs an integer"),
+            "--retries" => retries = num(it.next(), "--retries needs an integer"),
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let sock_addr = match std::net::ToSocketAddrs::to_socket_addrs(&addr.as_str())
+        .ok()
+        .and_then(|mut a| a.next())
+    {
+        Some(a) => a,
+        None => bail(&format!("cannot resolve {addr}")),
+    };
+    let pattern = if burst > 0 {
+        ArrivalPattern::Burst { size: burst, gap: Duration::from_millis(5) }
+    } else {
+        ArrivalPattern::Uniform { interval: Duration::from_millis(1) }
+    };
+    let client = ClientOptions {
+        rpc_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        retry: (retries > 0).then(|| RetryPolicy { max_attempts: retries, ..RetryPolicy::default() }),
+    };
+    let report = run_load(
+        sock_addr,
+        &LoadConfig { spec: RawSessionSpec::demo(), sessions, steps, pattern, client },
+    );
+    println!(
+        "load {}: {}/{} sessions completed ({} failed) in {:?}",
+        pattern.label(),
+        report.completed,
+        report.sessions,
+        report.failed,
+        report.elapsed
+    );
+    println!(
+        "  {:.1} sessions/s, {:.0} steps/s, step latency p50 {:?} p90 {:?} p99 {:?} max {:?}",
+        report.sessions_per_sec,
+        report.steps_per_sec,
+        report.p50_step,
+        report.p90_step,
+        report.p99_step,
+        report.max_step
+    );
+    if report.completed == 0 {
+        eprintln!("load failed: no session completed");
+        exit(1);
+    }
 }
 
 /// Drives one demo session against a running server: open, `--steps`
@@ -511,6 +635,7 @@ fn metrics(args: &[String]) {
     let mut json = false;
     let mut trace = false;
     let mut check = false;
+    let mut expect_faults = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -518,6 +643,10 @@ fn metrics(args: &[String]) {
             "--json" => json = true,
             "--trace" => trace = true,
             "--check" => check = true,
+            "--expect-faults" => {
+                check = true;
+                expect_faults = true;
+            }
             other => bail(&format!("unknown flag {other:?}")),
         }
     }
@@ -602,11 +731,28 @@ fn metrics(args: &[String]) {
         let ticks = snap.counter("serve.scheduler.ticks").unwrap_or(0);
         let steps = snap.counter("serve.scheduler.steps").unwrap_or(0);
         let trace_errors = events.iter().filter(|e| e.kind == TraceKind::Error).count();
-        if ticks == 0 || steps == 0 || trace_errors > 0 {
-            eprintln!("check failed: ticks={ticks} steps={steps} trace_errors={trace_errors}");
-            exit(1);
+        if expect_faults {
+            // A fault drill: trace errors are the injection working, but
+            // the injected totals must actually be nonzero — a drill
+            // that injected nothing proved nothing.
+            let injected = snap.gauge("fault.disk.injected").unwrap_or(0)
+                + snap.gauge("fault.net.injected").unwrap_or(0)
+                + snap.gauge("fault.sched.injected").unwrap_or(0);
+            if ticks == 0 || steps == 0 || injected == 0 {
+                eprintln!("check failed: ticks={ticks} steps={steps} injected={injected}");
+                exit(1);
+            }
+            println!(
+                "check ok: ticks={ticks} steps={steps} injected={injected} \
+                 (trace_errors={trace_errors} tolerated under injection)"
+            );
+        } else {
+            if ticks == 0 || steps == 0 || trace_errors > 0 {
+                eprintln!("check failed: ticks={ticks} steps={steps} trace_errors={trace_errors}");
+                exit(1);
+            }
+            println!("check ok: ticks={ticks} steps={steps} trace_errors=0");
         }
-        println!("check ok: ticks={ticks} steps={steps} trace_errors=0");
     }
 }
 

@@ -911,6 +911,7 @@ fn main() {
         grid_lanes: 8,
         tick: Duration::from_micros(200),
         idle_timeout: None,
+        ..ServeConfig::default()
     };
     hima_bench::header(&format!(
         "Session server — open-loop load over loopback TCP, {} sessions x {} steps \
@@ -926,7 +927,7 @@ fn main() {
         &EngineSpec::monolithic().with_backend(engine_backend),
         7,
     );
-    let server = Server::bind("127.0.0.1:0", serve_cfg).expect("bind loopback server");
+    let server = Server::bind("127.0.0.1:0", serve_cfg.clone()).expect("bind loopback server");
     let mut serve_rows: Vec<ServeRow> = Vec::new();
     for pattern in [
         ArrivalPattern::Uniform { interval: Duration::from_millis(1) },
@@ -939,6 +940,7 @@ fn main() {
                 sessions: serve_sessions,
                 steps: serve_steps,
                 pattern,
+                client: Default::default(),
             },
         );
         assert_eq!(

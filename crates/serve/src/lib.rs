@@ -28,7 +28,24 @@
 //!   `hima-telemetry` substrate: scheduler tick/occupancy histograms,
 //!   session lifecycle counters and trace, wire traffic and per-command
 //!   counters — fetched live over the protocol's `Metrics` / `TraceDump`
-//!   commands or `hima_cli metrics`.
+//!   commands or `hima_cli metrics`,
+//! * [`retry`] — deterministic jittered backoff and deadline-shedding
+//!   order (pure, property-tested),
+//! * [`chaos_net`] — a fault-injecting stream wrapper over the
+//!   `hima-chaos` plan for torn frames, stalls, and connection resets.
+//!
+//! # Fault tolerance
+//!
+//! The server degrades under pressure instead of falling over: queue
+//! budgets reject excess work with a typed
+//! [`ServeError::Overloaded`] carrying a retry hint, per-request
+//! deadlines shed expired queued steps with
+//! [`ServeError::DeadlineExceeded`], and a supervisor catches group
+//! scheduler panics, restarts the group, and resurrects store-backed
+//! sessions from their snapshot + delta log (unpersisted sessions fail
+//! with [`ServeError::GroupFailed`]). All of it is pinned under a
+//! seeded, reproducible fault-injection plan ([`FaultPlan`]) by the
+//! `chaos_conformance` suite.
 //!
 //! # Correctness contract
 //!
@@ -55,18 +72,23 @@
 //! client.close_session(session).unwrap();
 //! ```
 
+pub mod chaos_net;
 pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 mod scheduler;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError};
+pub use chaos_net::ChaosStream;
+pub use client::{Client, ClientError, ClientOptions};
 pub use loadgen::{percentile, run_load, ArrivalPattern, LoadConfig, LoadReport};
 pub use metrics::ServeMetrics;
 pub use protocol::{RawSessionSpec, Request, Response, ServeError, SessionSpec, WireError};
+pub use retry::{shed_order, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use session::{SessionHub, StoreConfig};
+pub use hima_chaos::{FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use hima_telemetry::{MetricsSnapshot, TraceEvent, TraceKind};

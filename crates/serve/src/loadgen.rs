@@ -11,7 +11,7 @@
 //! so a run is reproducible and its outputs can be cross-checked against
 //! solo replay.
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, ClientOptions};
 use crate::protocol::RawSessionSpec;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -62,6 +62,12 @@ pub struct LoadConfig {
     pub steps: usize,
     /// Arrival schedule.
     pub pattern: ArrivalPattern,
+    /// Client resilience options (deadlines, reconnect/backoff). The
+    /// default is the bare client. With a retry policy set, a step that
+    /// fails on transport is retried on the recovered connection —
+    /// at-least-once, so use it for fault drills, not bit-exactness
+    /// oracles.
+    pub client: ClientOptions,
 }
 
 /// Results of a load run.
@@ -125,18 +131,29 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         let offset = cfg.pattern.offset(i);
         let spec = cfg.spec.clone();
         let steps = cfg.steps;
+        let opts = cfg.client.clone();
+        let step_retries = opts.retry.as_ref().map_or(0, |r| r.max_attempts);
         handles.push(std::thread::spawn(move || -> Result<Vec<u64>, ClientError> {
             let since = start.elapsed();
             if offset > since {
                 std::thread::sleep(offset - since);
             }
-            let mut client = Client::connect(addr)?;
+            let mut client = Client::connect_with(addr, opts)?;
             let session = client.open(&spec)?;
             let mut latencies_ns = Vec::with_capacity(steps);
             for t in 0..steps {
                 let input = synth_input(i, t, width);
                 let t0 = Instant::now();
-                client.step(session, &input)?;
+                let mut tries = 0;
+                loop {
+                    match client.step(session, &input) {
+                        Ok(_) => break,
+                        // With a retry policy, drive the step again over
+                        // the reconnected socket (at-least-once).
+                        Err(ClientError::Io(_)) if tries < step_retries => tries += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
                 latencies_ns.push(t0.elapsed().as_nanos() as u64);
             }
             client.close_session(session)?;

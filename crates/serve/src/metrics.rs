@@ -38,6 +38,13 @@
 //! | `net.frames_in` / `.frames_out` / `.bytes_in` / `.bytes_out` | counter | wire traffic |
 //! | `rpc.<command>` | counter | requests by command |
 //! | `err.<kind>` | counter | error replies by [`ServeError`] kind |
+//! | `overload.shed` | counter | requests rejected by queue budgets |
+//! | `overload.deadline_expired` | counter | queued commands shed past their deadline |
+//! | `supervisor.restarts` | counter | group threads restarted after a panic |
+//! | `supervisor.resurrected` | counter | sessions rebuilt from the store after a panic |
+//! | `supervisor.failed_sessions` | counter | sessions lost to a panic (no durable state) |
+//! | `store.evict_refusals` | counter | evictions refused to avoid silent data loss |
+//! | `fault.disk.injected` / `fault.net.injected` / `fault.sched.injected` | gauge | injected faults by family (mirrors the fault plan) |
 
 use crate::protocol::{Request, Response, ServeError};
 use hima_dnc::{KernelCategory, KernelProfile};
@@ -134,10 +141,30 @@ pub struct ServeMetrics {
     /// `net.bytes_out`.
     pub bytes_out: Counter,
 
+    /// `overload.shed`.
+    pub overload_shed: Counter,
+    /// `overload.deadline_expired`.
+    pub overload_deadline_expired: Counter,
+    /// `supervisor.restarts`.
+    pub supervisor_restarts: Counter,
+    /// `supervisor.resurrected`.
+    pub supervisor_resurrected: Counter,
+    /// `supervisor.failed_sessions`.
+    pub supervisor_failed_sessions: Counter,
+    /// `store.evict_refusals`.
+    pub store_evict_refusals: Counter,
+    /// `fault.disk.injected` (mirrors the fault plan's disk-site totals).
+    pub fault_disk_injected: Gauge,
+    /// `fault.net.injected` (mirrors the fault plan's net-site totals).
+    pub fault_net_injected: Gauge,
+    /// `fault.sched.injected` (mirrors the fault plan's scheduler-site
+    /// totals).
+    pub fault_sched_injected: Gauge,
+
     /// `rpc.<command>` counters indexed like [`Request`] wire tags − 1.
     rpc: [Counter; 9],
     /// `err.<kind>` counters indexed like [`ServeError`] wire subtags − 1.
-    err: [Counter; 7],
+    err: [Counter; ServeError::KINDS],
 }
 
 impl Default for ServeMetrics {
@@ -161,6 +188,9 @@ impl ServeMetrics {
             "protocol",
             "shutting_down",
             "store",
+            "overloaded",
+            "deadline_exceeded",
+            "group_failed",
         ];
         let metrics = ServeMetrics {
             sessions_opened: r.counter("serve.sessions.opened"),
@@ -192,6 +222,15 @@ impl ServeMetrics {
             profile_samples: r.counter("engine.profile.samples"),
             profile_category_ns: CATEGORY_NAMES
                 .map(|name| r.counter(&format!("engine.profile.{name}_ns"))),
+            overload_shed: r.counter("overload.shed"),
+            overload_deadline_expired: r.counter("overload.deadline_expired"),
+            supervisor_restarts: r.counter("supervisor.restarts"),
+            supervisor_resurrected: r.counter("supervisor.resurrected"),
+            supervisor_failed_sessions: r.counter("supervisor.failed_sessions"),
+            store_evict_refusals: r.counter("store.evict_refusals"),
+            fault_disk_injected: r.gauge("fault.disk.injected"),
+            fault_net_injected: r.gauge("fault.net.injected"),
+            fault_sched_injected: r.gauge("fault.sched.injected"),
             frames_in: r.counter("net.frames_in"),
             frames_out: r.counter("net.frames_out"),
             bytes_in: r.counter("net.bytes_in"),
@@ -279,14 +318,13 @@ impl ServeMetrics {
     /// Counts one [`ServeError`] and appends a trace event (the detail
     /// field carries the error's wire subtag).
     pub fn record_error(&self, e: &ServeError) {
-        let (idx, session) = match e {
-            ServeError::BadSpec(_) => (0, 0),
-            ServeError::UnknownSession(id) => (1, *id),
-            ServeError::SessionBusy(id) => (2, *id),
-            ServeError::BadInput(_) => (3, 0),
-            ServeError::Protocol(_) => (4, 0),
-            ServeError::ShuttingDown => (5, 0),
-            ServeError::Store(_) => (6, 0),
+        let idx = e.subtag() as usize - 1;
+        let session = match e {
+            ServeError::UnknownSession(id)
+            | ServeError::SessionBusy(id)
+            | ServeError::DeadlineExceeded { session: id }
+            | ServeError::GroupFailed(id) => *id,
+            _ => 0,
         };
         self.err[idx].inc();
         let kind = if matches!(e, ServeError::SessionBusy(_)) {
@@ -295,6 +333,19 @@ impl ServeMetrics {
             TraceKind::Error
         };
         self.trace.record(kind, session, idx as u64 + 1);
+    }
+
+    /// Mirrors a fault plan's injected-fault totals into the `fault.*`
+    /// gauges so a metrics snapshot reveals whether (and where) the
+    /// chaos harness actually fired. Cheap: three relaxed loads per
+    /// family; called on each `Metrics` request.
+    pub fn sync_fault_gauges(&self, plan: &hima_chaos::FaultPlan) {
+        use hima_chaos::FaultSite;
+        self.fault_disk_injected.set(plan.injected_disk() as i64);
+        self.fault_net_injected.set(
+            (plan.injected(FaultSite::NetRead) + plan.injected(FaultSite::NetWrite)) as i64,
+        );
+        self.fault_sched_injected.set(plan.injected(FaultSite::SchedTick) as i64);
     }
 
     /// Folds a sampled [`KernelProfile`] delta into the per-category
@@ -331,6 +382,15 @@ mod tests {
             "rpc.step_stream",
             "err.session_busy",
             "err.store",
+            "err.overloaded",
+            "err.deadline_exceeded",
+            "err.group_failed",
+            "overload.shed",
+            "overload.deadline_expired",
+            "supervisor.restarts",
+            "supervisor.resurrected",
+            "supervisor.failed_sessions",
+            "store.evict_refusals",
             "engine.profile.samples",
             "store.evictions",
             "store.rehydrations",
@@ -339,6 +399,9 @@ mod tests {
             assert!(snap.counter(name).is_some(), "{name} missing");
         }
         assert!(snap.gauge("serve.sessions.live").is_some());
+        assert!(snap.gauge("fault.disk.injected").is_some());
+        assert!(snap.gauge("fault.net.injected").is_some());
+        assert!(snap.gauge("fault.sched.injected").is_some());
         assert!(snap.histogram("serve.scheduler.tick_ns").is_some());
         assert!(snap.histogram("store.snapshot_bytes").is_some());
         assert!(snap.histogram("store.replay_steps").is_some());
@@ -349,8 +412,8 @@ mod tests {
     fn request_and_error_accounting() {
         let m = ServeMetrics::new();
         m.record_request(&Request::Metrics);
-        m.record_request(&Request::Step { session: 1, input: vec![] });
-        m.record_request(&Request::Step { session: 1, input: vec![] });
+        m.record_request(&Request::Step { session: 1, input: vec![], deadline_ms: 0 });
+        m.record_request(&Request::Step { session: 1, input: vec![], deadline_ms: 0 });
         m.record_response(&Response::Error(ServeError::SessionBusy(1)));
         m.record_response(&Response::Done);
         let snap = m.snapshot();
@@ -363,6 +426,28 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, TraceKind::Busy);
         assert_eq!(events[0].session, 1);
+    }
+
+    #[test]
+    fn fault_family_errors_and_gauges() {
+        use hima_chaos::{FaultKind, FaultPlan, FaultRule, FaultSite};
+        let m = ServeMetrics::new();
+        m.record_error(&ServeError::Overloaded { retry_after_ms: 40 });
+        m.record_error(&ServeError::DeadlineExceeded { session: 9 });
+        m.record_error(&ServeError::GroupFailed(9));
+        let plan = FaultPlan::new(7)
+            .with_rule(FaultRule::probabilistic(FaultSite::StoreWrite, FaultKind::IoError, 1000));
+        assert!(plan.check(FaultSite::StoreWrite).is_some());
+        m.sync_fault_gauges(&plan);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("err.overloaded"), Some(1));
+        assert_eq!(snap.counter("err.deadline_exceeded"), Some(1));
+        assert_eq!(snap.counter("err.group_failed"), Some(1));
+        assert_eq!(snap.gauge("fault.disk.injected"), Some(1));
+        assert_eq!(snap.gauge("fault.net.injected"), Some(0));
+        // The trace carries the session id for session-scoped faults.
+        let events = m.trace_dump();
+        assert!(events.iter().any(|e| e.kind == TraceKind::Error && e.session == 9));
     }
 
     #[test]

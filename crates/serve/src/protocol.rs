@@ -412,6 +412,11 @@ pub enum Request {
         session: u64,
         /// One `input_size`-wide input row.
         input: Vec<f32>,
+        /// Per-request deadline in milliseconds; 0 uses the server's
+        /// configured default. Queued work still unserved when the
+        /// deadline passes is shed with
+        /// [`ServeError::DeadlineExceeded`].
+        deadline_ms: u32,
     },
     /// Advances one session by `inputs.len()` steps; the steps are queued
     /// on the session's lane and interleave tick-by-tick with co-tenant
@@ -421,6 +426,9 @@ pub enum Request {
         session: u64,
         /// The input rows, in step order.
         inputs: Vec<Vec<f32>>,
+        /// Per-request deadline in milliseconds for the whole stream;
+        /// 0 uses the server default.
+        deadline_ms: u32,
     },
     /// Queries the session's current read-vector row (what its next step
     /// feeds the controller); replies [`Response::Rows`].
@@ -460,14 +468,16 @@ impl Request {
                 w.u8(1);
                 spec.encode(&mut w);
             }
-            Request::Step { session, input } => {
+            Request::Step { session, input, deadline_ms } => {
                 w.u8(2);
                 w.u64(*session);
+                w.u32(*deadline_ms);
                 w.vec_f32(input);
             }
-            Request::StepStream { session, inputs } => {
+            Request::StepStream { session, inputs, deadline_ms } => {
                 w.u8(3);
                 w.u64(*session);
+                w.u32(*deadline_ms);
                 w.u32(inputs.len() as u32);
                 for row in inputs {
                     w.vec_f32(row);
@@ -497,16 +507,21 @@ impl Request {
         let mut r = Reader::new(payload);
         let req = match r.u8()? {
             1 => Request::Open { spec: RawSessionSpec::decode(&mut r)? },
-            2 => Request::Step { session: r.u64()?, input: r.vec_f32()? },
+            2 => Request::Step {
+                session: r.u64()?,
+                deadline_ms: r.u32()?,
+                input: r.vec_f32()?,
+            },
             3 => {
                 let session = r.u64()?;
+                let deadline_ms = r.u32()?;
                 let n = r.u32()?;
                 if n > MAX_FRAME / 4 {
                     return Err(WireError::BadLength(n));
                 }
                 let inputs =
                     (0..n).map(|_| r.vec_f32()).collect::<Result<Vec<_>, WireError>>()?;
-                Request::StepStream { session, inputs }
+                Request::StepStream { session, inputs, deadline_ms }
             }
             4 => Request::ReadRows { session: r.u64()? },
             5 => Request::Reset { session: r.u64()? },
@@ -541,6 +556,21 @@ pub enum ServeError {
     /// The session store failed (I/O, corruption, or a stored state that
     /// no longer matches its configuration).
     Store(String),
+    /// The request was shed by admission control: a per-session or
+    /// global queue budget was full. Retry after the hinted delay.
+    Overloaded {
+        /// Server's estimate of when queue capacity frees up.
+        retry_after_ms: u64,
+    },
+    /// Queued work was shed because its deadline passed before the
+    /// scheduler could serve it.
+    DeadlineExceeded {
+        /// The session whose queued steps were shed.
+        session: u64,
+    },
+    /// The session's scheduler group panicked and the session could not
+    /// be resurrected from the store (`0` when no specific session).
+    GroupFailed(u64),
 }
 
 impl std::fmt::Display for ServeError {
@@ -553,11 +583,57 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Store(m) => write!(f, "session store error: {m}"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            ServeError::DeadlineExceeded { session } => {
+                write!(f, "deadline exceeded for queued work on session {session}")
+            }
+            ServeError::GroupFailed(id) => {
+                write!(f, "scheduler group failed; session {id} could not be recovered")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Stable wire subtag, 1-based — also the index (minus one) into the
+    /// per-kind error counters in `ServeMetrics`.
+    pub fn subtag(&self) -> u8 {
+        match self {
+            ServeError::BadSpec(_) => 1,
+            ServeError::UnknownSession(_) => 2,
+            ServeError::SessionBusy(_) => 3,
+            ServeError::BadInput(_) => 4,
+            ServeError::Protocol(_) => 5,
+            ServeError::ShuttingDown => 6,
+            ServeError::Store(_) => 7,
+            ServeError::Overloaded { .. } => 8,
+            ServeError::DeadlineExceeded { .. } => 9,
+            ServeError::GroupFailed(_) => 10,
+        }
+    }
+
+    /// Number of distinct error kinds (sizes per-kind counter arrays).
+    pub const KINDS: usize = 10;
+}
+
+impl Request {
+    /// Whether the command is safe to resend after an ambiguous
+    /// connection failure. Steps are excluded: a lost reply leaves the
+    /// client unsure whether the step was applied.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Open { .. }
+                | Request::ReadRows { .. }
+                | Request::Metrics
+                | Request::TraceDump
+        )
+    }
+}
 
 /// A server → client reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -646,6 +722,18 @@ impl Response {
                         w.u8(7);
                         w.string(m);
                     }
+                    ServeError::Overloaded { retry_after_ms } => {
+                        w.u8(8);
+                        w.u64(*retry_after_ms);
+                    }
+                    ServeError::DeadlineExceeded { session } => {
+                        w.u8(9);
+                        w.u64(*session);
+                    }
+                    ServeError::GroupFailed(id) => {
+                        w.u8(10);
+                        w.u64(*id);
+                    }
                 }
             }
             Response::ShuttingDown => w.u8(6),
@@ -692,6 +780,9 @@ impl Response {
                 5 => ServeError::Protocol(r.string()?),
                 6 => ServeError::ShuttingDown,
                 7 => ServeError::Store(r.string()?),
+                8 => ServeError::Overloaded { retry_after_ms: r.u64()? },
+                9 => ServeError::DeadlineExceeded { session: r.u64()? },
+                10 => ServeError::GroupFailed(r.u64()?),
                 t => return Err(WireError::BadTag(t)),
             }),
             6 => Response::ShuttingDown,
@@ -799,8 +890,16 @@ mod tests {
     fn requests_round_trip() {
         let reqs = [
             Request::Open { spec: RawSessionSpec::demo() },
-            Request::Step { session: 9, input: vec![0.5, -1.5, f32::MIN_POSITIVE] },
-            Request::StepStream { session: 1, inputs: vec![vec![1.0, 2.0], vec![3.0, 4.0]] },
+            Request::Step {
+                session: 9,
+                input: vec![0.5, -1.5, f32::MIN_POSITIVE],
+                deadline_ms: 0,
+            },
+            Request::StepStream {
+                session: 1,
+                inputs: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                deadline_ms: 1500,
+            },
             Request::ReadRows { session: 3 },
             Request::Reset { session: u64::MAX },
             Request::Close { session: 0 },
@@ -827,6 +926,9 @@ mod tests {
             Response::Error(ServeError::Protocol("unknown message tag 99".into())),
             Response::Error(ServeError::ShuttingDown),
             Response::Error(ServeError::Store("snapshot checksum mismatch".into())),
+            Response::Error(ServeError::Overloaded { retry_after_ms: 250 }),
+            Response::Error(ServeError::DeadlineExceeded { session: 7 }),
+            Response::Error(ServeError::GroupFailed(44)),
             Response::ShuttingDown,
             Response::Metrics { snapshot: MetricsSnapshot::default() },
             Response::Trace { events: Vec::new() },
@@ -879,7 +981,7 @@ mod tests {
         // The wire carries f32 bit patterns, not decimal renderings: NaN
         // payloads and signed zeros survive.
         let row = vec![f32::NAN, -0.0, f32::INFINITY, 1.0e-42];
-        let req = Request::Step { session: 0, input: row.clone() };
+        let req = Request::Step { session: 0, input: row.clone(), deadline_ms: 0 };
         match Request::decode(&req.encode()).unwrap() {
             Request::Step { input, .. } => {
                 for (a, b) in input.iter().zip(&row) {
@@ -904,6 +1006,7 @@ mod tests {
         let mut w = Writer::new();
         w.u8(2);
         w.u64(1);
+        w.u32(0); // deadline_ms
         w.u32(u32::MAX);
         assert!(matches!(Request::decode(&w.into_bytes()), Err(WireError::BadLength(_))));
     }

@@ -30,35 +30,73 @@
 //! disk tier below it:
 //!
 //! * every served step is appended to the session's CRC-guarded delta
-//!   log, and every `snapshot_every` steps the lane state is snapshotted
-//!   (which compacts the log),
+//!   log **before** the engine steps it (write-ahead): an acknowledged
+//!   step is always re-derivable after a process kill. If the append
+//!   fails, the step is *not* applied — the command fails with a typed
+//!   store error instead of acknowledging state the disk never saw,
+//! * every `snapshot_every` steps the lane state is snapshotted (which
+//!   compacts the log),
 //! * the idle-timeout sweep **evicts** instead of reaping: the session's
 //!   state is snapshotted to disk, dropped from RAM, and the id stays
 //!   routable — its next command transparently **rehydrates** it
 //!   (snapshot decode + replay of unapplied log records through the
-//!   grid), bit-identically,
+//!   grid), bit-identically. If the eviction snapshot fails, the state
+//!   is *never* discarded: the session degrades to the in-RAM parked
+//!   tier (counted under `store.evict_refusals`) and stays servable,
 //! * when more than `max_parked` detached states accumulate in RAM, the
 //!   least-recently-active ones spill to disk the same way.
 //!
 //! Replayed steps run through the ordinary masked grid but answer no
 //! client and append no log records; a `ReadRows` that arrives while a
 //! replay is draining is deferred until the recovered state is current.
+//!
+//! # Overload protection and deadlines
+//!
+//! Step admission enforces two queue budgets — per session
+//! ([`ServeConfig::session_queue_limit`]) and across all groups
+//! ([`ServeConfig::global_queue_limit`]) — answering
+//! [`ServeError::Overloaded`] with a drain-time estimate instead of
+//! queueing without bound. Each in-flight command may carry a deadline;
+//! the tick sheds expired commands (oldest deadline first, the order
+//! [`crate::retry::shed_order`] pins) with a typed
+//! [`ServeError::DeadlineExceeded`] — never a silent drop.
+//!
+//! # Supervision
+//!
+//! The group thread body is re-entrant: the supervisor in
+//! [`SessionHub`](crate::session::SessionHub) wraps [`run_group`] in
+//! `catch_unwind` and calls it again with `resume = true` after a panic.
+//! The restarted group resurrects store-backed sessions from their
+//! snapshot + delta log and fails unpersisted ones with a typed
+//! [`ServeError::GroupFailed`]; the [`GroupShared`] contribution
+//! counters let the supervisor repair the shared gauges a dying group
+//! left dangling.
 
 use crate::metrics::ServeMetrics;
 use crate::protocol::{Response, ServeError, SessionSpec};
 use crate::server::ServeConfig;
+use hima_chaos::{FaultKind, FaultSite};
 use hima_dnc::{BoxedEngine, EngineBuilder, KernelId, KernelProfile, LaneState};
 use hima_store::SessionStore;
 use hima_telemetry::{Histogram, TraceKind};
 use hima_tensor::{LaneMask, Matrix};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// With sampled engine timing on, fold the engine's accumulated
 /// [`KernelProfile`] into the registry every this many stepped ticks.
 const PROFILE_SAMPLE_TICKS: u32 = 64;
+
+/// Locks a mutex, ignoring poisoning: a panicked group thread must not
+/// wedge the hub (or the next incarnation of the group) out of the
+/// shared maps — the data under these locks stays consistent because
+/// every critical section is a plain insert/remove.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A command routed to a group thread by the
 /// [`SessionHub`](crate::session::SessionHub).
@@ -66,7 +104,8 @@ pub(crate) enum GroupCmd {
     /// Register a hub-allocated session id with this group.
     Open { session: u64, reply: Sender<Response> },
     /// Queue `inputs.len()` steps; one reply carries all output rows.
-    Step { session: u64, inputs: Vec<Vec<f32>>, reply: Sender<Response> },
+    /// `deadline` (if any) bounds how long the rows may sit queued.
+    Step { session: u64, inputs: Vec<Vec<f32>>, deadline: Option<Instant>, reply: Sender<Response> },
     /// Query the session's current read-vector row.
     ReadRows { session: u64, reply: Sender<Response> },
     /// Reset the session to blank state.
@@ -80,6 +119,7 @@ pub(crate) enum GroupCmd {
 
 /// Store wiring handed to a group at spawn (see
 /// [`StoreConfig`](crate::session::StoreConfig) for the policy knobs).
+#[derive(Clone)]
 pub(crate) struct GroupStore {
     /// The shared on-disk session store.
     pub store: Arc<SessionStore>,
@@ -87,6 +127,54 @@ pub(crate) struct GroupStore {
     pub snapshot_every: u64,
     /// Spill LRU detached states to disk beyond this many parked in RAM.
     pub max_parked: usize,
+}
+
+/// State shared between a group thread, its supervisor, and the hub.
+///
+/// The `queued`/`parked` counters track this group's *contribution* to
+/// the corresponding shared gauges. When the group thread panics those
+/// gauge contributions would otherwise dangle forever; the supervisor
+/// swaps them to zero and subtracts them back out before restarting.
+#[derive(Clone)]
+pub(crate) struct GroupShared {
+    /// The hub's session → group routing table.
+    pub index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
+    /// Server-wide metric handles and lifecycle trace.
+    pub metrics: Arc<ServeMetrics>,
+    /// Steps queued across every group (the global admission budget).
+    pub global_queued: Arc<AtomicI64>,
+    /// Session ids this group owns (RAM or spilled) — what the restarted
+    /// group scans for resurrection after a panic.
+    pub roster: Arc<Mutex<HashSet<u64>>>,
+    /// This group's contribution to `serve.scheduler.queue_depth` (and
+    /// to `global_queued`).
+    pub queued: Arc<AtomicI64>,
+    /// This group's contribution to `serve.sessions.parked`.
+    pub parked: Arc<AtomicI64>,
+}
+
+impl GroupShared {
+    fn queue_add(&self, n: i64) {
+        self.metrics.queue_depth.add(n);
+        self.queued.fetch_add(n, Ordering::Relaxed);
+        self.global_queued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn queue_sub(&self, n: i64) {
+        self.metrics.queue_depth.sub(n);
+        self.queued.fetch_sub(n, Ordering::Relaxed);
+        self.global_queued.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn park_add(&self, n: i64) {
+        self.metrics.sessions_parked.add(n);
+        self.parked.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn park_sub(&self, n: i64) {
+        self.metrics.sessions_parked.sub(n);
+        self.parked.fetch_sub(n, Ordering::Relaxed);
+    }
 }
 
 /// Per-session scheduler state.
@@ -102,6 +190,9 @@ struct Sess {
     /// The in-flight step command: reply channel, outputs accumulated so
     /// far, and how many are expected. At most one per session.
     reply: Option<(Sender<Response>, Vec<Vec<f32>>, usize)>,
+    /// The in-flight command's deadline: queued rows still unserved when
+    /// it passes are shed with `DeadlineExceeded`.
+    deadline: Option<Instant>,
     /// Copy of the session's current read-vector row, maintained across
     /// swaps so `ReadRows` never needs to touch the grid.
     last_read: Vec<f32>,
@@ -141,14 +232,15 @@ struct Group {
     lanes: Vec<Option<u64>>,
     free: Vec<usize>,
     sessions: HashMap<u64, Sess>,
-    /// The hub's session → group routing table; reaped and closed
-    /// sessions are unregistered here.
-    index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
+    /// Hub/supervisor shared state: routing index, metrics, budgets,
+    /// roster, gauge contributions.
+    shared: GroupShared,
     /// Reused per-tick input/output blocks.
     x: Matrix,
     y: Matrix,
     read_width: usize,
-    /// Server-wide metric handles and lifecycle trace.
+    /// Server-wide metric handles and lifecycle trace (clone of
+    /// `shared.metrics`, kept separate for borrow-splitting ergonomics).
     metrics: Arc<ServeMetrics>,
     /// Sampled engine timing: the profile totals already folded into the
     /// registry (`None` when the opt-in path is off).
@@ -163,23 +255,32 @@ struct Group {
     /// Sessions living only in the store right now; still routable, and
     /// rehydrated on their next command.
     spilled: HashSet<u64>,
+    /// Sessions lost to a group panic (no durable state to resurrect
+    /// from). Their next command answers `GroupFailed` exactly once.
+    failed: HashSet<u64>,
     /// A blank lane's state, for non-panicking geometry checks against
-    /// decoded snapshots before `import_lane` (which asserts).
+    /// decoded snapshots before `import_lane` (which asserts), and as
+    /// the canonical state of a blank session being evicted.
     template: Option<LaneState>,
 }
 
 /// Runs a group's tick loop until its command channel disconnects (server
 /// shutdown) **and** every queued step has been served — pending work is
 /// drained, never dropped.
+///
+/// Re-entrant: the supervisor calls it again after a panic with
+/// `resume = true`, and the fresh incarnation resurrects store-backed
+/// sessions from the roster (unpersisted ones move to the failed set).
 pub(crate) fn run_group(
     cfg: ServeConfig,
     spec: SessionSpec,
-    rx: Receiver<GroupCmd>,
-    index: Arc<Mutex<HashMap<u64, Sender<GroupCmd>>>>,
-    metrics: Arc<ServeMetrics>,
+    rx: &Receiver<GroupCmd>,
+    shared: GroupShared,
     store: Option<GroupStore>,
+    resume: bool,
 ) {
     let lanes = cfg.grid_lanes.max(1);
+    let metrics = Arc::clone(&shared.metrics);
     let profiling = metrics.engine_profiling();
     let spec_key = spec.group_key();
     let engine = EngineBuilder::new(spec.params)
@@ -196,7 +297,7 @@ pub(crate) fn run_group(
         lanes: vec![None; lanes],
         free: (0..lanes).rev().collect(),
         sessions: HashMap::new(),
-        index,
+        shared,
         x: Matrix::zeros(lanes, spec.params.input_size),
         y: Matrix::zeros(lanes, spec.params.output_size),
         read_width,
@@ -206,8 +307,12 @@ pub(crate) fn run_group(
         store,
         spec_key,
         spilled: HashSet::new(),
+        failed: HashSet::new(),
         template,
     };
+    if resume {
+        group.resurrect();
+    }
 
     let mut disconnected = false;
     loop {
@@ -257,6 +362,7 @@ impl Group {
             parked: None,
             queue: VecDeque::new(),
             reply: None,
+            deadline: None,
             last_read: vec![0.0; self.read_width],
             last_activity: Instant::now(),
             latency: self.metrics.session_histogram(session),
@@ -268,6 +374,34 @@ impl Group {
         }
     }
 
+    /// Post-panic recovery: every roster session either resurrects from
+    /// its store files (as spilled — the lazy rehydration path does the
+    /// heavy lifting on its next command) or moves to the failed set.
+    fn resurrect(&mut self) {
+        let roster: Vec<u64> = lock_clean(&self.shared.roster).iter().copied().collect();
+        let mut resurrected = 0u64;
+        for id in roster {
+            let stored = self
+                .store
+                .as_ref()
+                .and_then(|gs| gs.store.spec_key(id).ok().flatten())
+                .is_some_and(|key| key == self.spec_key);
+            if stored {
+                self.spilled.insert(id);
+                self.metrics.supervisor_resurrected.inc();
+                resurrected += 1;
+            } else {
+                lock_clean(&self.shared.roster).remove(&id);
+                self.failed.insert(id);
+                self.metrics.sessions_live.sub(1);
+                self.metrics.supervisor_failed_sessions.inc();
+                self.metrics.drop_session_histogram(id);
+                self.metrics.trace(TraceKind::SessionFailed, id, 0);
+            }
+        }
+        self.metrics.trace(TraceKind::GroupRestart, 0, resurrected);
+    }
+
     /// Deletes a session's store files, counting failures.
     fn drop_store_files(&self, session: u64) {
         if let Some(gs) = &self.store {
@@ -277,7 +411,43 @@ impl Group {
         }
     }
 
+    /// How long an overloaded client should wait before retrying: the
+    /// estimated drain time of the current global backlog through this
+    /// group's grid, in whole ticks.
+    fn retry_after_estimate(&self) -> u64 {
+        let backlog = self.shared.global_queued.load(Ordering::Relaxed).max(0) as u64;
+        let lanes = self.engine.batch().max(1) as u64;
+        let tick_ms = self.cfg.tick.as_millis().max(1) as u64;
+        ((backlog / lanes + 1) * tick_ms).clamp(1, 30_000)
+    }
+
     fn handle(&mut self, cmd: GroupCmd) {
+        // A session the supervisor could not resurrect answers its next
+        // command with a typed GroupFailed, then unregisters.
+        let failed_target = match &cmd {
+            GroupCmd::Open { .. } => None,
+            GroupCmd::Step { session, .. }
+            | GroupCmd::ReadRows { session, .. }
+            | GroupCmd::Reset { session, .. }
+            | GroupCmd::Close { session, .. }
+            | GroupCmd::Adopt { session } => Some(*session),
+        };
+        if let Some(session) = failed_target {
+            if self.failed.remove(&session) {
+                lock_clean(&self.shared.index).remove(&session);
+                let resp = Response::Error(ServeError::GroupFailed(session));
+                match cmd {
+                    GroupCmd::Step { reply, .. }
+                    | GroupCmd::ReadRows { reply, .. }
+                    | GroupCmd::Reset { reply, .. }
+                    | GroupCmd::Close { reply, .. } => {
+                        let _ = reply.send(resp);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+        }
         // Step and read commands addressed to a spilled session pull it
         // back into RAM first; close/reset only touch the store files.
         let target = match &cmd {
@@ -300,13 +470,16 @@ impl Group {
             GroupCmd::Open { session, reply } => {
                 let blank = self.blank_sess(session);
                 self.sessions.insert(session, blank);
+                lock_clean(&self.shared.roster).insert(session);
                 self.metrics.sessions_opened.inc();
                 self.metrics.sessions_live.add(1);
                 self.metrics.trace(TraceKind::Open, session, 0);
                 let _ = reply.send(Response::Opened { session });
             }
-            GroupCmd::Step { session, inputs, reply } => {
+            GroupCmd::Step { session, inputs, deadline, reply } => {
                 let input_size = self.engine.params().input_size;
+                let retry_after_ms = self.retry_after_estimate();
+                let global_queued = self.shared.global_queued.load(Ordering::Relaxed).max(0) as usize;
                 let Some(sess) = self.sessions.get_mut(&session) else {
                     let _ = reply.send(Response::Error(ServeError::UnknownSession(session)));
                     return;
@@ -326,12 +499,24 @@ impl Group {
                     ))));
                     return;
                 }
+                // Admission control: bounded queues, typed rejection.
+                let over_session =
+                    sess.queue.len() + inputs.len() > self.cfg.session_queue_limit.max(1);
+                let over_global =
+                    global_queued.saturating_add(inputs.len()) > self.cfg.global_queue_limit.max(1);
+                if over_session || over_global {
+                    self.metrics.overload_shed.inc();
+                    self.metrics.trace(TraceKind::Shed, session, inputs.len() as u64);
+                    let _ = reply.send(Response::Error(ServeError::Overloaded { retry_after_ms }));
+                    return;
+                }
                 let now = Instant::now();
                 sess.last_activity = now;
                 let expected = inputs.len();
                 sess.queue.extend(inputs.into_iter().map(|row| (row, now)));
                 sess.reply = Some((reply, Vec::with_capacity(expected), expected));
-                self.metrics.queue_depth.add(expected as i64);
+                sess.deadline = deadline;
+                self.shared.queue_add(expected as i64);
             }
             GroupCmd::ReadRows { session, reply } => {
                 let Some(sess) = self.sessions.get_mut(&session) else {
@@ -369,11 +554,10 @@ impl Group {
                     self.engine.reset_lane(lane);
                     self.metrics.lane_resets.inc();
                 }
-                if sess.parked.take().is_some() {
-                    self.metrics.sessions_parked.sub(1);
-                }
-                self.metrics.queue_depth.sub(sess.queue.len() as i64);
+                let was_parked = sess.parked.take().is_some();
+                let queued = sess.queue.len();
                 sess.queue.clear();
+                sess.deadline = None;
                 sess.last_read.fill(0.0);
                 sess.last_activity = Instant::now();
                 sess.seq = 0;
@@ -383,6 +567,10 @@ impl Group {
                 for deferred in sess.pending_reads.drain(..) {
                     let _ = deferred.send(Response::Rows { read: sess.last_read.clone() });
                 }
+                if was_parked {
+                    self.shared.park_sub(1);
+                }
+                self.shared.queue_sub(queued as i64);
                 self.drop_store_files(session);
                 let _ = reply.send(Response::Done);
             }
@@ -394,9 +582,9 @@ impl Group {
                             self.free.push(lane);
                         }
                         if sess.parked.is_some() {
-                            self.metrics.sessions_parked.sub(1);
+                            self.shared.park_sub(1);
                         }
-                        self.metrics.queue_depth.sub(sess.queue.len() as i64);
+                        self.shared.queue_sub(sess.queue.len() as i64);
                         // Abort any queued-but-unserved steps (cannot
                         // happen through the synchronous client, which
                         // holds the session busy until the reply).
@@ -409,7 +597,8 @@ impl Group {
                         // Drop the log writer before deleting its file.
                         sess.log = None;
                         self.drop_store_files(session);
-                        self.index.lock().unwrap().remove(&session);
+                        lock_clean(&self.shared.index).remove(&session);
+                        lock_clean(&self.shared.roster).remove(&session);
                         self.metrics.sessions_closed.inc();
                         self.metrics.sessions_live.sub(1);
                         self.metrics.drop_session_histogram(session);
@@ -420,7 +609,8 @@ impl Group {
                         // Closing a spilled session never rehydrates it;
                         // its store files are simply deleted.
                         self.drop_store_files(session);
-                        self.index.lock().unwrap().remove(&session);
+                        lock_clean(&self.shared.index).remove(&session);
+                        lock_clean(&self.shared.roster).remove(&session);
                         self.metrics.sessions_closed.inc();
                         self.metrics.sessions_live.sub(1);
                         self.metrics.trace(TraceKind::Close, session, 0);
@@ -433,6 +623,7 @@ impl Group {
             }
             GroupCmd::Adopt { session } => {
                 self.spilled.insert(session);
+                lock_clean(&self.shared.roster).insert(session);
             }
         }
     }
@@ -456,23 +647,76 @@ impl Group {
         sess.parked = Some(self.engine.export_lane(lane));
         self.lanes[lane] = None;
         self.metrics.parks.inc();
-        self.metrics.sessions_parked.add(1);
+        self.shared.park_add(1);
         self.metrics.trace(TraceKind::Park, victim, lane as u64);
         Some(lane)
     }
 
-    /// One grid tick: seat sessions with pending work, coalesce one
-    /// queued step per seated session into a masked batch, step, fan the
-    /// outputs back out.
+    /// Sheds every in-flight command whose deadline has passed, oldest
+    /// deadline first (ties by session id — the order
+    /// [`crate::retry::shed_order`] property-tests). The whole command
+    /// fails with a typed `DeadlineExceeded`; rows already stepped are
+    /// dropped with it (the session state keeps them — only the reply is
+    /// truncated). Recovery-replay rows are never shed: they are owed to
+    /// durability, not to a client.
+    fn shed_expired(&mut self) {
+        let now = Instant::now();
+        let mut expired: Vec<(Instant, u64)> = self
+            .sessions
+            .iter()
+            .filter_map(|(&id, s)| match s.deadline {
+                Some(d) if d <= now && s.reply.is_some() => Some((d, id)),
+                _ => None,
+            })
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        expired.sort_unstable();
+        for (_, id) in expired {
+            let sess = self.sessions.get_mut(&id).unwrap();
+            let shed = sess.queue.len() - sess.replay_left;
+            sess.queue.truncate(sess.replay_left);
+            sess.deadline = None;
+            let (reply, _outputs, _) = sess.reply.take().unwrap();
+            let _ = reply.send(Response::Error(ServeError::DeadlineExceeded { session: id }));
+            self.shared.queue_sub(shed as i64);
+            self.metrics.overload_deadline_expired.inc();
+            self.metrics.trace(TraceKind::Shed, id, shed as u64);
+        }
+    }
+
+    /// One grid tick: shed expired commands, seat sessions with pending
+    /// work, coalesce one queued step per seated session into a masked
+    /// batch, step, fan the outputs back out.
     fn step_tick(&mut self) {
+        self.shed_expired();
         // Deterministic seating order (session id) keeps swap decisions
         // reproducible under identical command interleavings.
         let mut pending: Vec<u64> =
             self.sessions.iter().filter(|(_, s)| !s.queue.is_empty()).map(|(&id, _)| id).collect();
+        if pending.is_empty() {
+            return;
+        }
         pending.sort_unstable();
 
+        // The scheduler fault site: consulted once per tick that has
+        // pending work, *before* any queue entry is popped — a panic
+        // here leaves every command intact for the restarted group.
+        if let Some(plan) = self.cfg.faults.as_deref() {
+            match plan.check(FaultSite::SchedTick) {
+                Some(FaultKind::Panic) => panic!("injected scheduler panic"),
+                Some(kind) => {
+                    // Latency sleeps inside; error kinds are meaningless
+                    // at this site and ignored.
+                    let _ = hima_chaos::io_error_for(kind);
+                }
+                None => {}
+            }
+        }
+
         let mut mask = vec![false; self.engine.batch()];
-        let mut stepping: Vec<(u64, usize, Instant)> = Vec::with_capacity(pending.len());
+        let mut stepping: Vec<(u64, usize, Instant, bool)> = Vec::with_capacity(pending.len());
         for id in pending {
             let lane = match self.sessions[&id].lane {
                 Some(lane) => lane,
@@ -485,7 +729,7 @@ impl Group {
                             Some(state) => {
                                 self.engine.import_lane(lane, &state);
                                 self.metrics.splices.inc();
-                                self.metrics.sessions_parked.sub(1);
+                                self.shared.park_sub(1);
                                 self.metrics.trace(TraceKind::Splice, id, lane as u64);
                             }
                             None => {
@@ -501,10 +745,47 @@ impl Group {
                 },
             };
             let sess = self.sessions.get_mut(&id).unwrap();
+            let is_replay = sess.replay_left > 0;
+            if let Some(gs) = self.store.as_ref().filter(|_| !is_replay) {
+                // Write-ahead: the step input must be durable *before*
+                // the engine applies it — an acknowledged step is then
+                // always re-derivable after a kill. On failure the step
+                // is not applied and the command fails typed.
+                if sess.log.is_none() {
+                    if let Ok(w) = gs.store.log_writer(id, &self.spec_key) {
+                        sess.log = Some(w);
+                    }
+                }
+                let next_seq = sess.seq + 1;
+                let appended = match &mut sess.log {
+                    Some(log) => {
+                        let input = &sess.queue.front().unwrap().0;
+                        log.append(next_seq, input).is_ok()
+                    }
+                    None => false,
+                };
+                if !appended {
+                    self.metrics.store_errors.inc();
+                    sess.log = None;
+                    let dropped = sess.queue.len();
+                    sess.queue.clear();
+                    sess.deadline = None;
+                    if let Some((reply, _, _)) = sess.reply.take() {
+                        let _ = reply.send(Response::Error(ServeError::Store(format!(
+                            "session {id}: delta-log append failed; step not applied"
+                        ))));
+                    }
+                    self.shared.queue_sub(dropped as i64);
+                    continue;
+                }
+                self.metrics.store_log_appends.inc();
+                sess.seq = next_seq;
+                sess.since_snapshot += 1;
+            }
             let (input, enqueued) = sess.queue.pop_front().unwrap();
             self.x.row_mut(lane).copy_from_slice(&input);
             mask[lane] = true;
-            stepping.push((id, lane, enqueued));
+            stepping.push((id, lane, enqueued, is_replay));
         }
         if stepping.is_empty() {
             return;
@@ -522,15 +803,15 @@ impl Group {
         self.metrics.batch_size.observe(n as u64);
         self.metrics.occupancy_pct.observe((n * 100 / self.engine.batch()) as u64);
         self.metrics.active_lanes.set(n as i64);
-        self.metrics.queue_depth.sub(n as i64);
+        self.shared.queue_sub(n as i64);
 
         let now = Instant::now();
         let mut compact: Vec<u64> = Vec::new();
-        for (id, lane, enqueued) in stepping {
+        for (id, lane, enqueued, is_replay) in stepping {
             let sess = self.sessions.get_mut(&id).unwrap();
             sess.last_read.copy_from_slice(self.engine.last_read_row(lane));
             sess.last_activity = now;
-            if sess.replay_left > 0 {
+            if is_replay {
                 // A recovery-replay row: it advanced the lane state but
                 // answers no client, counts no latency and appends no
                 // log record (it came *from* the log or predates the
@@ -543,24 +824,7 @@ impl Group {
                 }
                 continue;
             }
-            sess.seq += 1;
-            sess.since_snapshot += 1;
             if let Some(gs) = &self.store {
-                if sess.log.is_none() {
-                    match gs.store.log_writer(id, &self.spec_key) {
-                        Ok(w) => sess.log = Some(w),
-                        Err(_) => self.metrics.store_errors.inc(),
-                    }
-                }
-                if let Some(log) = &mut sess.log {
-                    match log.append(sess.seq, self.x.row(lane)) {
-                        Ok(()) => self.metrics.store_log_appends.inc(),
-                        Err(_) => {
-                            sess.log = None;
-                            self.metrics.store_errors.inc();
-                        }
-                    }
-                }
                 if sess.since_snapshot >= gs.snapshot_every {
                     compact.push(id);
                 }
@@ -571,6 +835,7 @@ impl Group {
             let (reply, mut outputs, expected) = sess.reply.take().unwrap();
             outputs.push(self.y.row(lane).to_vec());
             if outputs.len() == expected {
+                sess.deadline = None;
                 let _ = reply.send(Response::Stepped { outputs });
             } else {
                 sess.reply = Some((reply, outputs, expected));
@@ -635,8 +900,12 @@ impl Group {
     /// Spills one idle session to the store: snapshot its full state,
     /// drop it from RAM, keep its id routable (the routing index entry
     /// survives; [`Group::rehydrate`] rebuilds it on the next command).
-    /// Returns false — with the session intact in RAM — if the store
-    /// write fails.
+    ///
+    /// Returns false — with the session's newest state still in RAM —
+    /// if the store write fails: state newer than the last durable
+    /// snapshot is **never** discarded. The refused victim degrades to
+    /// the parked tier (freeing its lane) and the refusal is counted
+    /// under `store.evict_refusals`.
     fn evict(&mut self, id: u64) -> bool {
         let Some(gs) = &self.store else { return false };
         let store = Arc::clone(&gs.store);
@@ -647,16 +916,29 @@ impl Group {
         let was_parked = sess.parked.is_some();
         let state = match sess.parked.take() {
             Some(state) => state,
-            None => self.engine.export_lane(sess.lane.unwrap()),
+            None => match sess.lane {
+                Some(lane) => self.engine.export_lane(lane),
+                // A blank session (never stepped, nothing on the grid):
+                // its canonical state is the blank template.
+                None => self.template.clone().expect("store implies a template lane state"),
+            },
         };
         let t0 = Instant::now();
         let bytes = state.encode();
         if store.save_snapshot(id, &self.spec_key, seq, &bytes).is_err() {
             self.metrics.store_errors.inc();
-            // Keep the session in RAM; re-park the detached copy.
+            self.metrics.store_evict_refusals.inc();
+            // Refuse to discard: keep the newest state in RAM, parked
+            // (the lane frees up either way — the detached copy is the
+            // state now).
             let sess = self.sessions.get_mut(&id).unwrap();
-            if sess.lane.is_none() {
-                sess.parked = Some(state);
+            if let Some(lane) = sess.lane.take() {
+                self.lanes[lane] = None;
+                self.free.push(lane);
+            }
+            sess.parked = Some(state);
+            if !was_parked {
+                self.shared.park_add(1);
             }
             return false;
         }
@@ -668,7 +950,7 @@ impl Group {
             self.free.push(lane);
         }
         if was_parked {
-            self.metrics.sessions_parked.sub(1);
+            self.shared.park_sub(1);
         }
         self.spilled.insert(id);
         self.metrics.store_evictions.inc();
@@ -752,6 +1034,7 @@ impl Group {
                 parked,
                 queue,
                 reply: None,
+                deadline: None,
                 last_read,
                 last_activity: now,
                 latency: self.metrics.session_histogram(id),
@@ -763,9 +1046,9 @@ impl Group {
             },
         );
         if has_state {
-            self.metrics.sessions_parked.add(1);
+            self.shared.park_add(1);
         }
-        self.metrics.queue_depth.add(replay_left as i64);
+        self.shared.queue_add(replay_left as i64);
         self.metrics.store_rehydrations.inc();
         self.metrics.store_replay_steps.observe(replay_left as u64);
         self.metrics.trace(TraceKind::Rehydrate, id, replay_left as u64);
@@ -824,7 +1107,6 @@ impl Group {
             }
             return;
         }
-        let mut index = self.index.lock().unwrap();
         for id in dead {
             let sess = self.sessions.remove(&id).unwrap();
             if let Some(lane) = sess.lane {
@@ -832,9 +1114,10 @@ impl Group {
                 self.free.push(lane);
             }
             if sess.parked.is_some() {
-                self.metrics.sessions_parked.sub(1);
+                self.shared.park_sub(1);
             }
-            index.remove(&id);
+            lock_clean(&self.shared.index).remove(&id);
+            lock_clean(&self.shared.roster).remove(&id);
             self.metrics.sessions_reaped.inc();
             self.metrics.sessions_live.sub(1);
             self.metrics.drop_session_histogram(id);

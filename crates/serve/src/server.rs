@@ -4,24 +4,40 @@
 //! reads length-prefixed frames, decodes a [`Request`], dispatches it to
 //! the [`SessionHub`] and writes the [`Response`] frame back. All
 //! serving semantics live in the hub — this layer only does framing,
-//! connection bookkeeping and clean shutdown.
+//! connection bookkeeping, socket-level fault tolerance and clean
+//! shutdown.
+//!
+//! Connection bookkeeping is self-cleaning: each connection has an id,
+//! its thread removes its tracked stream on exit, and the accept loop
+//! joins finished connection threads before spawning the next one — a
+//! long-lived server no longer accumulates one handle per connection it
+//! ever served.
+//!
+//! [`ServeConfig::io_timeout`] bounds how long a *stalled* peer can pin
+//! a connection thread: reads time out, and a timeout that strikes
+//! mid-frame (a peer that sent half a header and wandered off) drops the
+//! connection. A timeout at a frame boundary is just idleness — the
+//! connection stays open indefinitely.
 //!
 //! Shutdown ordering (deadlock-free): mark stopping → unblock the accept
 //! loop with a self-connection → `shutdown(Read)` every tracked stream
 //! (in-flight replies still write) → join connection threads → stop the
 //! hub (group threads drain their queues, answer, exit) → join groups.
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ServeError};
+use crate::chaos_net::ChaosStream;
+use crate::protocol::{write_frame, Request, Response, ServeError, MAX_FRAME};
 use crate::session::{SessionHub, StoreConfig};
-use std::io::{BufReader, BufWriter};
+use hima_chaos::FaultPlan;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Lane slots per engine grid — how many sessions of one
     /// configuration can be *resident* at once (more sessions than lanes
@@ -34,11 +50,37 @@ pub struct ServeConfig {
     /// Reap sessions idle for longer than this (`None` = never). A
     /// session with an in-flight step request is never reaped.
     pub idle_timeout: Option<Duration>,
+    /// Queued step inputs allowed per session before new step requests
+    /// are rejected with [`ServeError::Overloaded`].
+    pub session_queue_limit: usize,
+    /// Queued step inputs allowed across *all* sessions before new step
+    /// requests are rejected with [`ServeError::Overloaded`].
+    pub global_queue_limit: usize,
+    /// Deadline applied to step requests that don't carry their own
+    /// (`deadline_ms == 0` on the wire). `None` = no default deadline.
+    pub default_deadline: Option<Duration>,
+    /// Read timeout for connection sockets (`None` = block forever).
+    /// Only guards against peers stalled *mid-frame*; idle connections
+    /// at a frame boundary are unaffected.
+    pub io_timeout: Option<Duration>,
+    /// Optional fault-injection plan. Wraps every connection's socket in
+    /// a [`ChaosStream`] (net sites) and is consulted by the scheduler
+    /// and store (sched/store sites). `None` = zero injection overhead.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { grid_lanes: 8, tick: Duration::from_micros(500), idle_timeout: None }
+        Self {
+            grid_lanes: 8,
+            tick: Duration::from_micros(500),
+            idle_timeout: None,
+            session_queue_limit: 4096,
+            global_queue_limit: 65_536,
+            default_deadline: None,
+            io_timeout: Some(Duration::from_secs(30)),
+            faults: None,
+        }
     }
 }
 
@@ -48,8 +90,8 @@ pub struct Server {
     hub: Arc<SessionHub>,
     stopping: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    conn_handles: Arc<Mutex<HashMap<u64, JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -71,29 +113,57 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let io_timeout = cfg.io_timeout;
+        let faults = cfg.faults.clone();
         let hub = Arc::new(SessionHub::with_store(cfg, store)?);
         let stopping = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let conn_handles: Arc<Mutex<HashMap<u64, JoinHandle<()>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
 
         let accept_handle = {
             let hub = Arc::clone(&hub);
             let stopping = Arc::clone(&stopping);
             let conns = Arc::clone(&conns);
             let conn_handles = Arc::clone(&conn_handles);
+            let next_conn = AtomicU64::new(1);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if stopping.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Sweep finished connection threads so bookkeeping is
+                    // bounded by *live* connections, not total served.
+                    let finished: Vec<JoinHandle<()>> = {
+                        let mut handles = conn_handles.lock().unwrap();
+                        let done: Vec<u64> = handles
+                            .iter()
+                            .filter(|(_, h)| h.is_finished())
+                            .map(|(&id, _)| id)
+                            .collect();
+                        done.iter().filter_map(|id| handles.remove(id)).collect()
+                    };
+                    for handle in finished {
+                        let _ = handle.join();
+                    }
+                    let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = io_timeout {
+                        let _ = stream.set_read_timeout(Some(t));
+                        let _ = stream.set_write_timeout(Some(t));
+                    }
                     if let Ok(tracked) = stream.try_clone() {
-                        conns.lock().unwrap().push(tracked);
+                        conns.lock().unwrap().insert(conn_id, tracked);
                     }
                     let hub = Arc::clone(&hub);
                     let stopping = Arc::clone(&stopping);
-                    let handle = std::thread::spawn(move || serve_connection(stream, hub, stopping));
-                    conn_handles.lock().unwrap().push(handle);
+                    let conns = Arc::clone(&conns);
+                    let faults = faults.clone();
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, hub, stopping, faults);
+                        conns.lock().unwrap().remove(&conn_id);
+                    });
+                    conn_handles.lock().unwrap().insert(conn_id, handle);
                 }
             })
         };
@@ -109,6 +179,19 @@ impl Server {
     /// The hub, for in-process inspection (live-session counts in tests).
     pub fn hub(&self) -> &SessionHub {
         &self.hub
+    }
+
+    /// Streams currently tracked for shutdown (== live connections, give
+    /// or take threads that are mid-exit). Exposed so tests can pin that
+    /// bookkeeping doesn't grow with *total* connections ever served.
+    pub fn tracked_connections(&self) -> usize {
+        self.conns.lock().unwrap().len()
+    }
+
+    /// Connection threads whose handles are still held (finished ones
+    /// are joined and dropped on the next accept).
+    pub fn tracked_handles(&self) -> usize {
+        self.conn_handles.lock().unwrap().len()
     }
 
     /// Whether a client has requested process shutdown.
@@ -139,10 +222,11 @@ impl Server {
             let _ = handle.join();
         }
         // Stop reading new requests; in-flight replies still write.
-        for stream in self.conns.lock().unwrap().drain(..) {
+        for (_, stream) in self.conns.lock().unwrap().drain() {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let handles: Vec<_> = self.conn_handles.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> =
+            self.conn_handles.lock().unwrap().drain().map(|(_, h)| h).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -156,18 +240,77 @@ impl Drop for Server {
     }
 }
 
+/// What one attempt to read a frame produced.
+enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The read timed out *at a frame boundary* — the peer is idle, not
+    /// stalled. Keep waiting.
+    Idle,
+    /// Clean EOF at a frame boundary, a timeout mid-frame, or any socket
+    /// error: the conversation is over.
+    Closed,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Like `protocol::read_frame`, but timeout-aware: distinguishes an idle
+/// peer (timeout with zero header bytes read) from a stalled one
+/// (timeout mid-header or mid-payload).
+fn read_frame_idle_aware(r: &mut impl Read) -> FrameRead {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(ref e) if is_timeout(e) && filled == 0 => return FrameRead::Idle,
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return FrameRead::Closed;
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => got += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Mid-frame timeout: the peer stalled inside a frame — drop
+            // it rather than pin this thread forever.
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    FrameRead::Frame(payload)
+}
+
 /// One connection's request/reply loop.
-fn serve_connection(stream: TcpStream, hub: Arc<SessionHub>, stopping: Arc<AtomicBool>) {
+fn serve_connection(
+    stream: TcpStream,
+    hub: Arc<SessionHub>,
+    stopping: Arc<AtomicBool>,
+    faults: Option<Arc<FaultPlan>>,
+) {
     let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let mut reader = BufReader::new(ChaosStream::new(read_half, faults.clone()));
+    let mut writer = BufWriter::new(ChaosStream::new(stream, faults));
     let metrics = Arc::clone(hub.metrics());
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            // Clean EOF or a dead socket either way: the conversation is
-            // over.
-            Ok(None) | Err(_) => return,
+        let payload = match read_frame_idle_aware(&mut reader) {
+            FrameRead::Frame(payload) => payload,
+            FrameRead::Idle => {
+                if stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            FrameRead::Closed => return,
         };
         metrics.frames_in.inc();
         metrics.bytes_in.add(payload.len() as u64 + 4);

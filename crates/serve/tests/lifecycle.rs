@@ -261,6 +261,7 @@ fn parked_close_and_reap_keep_gauges_and_lanes_consistent() {
         grid_lanes: 2,
         tick: Duration::from_micros(200),
         idle_timeout: Some(Duration::from_millis(60)),
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
@@ -311,11 +312,116 @@ fn loadgen_completes_under_both_arrival_patterns() {
     ] {
         let report = hima_serve::run_load(
             server.addr(),
-            &LoadConfig { spec: RawSessionSpec::demo(), sessions: 8, steps: 10, pattern },
+            &LoadConfig {
+                spec: RawSessionSpec::demo(),
+                sessions: 8,
+                steps: 10,
+                pattern,
+                client: Default::default(),
+            },
         );
         assert_eq!(report.completed, 8, "{pattern:?}");
         assert!(report.sessions_per_sec > 0.0);
         assert!(report.p50_step <= report.p99_step);
         assert!(report.p99_step > Duration::ZERO);
     }
+}
+
+/// Regression: connection bookkeeping must not grow without bound. Every
+/// accepted connection used to leave its JoinHandle (and, for dead
+/// peers, its TcpStream entry) in the server's maps forever; the accept
+/// loop now sweeps finished handles. Churn many short-lived connections
+/// and check the tracked sets stay small.
+#[test]
+fn connection_bookkeeping_is_swept() {
+    let server = Server::bind("127.0.0.1:0", quick_cfg()).unwrap();
+    for _ in 0..12 {
+        let mut c = Client::connect(server.addr()).unwrap();
+        let _ = c.metrics().unwrap();
+        // Dropping the client closes the socket; the conn thread exits.
+    }
+    // Give the last conn thread a beat to observe the close and exit,
+    // then trigger one more accept (the sweep runs per accept).
+    std::thread::sleep(Duration::from_millis(100));
+    let mut last = Client::connect(server.addr()).unwrap();
+    let _ = last.metrics().unwrap();
+    assert!(
+        server.tracked_handles() <= 3,
+        "finished connection handles not swept: {} tracked after churn",
+        server.tracked_handles()
+    );
+    assert!(
+        server.tracked_connections() <= 3,
+        "dead connection sockets not swept: {} tracked after churn",
+        server.tracked_connections()
+    );
+}
+
+/// Regression: a failed eviction snapshot must never discard session
+/// state. The idle sweep used to evict-and-drop even when the store
+/// write failed; now the victim degrades to the in-RAM parked tier
+/// (counted under `store.evict_refusals`) and keeps serving with its
+/// newest state.
+#[test]
+fn failed_eviction_snapshot_degrades_to_parked_without_data_loss() {
+    use hima_serve::{FaultKind, FaultPlan, FaultRule, FaultSite, StoreConfig};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir()
+        .join(format!("hima-evict-refusal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Renames only happen when a snapshot is finalized, so this fails
+    // every snapshot (eviction and compaction) while leaving the
+    // write-ahead delta log fully functional.
+    let plan = Arc::new(FaultPlan::new(7).with_rule(FaultRule::probabilistic(
+        FaultSite::StoreRename,
+        FaultKind::IoError,
+        1000,
+    )));
+    let cfg = ServeConfig {
+        tick: Duration::from_micros(200),
+        idle_timeout: Some(Duration::from_millis(40)),
+        ..ServeConfig::default()
+    };
+    let store = StoreConfig {
+        snapshot_every: 1_000_000,
+        faults: Some(plan),
+        ..StoreConfig::new(dir.clone())
+    };
+    let server = Server::bind_with_store("127.0.0.1:0", cfg, Some(store)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Establish distinctive state, remember its observable part.
+    let session = client.open(&RawSessionSpec::demo()).unwrap();
+    for t in 0..6 {
+        client.step(session, &demo_input(t)).unwrap();
+    }
+    let read_before = client.read_rows(session).unwrap();
+
+    // Let the idle sweep try (and fail) to evict, repeatedly.
+    std::thread::sleep(Duration::from_millis(250));
+    let snap = server.hub().metrics().snapshot();
+    assert!(
+        snap.counter("store.evict_refusals").unwrap_or(0) > 0,
+        "the idle sweep never attempted (and refused) an eviction"
+    );
+
+    // The session survived with its newest state: same read row, and a
+    // continued step matches a fault-free server fed the same inputs.
+    let read_after = client.read_rows(session).unwrap();
+    assert_eq!(read_before, read_after, "state lost across the refused eviction");
+    let y = client.step(session, &demo_input(6)).unwrap();
+
+    let clean = Server::bind("127.0.0.1:0", quick_cfg()).unwrap();
+    let mut oracle = Client::connect(clean.addr()).unwrap();
+    let oracle_session = oracle.open(&RawSessionSpec::demo()).unwrap();
+    for t in 0..6 {
+        oracle.step(oracle_session, &demo_input(t)).unwrap();
+    }
+    let y_oracle = oracle.step(oracle_session, &demo_input(6)).unwrap();
+    assert_eq!(y, y_oracle, "post-refusal step diverged from fault-free replay");
+
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -25,10 +25,12 @@
 //! [`StoreError::Corrupt`] instead.
 
 use crate::crc::crc32;
-use crate::store::{corrupt, StoreError};
+use crate::store::{consult_faults, corrupt, StoreError};
+use hima_chaos::{FaultPlan, FaultSite};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Leading magic of a delta-log file.
 pub const LOG_MAGIC: [u8; 8] = *b"HIMALOG1";
@@ -71,12 +73,31 @@ pub struct LogContents {
 #[derive(Debug)]
 pub struct LogWriter {
     file: File,
+    /// Byte length of the durable, well-framed prefix. A failed append
+    /// truncates back to this, so one bad write can never strand later
+    /// (successful) records behind a torn record.
+    len: u64,
+    /// Set when a failed append could not be rolled back; every
+    /// subsequent append fails fast rather than corrupting the log.
+    poisoned: bool,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl LogWriter {
     /// Opens `path` for appending, writing the header first when the
     /// file is new or empty.
     pub fn open(path: &Path, spec_key: &[u8]) -> std::io::Result<Self> {
+        Self::open_with(path, spec_key, None)
+    }
+
+    /// [`open`](Self::open) with a fault plan consulted on every append
+    /// and sync. An injected partial write tears the record's tail on
+    /// disk — exactly the failure mode [`read_log`] tolerates.
+    pub fn open_with(
+        path: &Path,
+        spec_key: &[u8],
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Self> {
         let mut file = OpenOptions::new().create(true).append(true).open(path)?;
         if file.metadata()?.len() == 0 {
             let mut header = Vec::with_capacity(12 + spec_key.len());
@@ -85,11 +106,22 @@ impl LogWriter {
             header.extend_from_slice(spec_key);
             file.write_all(&header)?;
         }
-        Ok(Self { file })
+        let len = file.metadata()?.len();
+        Ok(Self { file, len, poisoned: false, faults })
     }
 
     /// Appends one step record as a single write.
+    ///
+    /// On failure the writer rolls the file back to the last well-framed
+    /// length, so a torn partial record never strands later appends
+    /// behind it; if even the rollback fails the writer poisons itself
+    /// and refuses further appends.
     pub fn append(&mut self, seq: u64, input: &[f32]) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "log writer poisoned by an unrecoverable append failure",
+            ));
+        }
         let body_len = 12 + input.len() * 4;
         let mut frame = Vec::with_capacity(8 + body_len);
         frame.extend_from_slice(&(body_len as u32).to_le_bytes());
@@ -100,11 +132,37 @@ impl LogWriter {
         }
         let crc = crc32(&frame[4..]);
         frame.extend_from_slice(&crc.to_le_bytes());
-        self.file.write_all(&frame)
+
+        let result = match consult_faults(self.faults.as_deref(), FaultSite::StoreWrite) {
+            Err(e) => Err(e),
+            Ok(Some(keep)) => {
+                // Injected partial append: write a torn prefix, then fail
+                // the way a crashed write would.
+                let _ = self.file.write_all(&frame[..keep.min(frame.len())]);
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected partial log append",
+                ))
+            }
+            Ok(None) => self.file.write_all(&frame),
+        };
+        match result {
+            Ok(()) => {
+                self.len += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                if self.file.set_len(self.len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Forces the log contents to stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        consult_faults(self.faults.as_deref(), FaultSite::StoreFsync)?;
         self.file.sync_data()
     }
 }

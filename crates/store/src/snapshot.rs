@@ -23,7 +23,8 @@
 //! as garbage state spliced into an engine.
 
 use crate::crc::crc32;
-use crate::store::{corrupt, StoreError};
+use crate::store::{consult_faults, corrupt, StoreError};
+use hima_chaos::{FaultPlan, FaultSite};
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -52,6 +53,20 @@ pub fn write_snapshot(
     step_seq: u64,
     state: &[u8],
 ) -> std::io::Result<()> {
+    write_snapshot_with(path, spec_key, step_seq, state, None)
+}
+
+/// [`write_snapshot`] with an optional fault plan consulted at the
+/// write, fsync, and rename sites. An injected fault at any site leaves
+/// the previous snapshot (if one exists) untouched — the tmp sibling is
+/// never renamed into place on a failed write.
+pub fn write_snapshot_with(
+    path: &Path,
+    spec_key: &[u8],
+    step_seq: u64,
+    state: &[u8],
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
     let mut body = Vec::with_capacity(20 + spec_key.len() + state.len());
     body.extend_from_slice(&(spec_key.len() as u32).to_le_bytes());
     body.extend_from_slice(spec_key);
@@ -64,9 +79,25 @@ pub fn write_snapshot(
     {
         let mut f = File::create(&tmp)?;
         f.write_all(&SNAPSHOT_MAGIC)?;
+        if let Some(keep) = consult_faults(faults, FaultSite::StoreWrite)? {
+            // Injected partial write: a torn tmp file that is never
+            // renamed over the real snapshot.
+            f.write_all(&body[..keep.min(body.len())])?;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "injected partial snapshot write",
+            ));
+        }
         f.write_all(&body)?;
         f.write_all(&crc.to_le_bytes())?;
+        consult_faults(faults, FaultSite::StoreFsync)?;
         f.sync_all()?;
+    }
+    if let Some(_keep) = consult_faults(faults, FaultSite::StoreRename)? {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::WriteZero,
+            "injected rename failure",
+        ));
     }
     fs::rename(&tmp, path)
 }

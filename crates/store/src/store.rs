@@ -2,10 +2,32 @@
 //! session id, with snapshot-then-truncate compaction.
 
 use crate::log::{read_log, LogWriter, StepRecord};
-use crate::snapshot::{read_snapshot, read_snapshot_key, write_snapshot, Snapshot};
+use crate::snapshot::{read_snapshot, read_snapshot_key, write_snapshot_with, Snapshot};
+use hima_chaos::{io_error_for, FaultKind, FaultPlan, FaultSite};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Consults a fault plan for one store I/O operation.
+///
+/// `Ok(None)`: proceed normally (latency faults have already slept).
+/// `Ok(Some(keep))`: the caller must write only `keep` bytes, then fail.
+/// `Err`: the injected failure to surface in place of the real I/O.
+pub(crate) fn consult_faults(
+    faults: Option<&FaultPlan>,
+    site: FaultSite,
+) -> std::io::Result<Option<usize>> {
+    let Some(plan) = faults else { return Ok(None) };
+    match plan.check(site) {
+        None => Ok(None),
+        Some(FaultKind::PartialWrite { keep }) => Ok(Some(keep)),
+        Some(kind) => match io_error_for(kind) {
+            Some(e) => Err(e),
+            None => Ok(None),
+        },
+    }
+}
 
 /// A persistence failure: either plain I/O or a file whose integrity
 /// checks failed.
@@ -94,14 +116,30 @@ impl SessionRecord {
 #[derive(Debug)]
 pub struct SessionStore {
     root: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SessionStore {
     /// Opens (creating if needed) a store rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_with(root, None)
+    }
+
+    /// [`open`](Self::open) with a fault plan consulted on every
+    /// snapshot write and log append issued through this store. `None`
+    /// injects nothing and costs one branch per operation.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        Ok(Self { root, faults })
+    }
+
+    /// The fault plan this store consults, when one is installed.
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// The store's root directory.
@@ -199,7 +237,13 @@ impl SessionStore {
         step_seq: u64,
         state: &[u8],
     ) -> std::io::Result<()> {
-        write_snapshot(&self.snapshot_path(id), spec_key, step_seq, state)?;
+        write_snapshot_with(
+            &self.snapshot_path(id),
+            spec_key,
+            step_seq,
+            state,
+            self.faults.as_deref(),
+        )?;
         match fs::remove_file(self.log_path(id)) {
             Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
             _ => Ok(()),
@@ -208,7 +252,7 @@ impl SessionStore {
 
     /// Opens the delta log for `id` in append mode.
     pub fn log_writer(&self, id: u64, spec_key: &[u8]) -> std::io::Result<LogWriter> {
-        LogWriter::open(&self.log_path(id), spec_key)
+        LogWriter::open_with(&self.log_path(id), spec_key, self.faults.clone())
     }
 
     /// Deletes every store file for `id` (closed or reset sessions).
@@ -321,6 +365,70 @@ mod tests {
         w.append(2, &[1.0]).unwrap();
         drop(w);
         assert!(matches!(store.load(9), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn injected_snapshot_fault_leaves_previous_snapshot_intact() {
+        use hima_chaos::FaultRule;
+        // Fail the 2nd, 3rd, and 4th snapshot-write ops three different
+        // ways; op 0 (the first snapshot) and ops ≥ 4 succeed.
+        let plan = Arc::new(
+            FaultPlan::new(5)
+                .with_rule(FaultRule::at(FaultSite::StoreWrite, FaultKind::IoError, vec![1]))
+                .with_rule(FaultRule::at(FaultSite::StoreWrite, FaultKind::Enospc, vec![2]))
+                .with_rule(FaultRule::at(
+                    FaultSite::StoreWrite,
+                    FaultKind::PartialWrite { keep: 3 },
+                    vec![3],
+                )),
+        );
+        let store =
+            SessionStore::open_with(test_dir("inject-snap"), Some(Arc::clone(&plan))).unwrap();
+        store.save_snapshot(1, b"k", 10, b"good-state").unwrap();
+        for expect in ["injected i/o error", "ENOSPC", "partial"] {
+            let err = store.save_snapshot(1, b"k", 11, b"newer-state").unwrap_err();
+            assert!(err.to_string().contains(expect), "got {err}");
+            let rec = store.load(1).unwrap().unwrap();
+            let snap = rec.snapshot.unwrap();
+            assert_eq!(snap.step_seq, 10, "failed write clobbered the snapshot");
+            assert_eq!(snap.state, b"good-state");
+        }
+        assert_eq!(plan.injected(FaultSite::StoreWrite), 3);
+        // Past the scheduled faults, writes succeed again.
+        store.save_snapshot(1, b"k", 12, b"final").unwrap();
+        assert_eq!(store.load(1).unwrap().unwrap().snapshot.unwrap().step_seq, 12);
+    }
+
+    #[test]
+    fn injected_partial_append_rolls_back_and_log_stays_readable() {
+        use hima_chaos::FaultRule;
+        let plan = Arc::new(FaultPlan::new(6).with_rule(FaultRule::at(
+            FaultSite::StoreWrite,
+            FaultKind::PartialWrite { keep: 7 },
+            vec![2],
+        )));
+        let store =
+            SessionStore::open_with(test_dir("inject-log"), Some(Arc::clone(&plan))).unwrap();
+        let mut w = store.log_writer(4, b"spec").unwrap();
+        w.append(1, &[1.0, 2.0]).unwrap();
+        w.append(2, &[3.0, 4.0]).unwrap();
+        let err = w.append(3, &[5.0, 6.0]).unwrap_err();
+        assert!(err.to_string().contains("partial"), "got {err}");
+        // The torn partial record was rolled back: a later successful
+        // append through the same writer must stay readable.
+        w.append(3, &[5.0, 6.0]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let rec = store.load(4).unwrap().unwrap();
+        assert!(!rec.torn_tail, "rollback left a torn record behind");
+        let seqs: Vec<u64> = rec.replay_steps().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(plan.injected(FaultSite::StoreWrite), 1);
+        // A cleared plan injects nothing more.
+        plan.clear();
+        let mut w = store.log_writer(4, b"spec").unwrap();
+        w.append(4, &[7.0]).unwrap();
+        assert_eq!(store.load(4).unwrap().unwrap().last_seq(), 4);
     }
 
     #[test]

@@ -35,12 +35,23 @@ pub enum TraceKind {
     Evict,
     /// Stored session rebuilt in RAM (snapshot decode + delta replay).
     Rehydrate,
+    /// Queued work shed: overload rejection or an expired deadline
+    /// (detail carries the shed queue depth).
+    Shed,
+    /// A group scheduler thread panicked (detail: 0).
+    GroupPanic,
+    /// The supervisor restarted a panicked group (detail: sessions
+    /// resurrected from the store).
+    GroupRestart,
+    /// A session could not be resurrected after a group panic and was
+    /// failed with a typed error (detail: 0).
+    SessionFailed,
 }
 
 impl TraceKind {
     /// Every kind, in wire-code order. New kinds are appended, never
     /// reordered — the wire code is the index into this array.
-    pub const ALL: [TraceKind; 9] = [
+    pub const ALL: [TraceKind; 13] = [
         TraceKind::Open,
         TraceKind::Close,
         TraceKind::Park,
@@ -50,6 +61,10 @@ impl TraceKind {
         TraceKind::Error,
         TraceKind::Evict,
         TraceKind::Rehydrate,
+        TraceKind::Shed,
+        TraceKind::GroupPanic,
+        TraceKind::GroupRestart,
+        TraceKind::SessionFailed,
     ];
 
     /// Human-readable label (used by `hima_cli metrics --trace`).
@@ -64,6 +79,10 @@ impl TraceKind {
             TraceKind::Error => "error",
             TraceKind::Evict => "evict",
             TraceKind::Rehydrate => "rehydrate",
+            TraceKind::Shed => "shed",
+            TraceKind::GroupPanic => "group-panic",
+            TraceKind::GroupRestart => "group-restart",
+            TraceKind::SessionFailed => "session-failed",
         }
     }
 

@@ -92,13 +92,14 @@ fn evicted_sessions_continue_bit_identically() {
             grid_lanes: 2,
             tick: Duration::from_micros(200),
             idle_timeout: Some(Duration::from_millis(40)),
+            ..ServeConfig::default()
         };
         // Snapshot every 3 steps so periodic compaction interleaves
         // with the stream before the eviction takes its final full
         // snapshot (eviction snapshots at the current seq, so the
         // rehydrate below restores state with an empty replay window —
         // the kill-recovery test covers the replaying variant).
-        let store = StoreConfig { dir: dir.clone(), snapshot_every: 3, max_parked: 64 };
+        let store = StoreConfig { dir: dir.clone(), snapshot_every: 3, max_parked: 64, faults: None };
         let server = Server::bind_with_store("127.0.0.1:0", cfg, Some(store)).expect("bind");
         let mut client = Client::connect(server.addr()).unwrap();
         let raw = RawSessionSpec::from_parts(&p, &spec, 42);
@@ -149,10 +150,11 @@ fn read_rows_after_eviction_restores_the_snapshot_read_row() {
         grid_lanes: 2,
         tick: Duration::from_micros(200),
         idle_timeout: Some(Duration::from_millis(40)),
+        ..ServeConfig::default()
     };
     // Never compact periodically: the eviction's own snapshot is the
     // only one, so the restored read row comes from exactly one place.
-    let store = StoreConfig { dir: dir.clone(), snapshot_every: 1_000_000, max_parked: 64 };
+    let store = StoreConfig { dir: dir.clone(), snapshot_every: 1_000_000, max_parked: 64, faults: None };
     let server = Server::bind_with_store("127.0.0.1:0", cfg, Some(store)).expect("bind");
     let mut client = Client::connect(server.addr()).unwrap();
     let raw = RawSessionSpec::from_parts(&p, &spec, 42);
@@ -193,16 +195,17 @@ fn killed_server_recovers_sessions_from_snapshot_and_log() {
             grid_lanes: 2,
             tick: Duration::from_micros(200),
             idle_timeout: None,
+            ..ServeConfig::default()
         };
         // snapshot_every 4 over 10 steps: compaction at 4 and 8, so the
         // store holds snapshot@8 + log records 9..10 at the "kill".
         let mk_store =
-            || StoreConfig { dir: dir.clone(), snapshot_every: 4, max_parked: 64 };
+            || StoreConfig { dir: dir.clone(), snapshot_every: 4, max_parked: 64, faults: None };
         let raw = RawSessionSpec::from_parts(&p, &spec, 42);
         let total = 16;
         let want = solo_outputs(&spec, 0, total);
 
-        let first = Server::bind_with_store("127.0.0.1:0", cfg, Some(mk_store())).expect("bind");
+        let first = Server::bind_with_store("127.0.0.1:0", cfg.clone(), Some(mk_store())).expect("bind");
         let mut client = Client::connect(first.addr()).unwrap();
         let session = client.open(&raw).unwrap();
         let mut got: Vec<Vec<f32>> = Vec::new();
@@ -216,7 +219,7 @@ fn killed_server_recovers_sessions_from_snapshot_and_log() {
         drop(client);
         drop(first);
 
-        let second = Server::bind_with_store("127.0.0.1:0", cfg, Some(mk_store())).expect("rebind");
+        let second = Server::bind_with_store("127.0.0.1:0", cfg.clone(), Some(mk_store())).expect("rebind");
         assert_eq!(counter(&second, "store.recovered"), 1, "{label}: adoption count");
         assert_eq!(second.hub().live_sessions(), 1, "{label}: adopted id not routable");
         let mut client = Client::connect(second.addr()).unwrap();
@@ -255,11 +258,12 @@ fn torn_log_tail_recovers_the_acknowledged_prefix() {
         grid_lanes: 2,
         tick: Duration::from_micros(200),
         idle_timeout: None,
+        ..ServeConfig::default()
     };
-    let mk_store = || StoreConfig { dir: dir.clone(), snapshot_every: 1_000_000, max_parked: 64 };
+    let mk_store = || StoreConfig { dir: dir.clone(), snapshot_every: 1_000_000, max_parked: 64, faults: None };
     let raw = RawSessionSpec::from_parts(&p, &spec, 42);
 
-    let first = Server::bind_with_store("127.0.0.1:0", cfg, Some(mk_store())).expect("bind");
+    let first = Server::bind_with_store("127.0.0.1:0", cfg.clone(), Some(mk_store())).expect("bind");
     let mut client = Client::connect(first.addr()).unwrap();
     let session = client.open(&raw).unwrap();
     let steps = 6;
@@ -275,7 +279,7 @@ fn torn_log_tail_recovers_the_acknowledged_prefix() {
     let bytes = std::fs::read(&log_path).unwrap();
     std::fs::write(&log_path, &bytes[..bytes.len() - 5]).unwrap();
 
-    let second = Server::bind_with_store("127.0.0.1:0", cfg, Some(mk_store())).expect("rebind");
+    let second = Server::bind_with_store("127.0.0.1:0", cfg.clone(), Some(mk_store())).expect("rebind");
     let mut client = Client::connect(second.addr()).unwrap();
     let read = client.read_rows(session).unwrap();
     assert!(counter(&second, "store.torn_tails") > 0, "tear not observed");

@@ -53,6 +53,7 @@ fn serve_cfg(grid_lanes: usize) -> ServeConfig {
         grid_lanes,
         tick: Duration::from_micros(200),
         idle_timeout: None,
+        ..ServeConfig::default()
     }
 }
 

@@ -162,6 +162,7 @@ fn live_server_metrics_describe_the_load() {
         grid_lanes: 2,
         tick: Duration::from_micros(200),
         idle_timeout: None,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
     let addr = server.addr();
